@@ -1,0 +1,110 @@
+"""ABL-FUSION — Ablation of the fused design's ingredients.
+
+§5.3 of the paper adds two optimizations on top of the basic fused design:
+the recursion-formula permutation maps (§5.3.1) and the cooperative
+DMA + RMA access scheme (§5.3.2, which the paper says is essential because
+naive strided DMA reaches "less than 0.1 % of the peak performance" and
+"makes negative optimization").  This benchmark switches each ingredient
+off to measure its contribution, and also sweeps the fusion cap ``n`` to
+show how DMA traffic falls as the fused window grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import SecondarySlicer
+from repro.execution import ThreadLevelSimulator
+
+
+def _variant_rows(stem, sliced):
+    plan = SecondarySlicer(ldm_rank=13).plan(stem, process_sliced=sliced)
+    variants = {
+        "step-by-step": (ThreadLevelSimulator(), None),
+        "fused (full design)": (ThreadLevelSimulator(), plan),
+        "fused, naive strided DMA": (ThreadLevelSimulator(cooperative_dma=False), plan),
+        "fused, in-situ permutation maps": (
+            ThreadLevelSimulator(reduced_permutation_maps=False),
+            plan,
+        ),
+    }
+    rows = []
+    for label, (simulator, maybe_plan) in variants.items():
+        if maybe_plan is None:
+            timing = simulator.simulate_step_by_step(stem, sliced)
+        else:
+            timing = simulator.simulate_fused(maybe_plan, sliced)
+        rows.append(
+            {
+                "variant": label,
+                "memory_access_s": timing.memory_access_seconds,
+                "rma_s": timing.rma_seconds,
+                "permutation_s": timing.permutation_seconds,
+                "gemm_s": timing.gemm_seconds,
+                "total_s": timing.total_seconds,
+            }
+        )
+    return rows
+
+
+def _fusion_sweep_rows(stem, sliced, caps):
+    rows = []
+    for cap in caps:
+        plan = SecondarySlicer(ldm_rank=13, max_fused_steps=cap).plan(
+            stem, process_sliced=sliced
+        )
+        rows.append(
+            {
+                "max_fused_steps": cap if cap is not None else 0,
+                "avg_fused_steps": plan.average_fused_steps,
+                "groups": plan.num_groups,
+                "dma_transfers": plan.dma_transfers_fused(),
+                "dma_gbytes": plan.bytes_moved_fused() / 1e9,
+                "arithmetic_intensity": plan.arithmetic_intensity_fused(),
+            }
+        )
+    return rows
+
+
+def test_ablation_fused_ingredients(benchmark, sycamore_stem, sycamore_slicing, record_result):
+    rows = benchmark.pedantic(
+        _variant_rows, args=(sycamore_stem, sycamore_slicing.sliced), rounds=1, iterations=1
+    )
+    text = format_table(
+        rows,
+        title=(
+            "ABL-FUSION(a): per-subtask time of fused-design variants "
+            "(paper: naive strided DMA is a negative optimization)"
+        ),
+        precision=4,
+    )
+    record_result("ablation_fusion_ingredients", text)
+
+    by_label = {row["variant"]: row for row in rows}
+    full = by_label["fused (full design)"]
+    naive_dma = by_label["fused, naive strided DMA"]
+    in_situ = by_label["fused, in-situ permutation maps"]
+    step = by_label["step-by-step"]
+    assert full["total_s"] <= step["total_s"] * 1.05
+    assert naive_dma["memory_access_s"] > full["memory_access_s"] * 5
+    assert naive_dma["total_s"] > step["total_s"], "naive DMA must be a negative optimization"
+    assert in_situ["permutation_s"] > full["permutation_s"] * 5
+
+
+def test_ablation_fusion_length_sweep(benchmark, sycamore_stem, sycamore_slicing, record_result):
+    caps = (1, 2, 4, 8, None)
+    rows = benchmark.pedantic(
+        _fusion_sweep_rows, args=(sycamore_stem, sycamore_slicing.sliced, caps), rounds=1, iterations=1
+    )
+    text = format_table(
+        rows,
+        title="ABL-FUSION(b): DMA traffic and arithmetic intensity vs fused-window cap n",
+        precision=4,
+    )
+    record_result("ablation_fusion_sweep", text)
+
+    transfers = [row["dma_transfers"] for row in rows]
+    assert transfers == sorted(transfers, reverse=True), "longer fusion → fewer DMA transfers"
+    intensities = [row["arithmetic_intensity"] for row in rows]
+    assert intensities[-1] >= intensities[0]

@@ -1,0 +1,87 @@
+"""ABL-REFINER — Ablation of the slicing pipeline's stages.
+
+Not a single figure of the paper, but the decomposition its §4 implies:
+Algorithm 1 alone finds a small slicing set, Algorithm 2 lowers its overhead
+at fixed size, and the greedy baseline is the reference point.  This
+benchmark quantifies each stage's contribution on the benchmark workload so
+the design choices called out in DESIGN.md have a measured justification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    GreedySliceBaseline,
+    LifetimeSliceFinder,
+    SimulatedAnnealingSliceRefiner,
+)
+
+
+def _ablation_rows(tree, stem, model, target_rank):
+    finder_only = LifetimeSliceFinder(target_rank).find(tree, stem=stem, cost_model=model)
+    refined = SimulatedAnnealingSliceRefiner(seed=0).refine(
+        tree, finder_only.sliced, target_rank, cost_model=model
+    )
+    baseline = GreedySliceBaseline(target_rank).find(tree, cost_model=model)
+    baseline_refined = SimulatedAnnealingSliceRefiner(seed=0).refine(
+        tree, baseline.sliced, target_rank, cost_model=model
+    )
+    rows = []
+    for label, result in (
+        ("greedy baseline (cotengra-style)", baseline),
+        ("greedy baseline + Alg.2 refiner", baseline_refined),
+        ("Alg.1 lifetime finder only", finder_only),
+        ("Alg.1 + Alg.2 (full pipeline)", refined),
+    ):
+        rows.append(
+            {
+                "strategy": label,
+                "num_sliced": result.num_sliced,
+                "num_subtasks": result.num_subtasks,
+                "overhead": result.overhead,
+                "log10_total_cost": result.log10_total_cost,
+                "max_rank": result.max_rank,
+                "meets_target": result.satisfies_target,
+            }
+        )
+    return rows
+
+
+def test_ablation_refiner(
+    benchmark,
+    sycamore_tree,
+    sycamore_stem,
+    sycamore_cost_model,
+    bench_target_rank,
+    record_result,
+):
+    rows = benchmark.pedantic(
+        _ablation_rows,
+        args=(sycamore_tree, sycamore_stem, sycamore_cost_model, bench_target_rank),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        rows,
+        title=(
+            f"ABL-REFINER: slicing pipeline ablation at target rank {bench_target_rank} "
+            "(the refiner is a general post-process: it improves both starting points)"
+        ),
+        precision=5,
+    )
+    record_result("ablation_refiner", text)
+
+    by_label = {row["strategy"]: row for row in rows}
+    full = by_label["Alg.1 + Alg.2 (full pipeline)"]
+    finder = by_label["Alg.1 lifetime finder only"]
+    baseline = by_label["greedy baseline (cotengra-style)"]
+    baseline_refined = by_label["greedy baseline + Alg.2 refiner"]
+
+    assert all(row["meets_target"] for row in rows)
+    # the refiner never regresses either starting point
+    assert full["overhead"] <= finder["overhead"] * (1 + 1e-9)
+    assert baseline_refined["overhead"] <= baseline["overhead"] * (1 + 1e-9)
+    # and the full pipeline is competitive with the baseline
+    assert full["num_sliced"] <= baseline["num_sliced"] + 1

@@ -1,0 +1,92 @@
+"""FIG11 — Strong and weak scaling of the sliced contraction.
+
+Paper artifact: Fig. 11, "Strong scaling results (65536 subtasks in total)
+and weak scaling results (16 subtasks on each node)".  Because slicing makes
+the subtasks embarrassingly parallel (one all-reduce at the end), both
+curves are nearly ideal on the real machine.
+
+The per-subtask execution time fed to the process-level scheduler comes from
+the thread-level simulator applied to the benchmark workload's fused plan,
+so the scaling curves regenerated here follow exactly the same pipeline as
+the paper's runs (plan → slice → fuse → distribute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import SecondarySlicer
+from repro.execution import (
+    ProcessScheduler,
+    ThreadLevelSimulator,
+    strong_scaling,
+    weak_scaling,
+)
+
+STRONG_SUBTASKS = 65536
+WEAK_SUBTASKS_PER_NODE = 16
+NODE_COUNTS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def scheduler(sycamore_stem, sycamore_slicing, sycamore_tree):
+    plan = SecondarySlicer(ldm_rank=13).plan(sycamore_stem, process_sliced=sycamore_slicing.sliced)
+    timing = ThreadLevelSimulator().simulate_fused(plan, sycamore_slicing.sliced)
+    stem_fraction = max(sycamore_stem.cost_fraction(), 1e-9)
+    subtask_seconds = timing.total_seconds / stem_fraction
+    subtask_flops = 8.0 * sycamore_tree.total_cost(sycamore_slicing.sliced) / max(
+        sycamore_slicing.num_subtasks, 1.0
+    )
+    return ProcessScheduler(subtask_seconds=subtask_seconds, subtask_flops=subtask_flops)
+
+
+def _point_row(point):
+    return {
+        "nodes": point.num_nodes,
+        "subtasks": point.num_subtasks,
+        "elapsed_s": point.elapsed_seconds,
+        "compute_s": point.compute_seconds,
+        "reduce_s": point.reduce_seconds,
+        "speedup": point.speedup,
+        "efficiency": point.efficiency,
+        "sustained_Tflops": point.sustained_flops / 1e12,
+    }
+
+
+def test_fig11_strong_scaling(benchmark, scheduler, record_result):
+    points = benchmark(
+        strong_scaling, scheduler, num_subtasks=STRONG_SUBTASKS, node_counts=NODE_COUNTS
+    )
+    rows = [_point_row(p) for p in points]
+    text = format_table(
+        rows,
+        title=f"FIG11a: strong scaling, {STRONG_SUBTASKS} subtasks (paper: near-ideal)",
+        precision=4,
+    )
+    record_result("fig11_strong_scaling", text)
+
+    times = [p.elapsed_seconds for p in points]
+    assert times == sorted(times, reverse=True), "strong scaling must reduce time"
+    assert points[-1].efficiency > 0.7, "strong scaling should stay near-ideal"
+
+
+def test_fig11_weak_scaling(benchmark, scheduler, record_result):
+    points = benchmark(
+        weak_scaling,
+        scheduler,
+        subtasks_per_node=WEAK_SUBTASKS_PER_NODE,
+        node_counts=NODE_COUNTS,
+    )
+    rows = [_point_row(p) for p in points]
+    text = format_table(
+        rows,
+        title=(
+            f"FIG11b: weak scaling, {WEAK_SUBTASKS_PER_NODE} subtasks per node "
+            "(paper: flat time, near-ideal efficiency)"
+        ),
+        precision=4,
+    )
+    record_result("fig11_weak_scaling", text)
+
+    assert all(p.efficiency > 0.7 for p in points), "weak scaling should stay near-ideal"

@@ -1,0 +1,97 @@
+"""FIG12 — Thread-level optimization by secondary slicing.
+
+Paper artifact: Fig. 12, "Optimization by secondary slicing at the thread
+level" — on a single node (390 cores), for tasks of different size on a
+contraction path, the per-component time (memory access / permutation /
+GEMM) of the step-by-step strategy is compared against the fused design.
+The paper's conclusions: memory-access time is largely reduced, permutation
+and GEMM stay similar, and in some cases the kernel turns compute-bound.
+
+This benchmark regenerates the breakdown for a sweep of task sizes (the
+process-level target rank, which controls the stem-tensor size a node has to
+handle) and times the fused simulation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import LifetimeSliceFinder, SecondarySlicer, SimulatedAnnealingSliceRefiner
+from repro.execution import ThreadLevelSimulator
+
+
+def _breakdown_for_target(tree, stem, model, target_rank):
+    finder = LifetimeSliceFinder(target_rank)
+    slicing = finder.find(tree, stem=stem, cost_model=model)
+    slicing = SimulatedAnnealingSliceRefiner(seed=0).refine(
+        tree, slicing.sliced, target_rank, cost_model=model
+    )
+    plan = SecondarySlicer(ldm_rank=13).plan(stem, process_sliced=slicing.sliced)
+    simulator = ThreadLevelSimulator()
+    step = simulator.simulate_step_by_step(stem, slicing.sliced)
+    fused = simulator.simulate_fused(plan, slicing.sliced)
+    return slicing, plan, step, fused
+
+
+def test_fig12_thread_level_breakdown(
+    benchmark, sycamore_tree, sycamore_stem, sycamore_cost_model, bench_target_rank, record_result
+):
+    max_rank = sycamore_tree.max_rank()
+    targets = sorted(
+        {max(bench_target_rank, 6), max(max_rank - 10, 6), max(max_rank - 5, 6), max_rank - 2}
+    )
+
+    def sweep():
+        rows = []
+        for target in targets:
+            slicing, plan, step, fused = _breakdown_for_target(
+                sycamore_tree, sycamore_stem, sycamore_cost_model, target
+            )
+            rows.append(
+                {
+                    "task_rank": target,
+                    "schedule": "step-by-step",
+                    "memory_access_s": step.memory_access_seconds,
+                    "rma_s": step.rma_seconds,
+                    "permutation_s": step.permutation_seconds,
+                    "gemm_s": step.gemm_seconds,
+                    "total_s": step.total_seconds,
+                    "fused_steps_avg": 1.0,
+                }
+            )
+            rows.append(
+                {
+                    "task_rank": target,
+                    "schedule": "fused",
+                    "memory_access_s": fused.memory_access_seconds,
+                    "rma_s": fused.rma_seconds,
+                    "permutation_s": fused.permutation_seconds,
+                    "gemm_s": fused.gemm_seconds,
+                    "total_s": fused.total_seconds,
+                    "fused_steps_avg": plan.average_fused_steps,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        title=(
+            "FIG12: thread-level time breakdown per subtask, step-by-step vs fused "
+            "(paper: memory access largely reduced, permutation and GEMM similar)"
+        ),
+        precision=4,
+    )
+    record_result("fig12_fused_breakdown", text)
+
+    # paper-shaped checks, per task size: fusion must not increase memory
+    # access time and must leave GEMM/permutation essentially unchanged
+    by_target = {}
+    for row in rows:
+        by_target.setdefault(row["task_rank"], {})[row["schedule"]] = row
+    for target, pair in by_target.items():
+        step, fused = pair["step-by-step"], pair["fused"]
+        assert fused["memory_access_s"] <= step["memory_access_s"] * 1.01
+        assert fused["gemm_s"] == pytest.approx(step["gemm_s"], rel=1e-6)
+        assert fused["total_s"] <= step["total_s"] * 1.05

@@ -1,0 +1,61 @@
+"""FIG6 — Per-step time complexity and slicing multiple along the stem.
+
+Paper artifact: Fig. 6, "Time complexity and multiple by slicing on stem
+(Sycamore m = 20)".  The figure plots, for every contraction step of the
+stem, the step's time complexity and the redundancy multiple caused by the
+chosen slicing set; the paper's point is that the computation-intensive
+middle of the stem keeps its complexity (multiple ≈ 1) while only the cheap
+ends are recomputed.
+
+This benchmark regenerates both series for our workload and times the
+underlying analysis (stem extraction + lifetime/overhead profile).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series
+from repro.core import extract_stem, stem_profile
+
+
+def _profile_rows(stem, sliced):
+    return stem_profile(stem, frozenset(sliced))
+
+
+def test_fig6_stem_complexity_profile(
+    benchmark, sycamore_tree, sycamore_stem, sycamore_slicing, record_result
+):
+    rows = benchmark(_profile_rows, sycamore_stem, sycamore_slicing.sliced)
+
+    positions = [row["position"] for row in rows]
+    series = {
+        "log2_step_cost": [row["log2_cost"] for row in rows],
+        "log2_cost_after_slicing": [row["log2_cost_sliced"] for row in rows],
+        "log2_redundancy_multiple": [row["log2_multiple"] for row in rows],
+        "stem_tensor_rank": [row["rank"] for row in rows],
+    }
+    text = format_series(
+        positions,
+        series,
+        x_label="stem_step",
+        title=(
+            "FIG6: stem complexity profile "
+            f"(|S| = {sycamore_slicing.num_sliced}, overhead = {sycamore_slicing.overhead:.3g})"
+        ),
+        precision=3,
+    )
+    record_result("fig6_stem_profile", text)
+
+    # sanity: the most expensive stem steps must keep a low redundancy multiple
+    peak_cost = max(row["log2_cost"] for row in rows)
+    peak_rows = [row for row in rows if row["log2_cost"] >= peak_cost - 1.0]
+    cheapest_multiple = min(row["log2_multiple"] for row in peak_rows)
+    overall_max_multiple = max(row["log2_multiple"] for row in rows)
+    assert cheapest_multiple <= overall_max_multiple
+
+
+def test_fig6_stem_extraction_speed(benchmark, sycamore_tree):
+    stem = benchmark(extract_stem, sycamore_tree)
+    assert stem.length > 0
+    assert stem.cost_fraction() > 0.5

@@ -1,0 +1,66 @@
+"""FIG7 — Overhead distribution over target sizes and storage levels.
+
+Paper artifact: Fig. 7, "Overhead distribution for different storage level"
+(Sycamore m = 20, original memory cost dozens of PBs; 96 GB main memory and
+256 KB LDM per CPE).  The figure shows the slicing overhead as a function of
+the target size, together with the line of equal overhead obtained by
+translating data-movement cost through the arithmetic intensity of each
+level; the takeaway is that slicing wins at the (slow) disk ↔ main-memory
+boundary while stacking wins at the (fast) main-memory ↔ LDM boundary.
+
+The benchmark sweeps the target rank, computes the slicing overhead and the
+stacking-equivalent overhead at both boundaries, and reports which strategy
+the §3.3 discriminant selects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import SliceStackAnalyzer
+
+
+def _distribution(analyzer, targets):
+    return analyzer.overhead_distribution(targets)
+
+
+def test_fig7_overhead_distribution(benchmark, sycamore_tree, record_result):
+    analyzer = SliceStackAnalyzer(sycamore_tree, slicer="lifetime")
+    max_rank = sycamore_tree.max_rank()
+    targets = [t for t in range(max_rank - 2, max_rank - 19, -4) if t >= 6]
+
+    rows = benchmark.pedantic(_distribution, args=(analyzer, targets), rounds=1, iterations=1)
+
+    for row in rows:
+        row["strategy_disk"] = (
+            "slice" if row["prefer_slice_disk_to_main_memory"] else "stack"
+        )
+        row["strategy_ldm"] = (
+            "slice" if row["prefer_slice_main_memory_to_ldm"] else "stack"
+        )
+    text = format_table(
+        rows,
+        columns=[
+            "target_rank",
+            "slicing_overhead",
+            "stacking_overhead_disk_to_main_memory",
+            "stacking_overhead_main_memory_to_ldm",
+            "strategy_disk",
+            "strategy_ldm",
+        ],
+        title="FIG7: slicing overhead vs stacking-equivalent overhead per storage boundary",
+        precision=4,
+    )
+    record_result("fig7_overhead_distribution", text)
+
+    # paper's qualitative claims:
+    #   (1) overhead grows as the target size shrinks,
+    overheads = [row["slicing_overhead"] for row in rows]
+    assert overheads == sorted(overheads), "overhead must grow as the target shrinks"
+    #   (2) the fast DMA boundary is always at least as stacking-friendly as slow IO
+    for row in rows:
+        assert (
+            row["stacking_overhead_main_memory_to_ldm"]
+            <= row["stacking_overhead_disk_to_main_memory"] + 1e-9
+        )

@@ -1,0 +1,113 @@
+"""TAB-HEADLINE — §6.2 headline numbers.
+
+Paper artifact (text of §6.2): using 1024 nodes, a perfect sample or 1 M
+correlated samples is generated in 10098.5 s; projected onto 107 520 nodes
+(41 932 800 cores) the time drops to 96.1 s and the sustained
+single-precision performance is 308.6 Pflop/s — more than 5× the 60.4
+Pflop/s of the 2021 Gordon Bell run.
+
+Two projections are regenerated:
+
+* ``paper-calibrated`` — the paper's own measured time and complexity, run
+  through our projection arithmetic (validates the model reproduces the
+  published 96.1 s / 308.6 Pflop/s / >5× numbers exactly);
+* ``our-workload`` — the full pipeline on the benchmark workload, end to
+  end (plan → slice → fuse → schedule), whose absolute numbers differ (our
+  substrate is an analytical model and our path optimizer is weaker than
+  cotengra+KaHyPar) but whose derivation is identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import SecondarySlicer
+from repro.execution import (
+    GORDON_BELL_2021_PFLOPS,
+    HeadlineProjection,
+    ProcessScheduler,
+    ThreadLevelSimulator,
+)
+
+MEASURED_NODES = 1024
+PROJECTED_NODES = 107_520
+NUM_CORRELATED_SAMPLES = 1_000_000
+
+
+def _paper_calibrated_projection():
+    """The paper's measured run fed through the projection arithmetic."""
+    return HeadlineProjection(
+        measured_nodes=MEASURED_NODES,
+        measured_seconds=10_098.5,
+        projected_nodes=PROJECTED_NODES,
+        # total useful flops implied by the paper's sustained rate and time
+        total_flops=308.6e15 * 96.1,
+    )
+
+
+def _our_workload_projection(stem, slicing, tree):
+    plan = SecondarySlicer(ldm_rank=13).plan(stem, process_sliced=slicing.sliced)
+    timing = ThreadLevelSimulator().simulate_fused(plan, slicing.sliced)
+    stem_fraction = max(stem.cost_fraction(), 1e-9)
+    subtask_seconds = timing.total_seconds / stem_fraction
+    total_flops = 8.0 * tree.total_cost(slicing.sliced)
+    subtask_flops = total_flops / max(slicing.num_subtasks, 1.0)
+    scheduler = ProcessScheduler(subtask_seconds=subtask_seconds, subtask_flops=subtask_flops)
+    measured_seconds = scheduler.elapsed_seconds(
+        int(round(slicing.num_subtasks)), MEASURED_NODES
+    )
+    return HeadlineProjection(
+        measured_nodes=MEASURED_NODES,
+        measured_seconds=measured_seconds,
+        projected_nodes=PROJECTED_NODES,
+        total_flops=total_flops,
+    )
+
+
+def test_headline_projection(
+    benchmark, sycamore_stem, sycamore_slicing, sycamore_tree, record_result
+):
+    paper = _paper_calibrated_projection()
+    ours = benchmark.pedantic(
+        _our_workload_projection,
+        args=(sycamore_stem, sycamore_slicing, sycamore_tree),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, projection in (("paper-calibrated", paper), ("our-workload", ours)):
+        summary = projection.summary()
+        summary = {"case": label, **summary}
+        rows.append(summary)
+    text = format_table(
+        rows,
+        columns=[
+            "case",
+            "measured_nodes",
+            "measured_seconds",
+            "projected_nodes",
+            "projected_cores",
+            "projected_seconds",
+            "sustained_pflops",
+            "speedup_over_gb2021",
+        ],
+        title=(
+            "TAB-HEADLINE: projection to the full machine "
+            "(paper: 10098.5 s @1024 nodes -> 96.1 s @107520 nodes, 308.6 Pflops, >5x GB2021)"
+        ),
+        precision=5,
+    )
+    record_result("headline_projection", text)
+
+    # the projection arithmetic itself must reproduce the published numbers
+    assert paper.projected_seconds == pytest.approx(96.1, abs=0.5)
+    assert paper.projected_cores == 41_932_800
+    assert paper.sustained_pflops == pytest.approx(308.6, rel=0.01)
+    assert paper.speedup_over_gordon_bell() > 5.0
+    assert GORDON_BELL_2021_PFLOPS == pytest.approx(60.4)
+    # our workload's projection must be internally consistent
+    assert ours.projected_seconds == pytest.approx(
+        ours.measured_seconds * MEASURED_NODES / PROJECTED_NODES
+    )

@@ -1,0 +1,83 @@
+"""Scenario 3 — verifying a noisy-hardware experiment with sliced TNC amplitudes.
+
+The practical use of a classical RQC simulator (per the paper's introduction)
+is validation: compute exact amplitudes for bitstrings sampled from a quantum
+processor and estimate the cross-entropy benchmarking (XEB) fidelity.  This
+example does exactly that on a circuit small enough to cross-check against
+the dense state-vector simulator:
+
+* sample "experimental" bitstrings from the ideal output distribution,
+* recompute each bitstring's amplitude with the sliced tensor-network
+  pipeline (one independent contraction per bitstring, each sliced into
+  subtasks — the structure of the paper's 1 M correlated samples run),
+* estimate the linear XEB fidelity and compare against the expectation for
+  an ideal device (≈ 1) and for a random guesser (≈ 0).
+
+Run with:  python examples/amplitude_verification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimulationPlanner
+from repro.analysis import format_table
+from repro.circuits import StateVectorSimulator, grid_circuit
+from repro.execution import SlicedExecutor
+from repro.tensornet import amplitude_network, simplify_network
+from repro.paths import HyperOptimizer
+
+
+def main(num_samples: int = 12) -> None:
+    circuit = grid_circuit(rows=3, cols=3, cycles=8, seed=11)
+    n = circuit.num_qubits
+    dim = 2**n
+
+    # "experimental" samples: drawn from the ideal distribution (a perfect device)
+    reference = StateVectorSimulator(n).run(circuit)
+    samples = reference.sample(num_samples, seed=4)
+    random_samples = np.random.default_rng(5).integers(0, 2, size=(num_samples, n))
+
+    planner = SimulationPlanner(target_rank=8, ldm_rank=5, max_trials=6, seed=1)
+
+    def tnc_probability(bits) -> float:
+        """Probability |<bits|C|0...0>|^2 via the sliced TNC pipeline."""
+        network = amplitude_network(circuit, list(bits), concrete=True)
+        report = simplify_network(network)
+        tree = HyperOptimizer(max_trials=4, minimize="combo", memory_target_rank=8, seed=2).search(
+            network
+        )
+        plan = planner.plan_tree(network, tree, scalar_prefactor=report.scalar_prefactor)
+        executor = SlicedExecutor(network, tree, plan.slicing.sliced)
+        amp = executor.amplitude() * report.scalar_prefactor
+        return float(abs(amp) ** 2)
+
+    rows = []
+    device_probs = []
+    for i, bits in enumerate(samples):
+        p_tnc = tnc_probability(bits)
+        p_ref = float(np.abs(reference.amplitude(bits)) ** 2)
+        device_probs.append(p_tnc)
+        rows.append(
+            {
+                "bitstring": "".join(str(b) for b in bits),
+                "p_tnc": p_tnc,
+                "p_statevector": p_ref,
+                "abs_error": abs(p_tnc - p_ref),
+            }
+        )
+    print(format_table(rows, title="sampled bitstrings: sliced-TNC vs state-vector probabilities", precision=5))
+
+    random_probs = [tnc_probability(bits) for bits in random_samples]
+
+    # linear XEB fidelity: F = D * <p(sampled)> - 1
+    xeb_device = dim * float(np.mean(device_probs)) - 1.0
+    xeb_random = dim * float(np.mean(random_probs)) - 1.0
+    print(f"\nlinear XEB of ideal-device samples : {xeb_device:+.3f}   (expected ≈ +1 for an ideal device)")
+    print(f"linear XEB of uniform random guesses: {xeb_random:+.3f}   (expected ≈ 0)")
+    max_err = max(row["abs_error"] for row in rows)
+    print(f"worst |p_tnc - p_statevector| over the batch: {max_err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

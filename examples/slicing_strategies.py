@@ -1,0 +1,92 @@
+"""Scenario 2 — choosing between slicing and stacking on a storage hierarchy.
+
+The paper's §3.3 decision: on each boundary of the disk → main-memory → LDM
+hierarchy, should the memory bound be met by slicing (redundant computation)
+or stacking (streaming data through the boundary)?  This example sweeps the
+target size on a mid-size RQC, prints the Fig. 7-style overhead distribution,
+and shows how the recommended strategy flips between the slow IO boundary
+and the fast DMA boundary — plus what the lifetime machinery says about each
+candidate edge.
+
+Run with:  python examples/slicing_strategies.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.circuits import grid_circuit
+from repro.core import (
+    LifetimeSliceFinder,
+    SliceStackAnalyzer,
+    SlicingCostModel,
+    compute_lifetimes,
+    extract_stem,
+)
+from repro.paths import HyperOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+
+def main() -> None:
+    circuit = grid_circuit(rows=5, cols=6, cycles=10, seed=3)
+    network = amplitude_network(circuit, [0] * circuit.num_qubits, concrete=False)
+    simplify_network(network)
+    tree = HyperOptimizer(max_trials=8, seed=0).search(network)
+    print(
+        f"workload: {circuit.num_qubits}-qubit grid RQC, "
+        f"{network.num_tensors} tensors, log10 flops {tree.log10_total_cost():.2f}, "
+        f"peak rank {tree.max_rank()}"
+    )
+
+    # --- lifetime ranking of the stem's edges -----------------------------
+    stem = extract_stem(tree)
+    lifetimes = compute_lifetimes(tree, edges=stem.edges())
+    ranked = sorted(lifetimes.values(), key=lambda lt: -lt.length)[:10]
+    print(
+        format_table(
+            [
+                {"edge": lt.edge, "lifetime_length": lt.length, "on_stem": len(lt.restricted_to(set(stem.nodes)))}
+                for lt in ranked
+            ],
+            title="\nlongest-lifetime edges (the slice finder's favourite candidates)",
+        )
+    )
+
+    # --- overhead distribution and the slice-or-stack decision ------------
+    analyzer = SliceStackAnalyzer(tree, slicer="lifetime")
+    max_rank = tree.max_rank()
+    targets = [t for t in range(max_rank - 1, max_rank - 14, -3) if t >= 5]
+    rows = analyzer.overhead_distribution(targets)
+    for row in rows:
+        row["disk_boundary"] = "slice" if row["prefer_slice_disk_to_main_memory"] else "stack"
+        row["ldm_boundary"] = "slice" if row["prefer_slice_main_memory_to_ldm"] else "stack"
+    print(
+        format_table(
+            rows,
+            columns=[
+                "target_rank",
+                "slicing_overhead",
+                "stacking_overhead_disk_to_main_memory",
+                "stacking_overhead_main_memory_to_ldm",
+                "disk_boundary",
+                "ldm_boundary",
+            ],
+            title="\noverhead distribution across target sizes (Fig. 7 analogue)",
+        )
+    )
+
+    # --- what the chosen slicing looks like at one target ------------------
+    target = max(max_rank - 6, 5)
+    model = SlicingCostModel(tree)
+    result = LifetimeSliceFinder(target).find(tree, cost_model=model)
+    print(
+        f"\nat target rank {target}: slice {result.num_sliced} edges "
+        f"-> {result.num_subtasks:.0f} independent subtasks, overhead {result.overhead:.3f}"
+    )
+    print(
+        "paper's rule of thumb: slice across the slow IO boundary, "
+        "stack (fuse) across the fast DMA boundary — compare the two strategy columns above."
+    )
+
+
+if __name__ == "__main__":
+    main()

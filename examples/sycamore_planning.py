@@ -1,0 +1,114 @@
+"""Scenario 1 — planning the Sycamore RQC verification workload.
+
+The paper's motivating workload: computing amplitudes of Google's Sycamore
+random circuits to validate "quantum advantage" claims.  The 53-qubit network
+is far too large to execute numerically on a laptop, so everything here runs
+on the *abstract* (planning-only) network — exactly what the production
+pipeline does before launching the machine-scale run:
+
+* convert + simplify the circuit's tensor network,
+* search for a contraction tree (recursive bisection + SA refinement),
+* extract the stem and compare the lifetime slicing pipeline against the
+  cotengra-style greedy baseline,
+* plan the fused thread-level execution and project wall time / sustained
+  Pflop/s on the Sunway model.
+
+Run with:  python examples/sycamore_planning.py [cycles]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import format_kv, format_table, stem_summary, tree_summary
+from repro.circuits import sycamore_circuit
+from repro.core import (
+    GreedySliceBaseline,
+    LifetimeSliceFinder,
+    SecondarySlicer,
+    SimulatedAnnealingSliceRefiner,
+    SlicingCostModel,
+    extract_stem,
+)
+from repro.execution import ProcessScheduler, ThreadLevelSimulator
+from repro.paths import PartitionOptimizer, TreeAnnealer
+from repro.tensornet import amplitude_network, simplify_network
+
+
+def main(cycles: int = 12) -> None:
+    print(f"building Sycamore-style circuit, 53 qubits, m = {cycles} cycles ...")
+    circuit = sycamore_circuit(cycles=cycles, seed=0)
+    network = amplitude_network(circuit, [0] * circuit.num_qubits, concrete=False)
+    report = simplify_network(network)
+    print(
+        f"tensor network: {report.initial_tensors} -> {network.num_tensors} tensors "
+        f"after rank-1/rank-2 absorption, {len(network.indices)} edges"
+    )
+
+    print("\nsearching for a contraction tree (recursive bisection + SA refinement) ...")
+    tree = PartitionOptimizer(seed=0).tree(network)
+    tree = TreeAnnealer(seed=1, initial_temperature=0.1, cooling=0.9).refine(tree).tree
+    print(format_kv(tree_summary(tree), title="contraction tree"))
+
+    stem = extract_stem(tree)
+    print(format_kv(stem_summary(stem), title="\nstem"))
+
+    target = max(tree.max_rank() - 7, 10)
+    model = SlicingCostModel(tree)
+    print(f"\nslicing to target rank {target} (fits one node's united main memory) ...")
+    ours = LifetimeSliceFinder(target).find(tree, stem=stem, cost_model=model)
+    ours = SimulatedAnnealingSliceRefiner(seed=0).refine(tree, ours.sliced, target, cost_model=model)
+    baseline = GreedySliceBaseline(target).find(tree, cost_model=model)
+    print(
+        format_table(
+            [
+                {
+                    "strategy": "lifetime finder + SA refiner (ours)",
+                    "sliced_edges": ours.num_sliced,
+                    "subtasks": ours.num_subtasks,
+                    "overhead": ours.overhead,
+                },
+                {
+                    "strategy": "greedy baseline (cotengra-style)",
+                    "sliced_edges": baseline.num_sliced,
+                    "subtasks": baseline.num_subtasks,
+                    "overhead": baseline.overhead,
+                },
+            ],
+            title="slicing strategies",
+        )
+    )
+
+    print("\nplanning the fused thread-level execution (secondary slicing) ...")
+    plan = SecondarySlicer(ldm_rank=13).plan(stem, process_sliced=ours.sliced)
+    simulator = ThreadLevelSimulator()
+    step = simulator.simulate_step_by_step(stem, ours.sliced)
+    fused = simulator.simulate_fused(plan, ours.sliced)
+    print(
+        format_table(
+            [
+                {"schedule": "step-by-step", **{k: round(v, 4) for k, v in step.breakdown().items()}},
+                {"schedule": "fused", **{k: round(v, 4) for k, v in fused.breakdown().items()}},
+            ],
+            title="thread-level time breakdown per subtask (seconds, modelled)",
+        )
+    )
+    print(
+        f"arithmetic intensity: {step.arithmetic_intensity:.2f} -> {fused.arithmetic_intensity:.2f} "
+        f"flop/byte (gain {fused.arithmetic_intensity / step.arithmetic_intensity:.1f}x)"
+    )
+
+    subtask_seconds = fused.total_seconds / max(stem.cost_fraction(), 1e-9)
+    total_flops = 8.0 * tree.total_cost(ours.sliced)
+    scheduler = ProcessScheduler(
+        subtask_seconds=subtask_seconds,
+        subtask_flops=total_flops / max(ours.num_subtasks, 1.0),
+    )
+    for nodes in (1024, 107_520):
+        elapsed = scheduler.elapsed_seconds(int(ours.num_subtasks), nodes)
+        pflops = scheduler.sustained_flops(int(ours.num_subtasks), nodes) / 1e15
+        print(f"projected on {nodes:>7} nodes: {elapsed:12.1f} s, {pflops:8.3f} Pflop/s sustained")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package (``pip install -e .`` falls back
+to the legacy ``setup.py develop`` code path there).
+"""
+
+from setuptools import setup
+
+setup()

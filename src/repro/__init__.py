@@ -1,0 +1,37 @@
+"""repro — Lifetime-based optimization for sliced tensor-network quantum circuit simulation.
+
+A faithful Python reproduction of "Lifetime-based Optimization for
+Simulating Quantum Circuits on a New Sunway Supercomputer" (PPoPP 2023):
+quantum-circuit and tensor-network substrates, contraction-path search,
+lifetime-based slicing (slice finder + SA refiner), the slice-or-stack
+discriminant, secondary slicing with fused thread-level execution, an
+analytical SW26010pro performance model, and the benchmark harness that
+regenerates every figure of the paper's evaluation.
+
+Quick start
+-----------
+>>> from repro import SimulationPlanner
+>>> from repro.circuits import grid_circuit
+>>> planner = SimulationPlanner(target_rank=20, ldm_rank=10, seed=0)
+>>> plan = planner.plan_circuit(grid_circuit(4, 4, cycles=8, seed=1))
+>>> plan.slicing.overhead  # doctest: +SKIP
+1.03
+"""
+
+from . import analysis, circuits, core, execution, hardware, paths, tensornet
+from .pipeline import SimulationPlan, SimulationPlanner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "circuits",
+    "core",
+    "execution",
+    "hardware",
+    "paths",
+    "tensornet",
+    "SimulationPlan",
+    "SimulationPlanner",
+    "__version__",
+]

@@ -1,0 +1,96 @@
+"""Plain-text table / series formatting for the benchmark harness.
+
+The benchmark scripts print the same rows and series that the paper's
+figures show; these helpers keep that formatting in one place so the output
+of ``pytest benchmarks/ --benchmark-only`` reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv", "summarize_distribution"]
+
+
+def _format_cell(value: object, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, ""), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render aligned (x, y1, y2, ...) series — the textual form of a figure."""
+    rows = []
+    for i, xv in enumerate(x):
+        row: Dict[str, object] = {x_label: xv}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else math.nan
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title, precision=precision)
+
+
+def format_kv(values: Mapping[str, object], title: Optional[str] = None, precision: int = 4) -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in values), default=0)
+    for key, value in values.items():
+        lines.append(f"  {key.ljust(width)} : {_format_cell(value, precision)}")
+    return "\n".join(lines)
+
+
+def summarize_distribution(values: Sequence[float]) -> Dict[str, float]:
+    """Min / median / mean / max / fraction-below-one summary of a sample."""
+    if not values:
+        return {"count": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    median = ordered[mid] if n % 2 == 1 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    return {
+        "count": float(n),
+        "min": float(ordered[0]),
+        "median": float(median),
+        "mean": float(sum(ordered) / n),
+        "max": float(ordered[-1]),
+    }

@@ -1,0 +1,49 @@
+"""Quantum-circuit substrate: gates, circuit IR, RQC generators, reference simulator."""
+
+from .gates import (
+    Gate,
+    GateDefinitionError,
+    available_gates,
+    gate_matrix,
+    gate_tensor,
+    is_diagonal_gate,
+    register_gate,
+)
+from .circuit import Circuit, CircuitError, Moment
+from .random_circuits import (
+    GridSpec,
+    grid_circuit,
+    grid_coupling_map,
+    random_brickwork_circuit,
+    sycamore_circuit,
+    sycamore_coupling_map,
+)
+from .statevector import (
+    StateVectorSimulator,
+    amplitude,
+    sample_bitstrings,
+    simulate_statevector,
+)
+
+__all__ = [
+    "Gate",
+    "GateDefinitionError",
+    "available_gates",
+    "gate_matrix",
+    "gate_tensor",
+    "is_diagonal_gate",
+    "register_gate",
+    "Circuit",
+    "CircuitError",
+    "Moment",
+    "GridSpec",
+    "grid_circuit",
+    "grid_coupling_map",
+    "random_brickwork_circuit",
+    "sycamore_circuit",
+    "sycamore_coupling_map",
+    "StateVectorSimulator",
+    "amplitude",
+    "sample_bitstrings",
+    "simulate_statevector",
+]

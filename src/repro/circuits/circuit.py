@@ -1,0 +1,242 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+operations on ``num_qubits`` qubits.  The representation is deliberately
+minimal — the TNC simulator never needs classical control flow — but it keeps
+enough structure (moments, per-qubit wire history) for the circuit→tensor
+network converter and the state-vector reference simulator to stay simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .gates import Gate, GateDefinitionError
+
+__all__ = ["Circuit", "Moment", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuit operations."""
+
+
+@dataclass(frozen=True)
+class Moment:
+    """A set of gates that act on disjoint qubits and can run concurrently."""
+
+    gates: Tuple[Gate, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for gate in self.gates:
+            for q in gate.qubits:
+                if q in seen:
+                    raise CircuitError(
+                        f"moment has overlapping gates on qubit {q}"
+                    )
+                seen.add(q)
+
+    @property
+    def qubits(self) -> frozenset[int]:
+        """All qubits touched by this moment."""
+        return frozenset(q for g in self.gates for q in g.qubits)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+class Circuit:
+    """An ordered sequence of gates on a fixed qubit register.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the qubit register.  Qubit indices run ``0..num_qubits-1``.
+    gates:
+        Optional initial gate sequence.
+
+    Examples
+    --------
+    >>> from repro.circuits import Circuit, Gate
+    >>> c = Circuit(2)
+    >>> c.add_gate(Gate("h", (0,)))
+    >>> c.add_gate(Gate("cx", (0, 1)))
+    >>> c.num_gates
+    2
+    """
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()) -> None:
+        if num_qubits <= 0:
+            raise CircuitError("num_qubits must be positive")
+        self._num_qubits = int(num_qubits)
+        self._gates: List[Gate] = []
+        for gate in gates:
+            self.add_gate(gate)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gate(self, gate: Gate) -> "Circuit":
+        """Append ``gate``; returns ``self`` for chaining."""
+        for q in gate.qubits:
+            if not 0 <= q < self._num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self._num_qubits}-qubit circuit"
+                )
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Sequence[float] = ()) -> "Circuit":
+        """Convenience wrapper: ``circuit.add("cz", 0, 1)``."""
+        return self.add_gate(Gate(name, tuple(qubits), tuple(params)))
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Append every gate of ``gates``."""
+        for gate in gates:
+            self.add_gate(gate)
+        return self
+
+    def copy(self) -> "Circuit":
+        """Shallow copy (gates are immutable)."""
+        return Circuit(self._num_qubits, self._gates)
+
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit (gates reversed and daggered)."""
+        inv = Circuit(self._num_qubits)
+        for gate in reversed(self._gates):
+            inv.add_gate(gate.dagger())
+        return inv
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Register size."""
+        return self._num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gates."""
+        return len(self._gates)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """Immutable view of the gate sequence."""
+        return tuple(self._gates)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (the entangling cost of the circuit)."""
+        return sum(1 for g in self._gates if g.num_qubits == 2)
+
+    def depth(self) -> int:
+        """Circuit depth: number of moments after greedy left-alignment."""
+        return len(self.moments())
+
+    def qubits_used(self) -> frozenset[int]:
+        """The set of qubits touched by at least one gate."""
+        return frozenset(q for g in self._gates for q in g.qubits)
+
+    def moments(self) -> List[Moment]:
+        """Greedily pack gates into moments preserving per-qubit order."""
+        frontier: Dict[int, int] = {}
+        buckets: List[List[Gate]] = []
+        for gate in self._gates:
+            level = max((frontier.get(q, 0) for q in gate.qubits), default=0)
+            while len(buckets) <= level:
+                buckets.append([])
+            buckets[level].append(gate)
+            for q in gate.qubits:
+                frontier[q] = level + 1
+        return [Moment(tuple(b)) for b in buckets if b]
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def interaction_graph(self) -> Dict[Tuple[int, int], int]:
+        """Count of two-qubit interactions per qubit pair (sorted pairs)."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for gate in self._gates:
+            if gate.num_qubits == 2:
+                pair = tuple(sorted(gate.qubits))  # type: ignore[assignment]
+                counts[pair] = counts.get(pair, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits and self._gates == other._gates
+        )
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("cannot concatenate circuits of different width")
+        combined = self.copy()
+        combined.extend(other.gates)
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit(num_qubits={self._num_qubits}, num_gates={len(self._gates)}, "
+            f"depth={self.depth()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Dense unitary (small circuits only; used by tests)
+    # ------------------------------------------------------------------
+    def unitary(self, max_qubits: int = 12) -> np.ndarray:
+        """Return the full ``2^n x 2^n`` unitary of the circuit.
+
+        Only intended for correctness checks on small circuits; refuses to
+        build matrices beyond ``max_qubits`` qubits.
+        """
+        if self._num_qubits > max_qubits:
+            raise CircuitError(
+                f"refusing to build a dense unitary on {self._num_qubits} qubits"
+            )
+        dim = 2**self._num_qubits
+        u = np.eye(dim, dtype=np.complex128)
+        for gate in self._gates:
+            u = _apply_gate_to_matrix(u, gate, self._num_qubits)
+        return u
+
+
+def _apply_gate_to_matrix(u: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Left-multiply ``u`` by the full-register embedding of ``gate``."""
+    tensor = u.reshape((2,) * num_qubits + (u.shape[1],))
+    g = gate.tensor()
+    if gate.num_qubits == 1:
+        (q,) = gate.qubits
+        tensor = np.tensordot(g, tensor, axes=([1], [q]))
+        tensor = np.moveaxis(tensor, 0, q)
+    else:
+        q0, q1 = gate.qubits
+        tensor = np.tensordot(g, tensor, axes=([2, 3], [q0, q1]))
+        tensor = np.moveaxis(tensor, (0, 1), (q0, q1))
+    return tensor.reshape(u.shape)

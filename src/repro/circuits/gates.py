@@ -1,0 +1,454 @@
+"""Quantum gate library.
+
+The tensor-network contraction (TNC) simulator treats every gate as a small
+complex tensor.  A one-qubit gate is a ``(2, 2)`` matrix, a two-qubit gate a
+``(2, 2, 2, 2)`` tensor whose axes are ordered ``(out_0, out_1, in_0, in_1)``.
+The gate set implemented here covers everything that appears in
+Sycamore-style random quantum circuits (RQCs) — ``sqrt(X)``, ``sqrt(Y)``,
+``sqrt(W)``, ``fSim`` and ``iSWAP``-like couplers — together with the
+textbook Clifford+T set used by the examples and the correctness tests.
+
+All matrices are returned as fresh ``numpy.ndarray`` objects of dtype
+``complex128`` so callers may mutate them freely.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "GateDefinitionError",
+    "gate_matrix",
+    "gate_tensor",
+    "available_gates",
+    "register_gate",
+    "is_diagonal_gate",
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "SY",
+    "SW",
+    "RX",
+    "RY",
+    "RZ",
+    "U3",
+    "CZ",
+    "CX",
+    "CNOT",
+    "SWAP",
+    "ISWAP",
+    "SQRT_ISWAP",
+    "FSIM",
+    "CPHASE",
+]
+
+
+class GateDefinitionError(ValueError):
+    """Raised when a gate name is unknown or its parameters are invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Primitive matrices
+# ---------------------------------------------------------------------------
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def I() -> np.ndarray:
+    """Identity."""
+    return np.eye(2, dtype=np.complex128)
+
+
+def X() -> np.ndarray:
+    """Pauli-X."""
+    return np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+
+def Y() -> np.ndarray:
+    """Pauli-Y."""
+    return np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+
+def Z() -> np.ndarray:
+    """Pauli-Z."""
+    return np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+def H() -> np.ndarray:
+    """Hadamard."""
+    return np.array([[1, 1], [1, -1]], dtype=np.complex128) * _SQRT2_INV
+
+
+def S() -> np.ndarray:
+    """Phase gate ``diag(1, i)``."""
+    return np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+
+
+def SDG() -> np.ndarray:
+    """Inverse phase gate ``diag(1, -i)``."""
+    return np.array([[1, 0], [0, -1j]], dtype=np.complex128)
+
+
+def T() -> np.ndarray:
+    """T gate ``diag(1, e^{i pi/4})``."""
+    return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=np.complex128)
+
+
+def TDG() -> np.ndarray:
+    """Inverse T gate."""
+    return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=np.complex128)
+
+
+def SX() -> np.ndarray:
+    """Square root of X (used in Sycamore single-qubit layers)."""
+    return 0.5 * np.array(
+        [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=np.complex128
+    )
+
+
+def SY() -> np.ndarray:
+    """Square root of Y (used in Sycamore single-qubit layers)."""
+    return 0.5 * np.array(
+        [[1 + 1j, -1 - 1j], [1 + 1j, 1 + 1j]], dtype=np.complex128
+    )
+
+
+def SW() -> np.ndarray:
+    """Square root of W where ``W = (X + Y) / sqrt(2)`` (Sycamore)."""
+    return 0.5 * np.array(
+        [
+            [1 + 1j, -math.sqrt(2) * 1j],
+            [math.sqrt(2), 1 + 1j],
+        ],
+        dtype=np.complex128,
+    ) * cmath.exp(-1j * math.pi / 4)
+
+
+def RX(theta: float) -> np.ndarray:
+    """Rotation about X by angle ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def RY(theta: float) -> np.ndarray:
+    """Rotation about Y by angle ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def RZ(theta: float) -> np.ndarray:
+    """Rotation about Z by angle ``theta``."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
+        dtype=np.complex128,
+    )
+
+
+def U3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit unitary with three Euler angles."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit gates (returned as 4x4 matrices; axis order |q0 q1>)
+# ---------------------------------------------------------------------------
+
+
+def CZ() -> np.ndarray:
+    """Controlled-Z."""
+    m = np.eye(4, dtype=np.complex128)
+    m[3, 3] = -1.0
+    return m
+
+
+def CX() -> np.ndarray:
+    """Controlled-X with qubit 0 as control."""
+    m = np.eye(4, dtype=np.complex128)
+    m[2, 2] = m[3, 3] = 0.0
+    m[2, 3] = m[3, 2] = 1.0
+    return m
+
+
+def CNOT() -> np.ndarray:
+    """Alias of :func:`CX`."""
+    return CX()
+
+
+def SWAP() -> np.ndarray:
+    """Swap the two qubits."""
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = m[3, 3] = 1.0
+    m[1, 2] = m[2, 1] = 1.0
+    return m
+
+
+def ISWAP() -> np.ndarray:
+    """iSWAP: swap with an ``i`` phase on the exchanged states."""
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = m[3, 3] = 1.0
+    m[1, 2] = m[2, 1] = 1j
+    return m
+
+
+def SQRT_ISWAP() -> np.ndarray:
+    """Square root of iSWAP."""
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = m[3, 3] = 1.0
+    m[1, 1] = m[2, 2] = _SQRT2_INV
+    m[1, 2] = m[2, 1] = 1j * _SQRT2_INV
+    return m
+
+
+def FSIM(theta: float, phi: float) -> np.ndarray:
+    """Google fSim gate.
+
+    ``fSim(theta, phi)`` performs a partial iSWAP by angle ``theta`` and a
+    controlled phase ``phi`` on the ``|11>`` state.  Sycamore uses
+    ``theta ~= pi/2`` and ``phi ~= pi/6``.
+    """
+    c, s = math.cos(theta), math.sin(theta)
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = 1.0
+    m[1, 1] = c
+    m[1, 2] = -1j * s
+    m[2, 1] = -1j * s
+    m[2, 2] = c
+    m[3, 3] = cmath.exp(-1j * phi)
+    return m
+
+
+def CPHASE(phi: float) -> np.ndarray:
+    """Controlled phase gate ``diag(1, 1, 1, e^{i phi})``."""
+    m = np.eye(4, dtype=np.complex128)
+    m[3, 3] = cmath.exp(1j * phi)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Gate registry
+# ---------------------------------------------------------------------------
+
+_GATE_BUILDERS: Dict[str, Tuple[Callable[..., np.ndarray], int, int]] = {
+    # name: (builder, num_qubits, num_params)
+    "i": (I, 1, 0),
+    "id": (I, 1, 0),
+    "x": (X, 1, 0),
+    "y": (Y, 1, 0),
+    "z": (Z, 1, 0),
+    "h": (H, 1, 0),
+    "s": (S, 1, 0),
+    "sdg": (SDG, 1, 0),
+    "t": (T, 1, 0),
+    "tdg": (TDG, 1, 0),
+    "sx": (SX, 1, 0),
+    "sy": (SY, 1, 0),
+    "sw": (SW, 1, 0),
+    "rx": (RX, 1, 1),
+    "ry": (RY, 1, 1),
+    "rz": (RZ, 1, 1),
+    "u3": (U3, 1, 3),
+    "cz": (CZ, 2, 0),
+    "cx": (CX, 2, 0),
+    "cnot": (CNOT, 2, 0),
+    "swap": (SWAP, 2, 0),
+    "iswap": (ISWAP, 2, 0),
+    "sqrt_iswap": (SQRT_ISWAP, 2, 0),
+    "fsim": (FSIM, 2, 2),
+    "cphase": (CPHASE, 2, 1),
+}
+
+# Gates whose matrix is diagonal in the computational basis.  Diagonal
+# two-qubit gates produce rank-2 tensors in the tensor network (a single
+# shared edge with a weight-2 "copy" structure) and are absorbed by the
+# simplification pass, so the converter wants to know about them.
+_DIAGONAL_GATES = frozenset({"i", "id", "z", "s", "sdg", "t", "tdg", "rz", "cz", "cphase"})
+
+
+def available_gates() -> Tuple[str, ...]:
+    """Return the names of all registered gates, sorted."""
+    return tuple(sorted(_GATE_BUILDERS))
+
+
+def register_gate(
+    name: str,
+    builder: Callable[..., np.ndarray],
+    num_qubits: int,
+    num_params: int = 0,
+    diagonal: bool = False,
+) -> None:
+    """Register a custom gate builder.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate name used by :class:`Gate` instances.
+    builder:
+        Callable returning the ``(2**n, 2**n)`` unitary matrix.
+    num_qubits:
+        Number of qubits the gate acts on (1 or 2).
+    num_params:
+        Number of float parameters the builder expects.
+    diagonal:
+        Whether the matrix is diagonal in the computational basis.
+    """
+    if num_qubits not in (1, 2):
+        raise GateDefinitionError("only 1- and 2-qubit gates are supported")
+    key = name.lower()
+    _GATE_BUILDERS[key] = (builder, num_qubits, num_params)
+    if diagonal:
+        global _DIAGONAL_GATES
+        _DIAGONAL_GATES = frozenset(_DIAGONAL_GATES | {key})
+
+
+def is_diagonal_gate(name: str) -> bool:
+    """Return True when ``name`` denotes a diagonal gate."""
+    return name.lower() in _DIAGONAL_GATES
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix of a named gate.
+
+    One-qubit gates give ``(2, 2)`` matrices, two-qubit gates ``(4, 4)``.
+    """
+    key = name.lower()
+    try:
+        builder, _, num_params = _GATE_BUILDERS[key]
+    except KeyError as exc:
+        raise GateDefinitionError(f"unknown gate {name!r}") from exc
+    if len(params) != num_params:
+        raise GateDefinitionError(
+            f"gate {name!r} expects {num_params} parameter(s), got {len(params)}"
+        )
+    return builder(*params)
+
+
+def gate_tensor(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the gate as a tensor suitable for a tensor network.
+
+    One-qubit gates are returned as ``(2, 2)`` arrays ``[out, in]``; two-qubit
+    gates as ``(2, 2, 2, 2)`` arrays ``[out0, out1, in0, in1]``.
+    """
+    matrix = gate_matrix(name, params)
+    if matrix.shape == (2, 2):
+        return matrix
+    return matrix.reshape(2, 2, 2, 2)
+
+
+def gate_num_qubits(name: str) -> int:
+    """Number of qubits the named gate acts on."""
+    key = name.lower()
+    try:
+        return _GATE_BUILDERS[key][1]
+    except KeyError as exc:
+        raise GateDefinitionError(f"unknown gate {name!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Gate instances
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate applied to specific qubits of a circuit.
+
+    Attributes
+    ----------
+    name:
+        Registered gate name (case-insensitive).
+    qubits:
+        Tuple of target qubit indices, length 1 or 2.
+    params:
+        Float parameters forwarded to the gate builder.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        expected = gate_num_qubits(self.name)
+        if len(self.qubits) != expected:
+            raise GateDefinitionError(
+                f"gate {self.name!r} acts on {expected} qubit(s), "
+                f"got targets {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise GateDefinitionError(f"duplicate qubits in {self.qubits}")
+        # ensure params are hashable floats
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_diagonal(self) -> bool:
+        """Whether the gate matrix is diagonal in the computational basis."""
+        return is_diagonal_gate(self.name)
+
+    def matrix(self) -> np.ndarray:
+        """The gate's unitary matrix."""
+        return gate_matrix(self.name, self.params)
+
+    def tensor(self) -> np.ndarray:
+        """The gate as a rank-2 or rank-4 tensor."""
+        return gate_tensor(self.name, self.params)
+
+    def dagger(self) -> "Gate":
+        """Return a gate whose matrix is the adjoint of this one.
+
+        Parameterised rotations negate their parameters; the remaining gates
+        map onto their registered inverses when one exists, otherwise a
+        custom adjoint gate is registered on the fly.
+        """
+        name = self.name.lower()
+        inverses = {
+            "s": "sdg",
+            "sdg": "s",
+            "t": "tdg",
+            "tdg": "t",
+        }
+        if name in inverses:
+            return Gate(inverses[name], self.qubits)
+        if name in ("rx", "ry", "rz", "cphase"):
+            return Gate(name, self.qubits, tuple(-p for p in self.params))
+        if name in ("i", "id", "x", "y", "z", "h", "cz", "cx", "cnot", "swap"):
+            return Gate(name, self.qubits, self.params)
+        if name == "fsim":
+            theta, phi = self.params
+            return Gate("fsim", self.qubits, (-theta, -phi))
+        # generic fallback: register the adjoint matrix under a derived name
+        adj = self.matrix().conj().T
+        adj_name = f"{name}_dag_{abs(hash((self.name, self.params))) % 10_000_000}"
+        if adj_name not in _GATE_BUILDERS:
+            register_gate(adj_name, lambda m=adj: m.copy(), self.num_qubits, 0)
+        return Gate(adj_name, self.qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            params = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"Gate({self.name}({params}) @ {list(self.qubits)})"
+        return f"Gate({self.name} @ {list(self.qubits)})"

@@ -1,0 +1,158 @@
+"""Dense state-vector reference simulator.
+
+This is the ground-truth simulator used to verify the tensor-network
+contraction engine on small circuits (Section 5 of DESIGN.md).  It is the
+"traditional state vector method" the paper contrasts against: memory grows
+as ``2**n`` so it is only usable below ~28 qubits, but within that range it
+produces exact amplitudes to compare against.
+
+Implementation notes (following the HPC guides in this session): the state is
+kept as an ``n``-dimensional view of a contiguous complex array and gates are
+applied with ``tensordot`` + ``moveaxis`` so no Python-level loops run over
+amplitudes, and no copies larger than the state itself are made.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import Circuit, CircuitError
+from .gates import Gate
+
+__all__ = ["StateVectorSimulator", "simulate_statevector", "amplitude", "sample_bitstrings"]
+
+_DEFAULT_MAX_QUBITS = 26
+
+
+class StateVectorSimulator:
+    """Exact dense simulator for circuits of up to ``max_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    max_qubits:
+        Safety bound; building a state beyond it raises :class:`CircuitError`.
+    dtype:
+        Complex dtype of the state (``complex128`` by default; the paper's
+        production runs use single precision, which is available as
+        ``complex64``).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        max_qubits: int = _DEFAULT_MAX_QUBITS,
+        dtype: np.dtype = np.complex128,
+    ) -> None:
+        if num_qubits > max_qubits:
+            raise CircuitError(
+                f"state vector of {num_qubits} qubits exceeds the "
+                f"{max_qubits}-qubit safety bound"
+            )
+        self._num_qubits = num_qubits
+        self._dtype = np.dtype(dtype)
+        self._state = np.zeros((2,) * num_qubits, dtype=self._dtype)
+        self._state[(0,) * num_qubits] = 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Register width."""
+        return self._num_qubits
+
+    @property
+    def state(self) -> np.ndarray:
+        """The state as an ``n``-dimensional ``(2, ..., 2)`` array (a view)."""
+        return self._state
+
+    def state_vector(self) -> np.ndarray:
+        """The state flattened to a length ``2**n`` vector (a copy)."""
+        return self._state.reshape(-1).copy()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset to ``|0...0>``."""
+        self._state.fill(0.0)
+        self._state[(0,) * self._num_qubits] = 1.0
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a single gate in place."""
+        tensor = np.asarray(gate.tensor(), dtype=self._dtype)
+        if gate.num_qubits == 1:
+            (q,) = gate.qubits
+            self._state = np.tensordot(tensor, self._state, axes=([1], [q]))
+            self._state = np.moveaxis(self._state, 0, q)
+        elif gate.num_qubits == 2:
+            q0, q1 = gate.qubits
+            self._state = np.tensordot(tensor, self._state, axes=([2, 3], [q0, q1]))
+            self._state = np.moveaxis(self._state, (0, 1), (q0, q1))
+        else:  # pragma: no cover - the gate library only has 1/2 qubit gates
+            raise CircuitError("only 1- and 2-qubit gates are supported")
+
+    def run(self, circuit: Circuit) -> "StateVectorSimulator":
+        """Apply every gate of ``circuit``; returns ``self``."""
+        if circuit.num_qubits != self._num_qubits:
+            raise CircuitError("circuit width does not match simulator width")
+        for gate in circuit:
+            self.apply_gate(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    def amplitude(self, bitstring: Sequence[int]) -> complex:
+        """Amplitude ``<bitstring|psi>``."""
+        if len(bitstring) != self._num_qubits:
+            raise CircuitError("bitstring length does not match register width")
+        idx = tuple(int(b) for b in bitstring)
+        for b in idx:
+            if b not in (0, 1):
+                raise CircuitError("bitstring entries must be 0 or 1")
+        return complex(self._state[idx])
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of every computational basis state, length ``2**n``."""
+        flat = self._state.reshape(-1)
+        return (flat.real**2 + flat.imag**2).astype(np.float64)
+
+    def norm(self) -> float:
+        """2-norm of the state (should be 1 for unitary circuits)."""
+        return float(np.sqrt(np.sum(np.abs(self._state) ** 2)))
+
+    def sample(self, num_samples: int, seed: Optional[int] = None) -> np.ndarray:
+        """Sample bitstrings from the output distribution.
+
+        Returns an array of shape ``(num_samples, num_qubits)``.
+        """
+        rng = np.random.default_rng(seed)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        draws = rng.choice(probs.size, size=num_samples, p=probs)
+        bits = ((draws[:, None] >> np.arange(self._num_qubits - 1, -1, -1)) & 1).astype(
+            np.int8
+        )
+        return bits
+
+
+def simulate_statevector(circuit: Circuit, dtype: np.dtype = np.complex128) -> np.ndarray:
+    """Run ``circuit`` from ``|0...0>`` and return the final state vector."""
+    sim = StateVectorSimulator(circuit.num_qubits, dtype=dtype)
+    sim.run(circuit)
+    return sim.state_vector()
+
+
+def amplitude(circuit: Circuit, bitstring: Sequence[int]) -> complex:
+    """Amplitude of ``bitstring`` in the output state of ``circuit``."""
+    sim = StateVectorSimulator(circuit.num_qubits)
+    sim.run(circuit)
+    return sim.amplitude(bitstring)
+
+
+def sample_bitstrings(
+    circuit: Circuit, num_samples: int, seed: Optional[int] = None
+) -> np.ndarray:
+    """Sample measurement outcomes from ``circuit``'s output distribution."""
+    sim = StateVectorSimulator(circuit.num_qubits)
+    sim.run(circuit)
+    return sim.sample(num_samples, seed=seed)

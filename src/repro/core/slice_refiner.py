@@ -1,0 +1,221 @@
+"""Simulated-annealing slice refiner (Algorithm 2 of the paper).
+
+Algorithm 1 finds a slicing set that is as small as possible, but not
+necessarily the one with the lowest overhead at that size.  The refiner
+keeps the size fixed and performs *edge replacement* moves:
+
+1.  pick a sliced edge at random,
+2.  collect the *critical tensors* inside its lifetime — intermediates
+    whose sliced rank equals the target ``t`` exactly (un-slicing the edge
+    would push them over the memory bound),
+3.  enumerate candidate replacement edges whose lifetime contains all of
+    those critical tensors (so the bound stays satisfied after the swap),
+4.  accept the swap if it lowers the total sliced cost, or with Metropolis
+    probability ``exp((C_ori − C_new) / C_ori / T)`` otherwise,
+5.  cool the temperature and repeat until the final temperature is reached.
+
+A pre-pass (and a post-pass) removes *redundant* sliced edges — edges whose
+lifetime contains no critical tensor contribute nothing to memory reduction
+and only add overhead (§4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..tensornet.contraction_tree import ContractionTree
+from .slicing import SlicingCostModel, SlicingResult
+
+__all__ = ["SimulatedAnnealingSliceRefiner", "RefinementTrace", "remove_redundant_edges"]
+
+
+@dataclass
+class RefinementTrace:
+    """Diagnostics of one refinement run."""
+
+    initial_overhead: float
+    final_overhead: float
+    attempted_swaps: int = 0
+    accepted_swaps: int = 0
+    removed_redundant: int = 0
+
+    @property
+    def improvement(self) -> float:
+        """Overhead ratio before/after (>1 means the refiner helped)."""
+        if self.final_overhead == 0:
+            return float("inf")
+        return self.initial_overhead / self.final_overhead
+
+
+def remove_redundant_edges(
+    model: SlicingCostModel, sliced: AbstractSet[str], target_rank: int
+) -> FrozenSet[str]:
+    """Drop sliced edges that do not contribute to meeting the memory bound.
+
+    An edge whose lifetime contains none of the current critical tensors can
+    be un-sliced without violating the bound; doing so halves the cost of
+    every contraction outside its lifetime.  Edges are re-checked after each
+    removal because the critical set changes.
+    """
+    current = set(sliced)
+    changed = True
+    while changed:
+        changed = False
+        critical = set(model.critical_nodes(current, target_rank))
+        for edge in sorted(current):
+            covering = set(model.nodes_covering(edge))
+            if critical & covering:
+                continue
+            trial = current - {edge}
+            if model.satisfies_target(trial, target_rank):
+                current = trial
+                changed = True
+                break
+    return frozenset(current)
+
+
+class SimulatedAnnealingSliceRefiner:
+    """Algorithm 2: SA-based slicing-set refinement at fixed set size.
+
+    Parameters
+    ----------
+    initial_temperature, final_temperature:
+        Endpoints of the geometric cooling schedule (the paper's ``T`` and
+        ``t_f``).
+    cooling:
+        Cooling factor ``alpha`` applied after every temperature step.
+    moves_per_temperature:
+        Number of random sliced edges examined per temperature.
+    max_candidates:
+        Cap on replacement candidates evaluated per move (they are sampled
+        uniformly when more are available).
+    seed:
+        PRNG seed.
+    """
+
+    def __init__(
+        self,
+        initial_temperature: float = 1.0,
+        final_temperature: float = 0.01,
+        cooling: float = 0.85,
+        moves_per_temperature: int = 8,
+        max_candidates: int = 16,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        if final_temperature <= 0 or initial_temperature <= final_temperature:
+            raise ValueError("require initial_temperature > final_temperature > 0")
+        self.initial_temperature = float(initial_temperature)
+        self.final_temperature = float(final_temperature)
+        self.cooling = float(cooling)
+        self.moves_per_temperature = int(moves_per_temperature)
+        self.max_candidates = int(max_candidates)
+        self._rng = np.random.default_rng(seed)
+        self.last_trace: Optional[RefinementTrace] = None
+
+    # ------------------------------------------------------------------
+    def refine(
+        self,
+        tree: ContractionTree,
+        sliced: AbstractSet[str],
+        target_rank: int,
+        cost_model: Optional[SlicingCostModel] = None,
+    ) -> SlicingResult:
+        """Refine ``sliced`` for ``tree``; returns the improved slicing result.
+
+        The refiner never returns a set that violates the memory bound, and
+        never returns one with higher total cost than its input (the best
+        configuration seen is tracked separately from the SA walker).
+        """
+        if cost_model is None:
+            cost_model = SlicingCostModel(tree)
+        model = cost_model
+
+        current: Set[str] = set(sliced)
+        trace = RefinementTrace(
+            initial_overhead=model.overhead(current), final_overhead=0.0
+        )
+
+        pruned = remove_redundant_edges(model, current, target_rank)
+        trace.removed_redundant = len(current) - len(pruned)
+        current = set(pruned)
+
+        current_cost = model.total_cost(current)
+        best: Set[str] = set(current)
+        best_cost = current_cost
+
+        temperature = self.initial_temperature
+        while temperature >= self.final_temperature and current:
+            for _ in range(self.moves_per_temperature):
+                edge = self._pick(sorted(current))
+                swap = self._propose_swap(model, current, edge, target_rank)
+                if swap is None:
+                    continue
+                candidate_edge, new_cost = swap
+                trace.attempted_swaps += 1
+                accept = new_cost < current_cost
+                if not accept:
+                    prob = math.exp(
+                        (current_cost - new_cost) / max(current_cost, 1e-300) / temperature
+                    )
+                    accept = self._rng.random() < prob
+                if not accept:
+                    continue
+                current.discard(edge)
+                current.add(candidate_edge)
+                current_cost = new_cost
+                trace.accepted_swaps += 1
+                if new_cost < best_cost:
+                    best_cost = new_cost
+                    best = set(current)
+            temperature *= self.cooling
+
+        # final redundancy sweep on the best configuration
+        best = set(remove_redundant_edges(model, best, target_rank))
+        trace.final_overhead = model.overhead(best)
+        self.last_trace = trace
+        return model.result(best, target_rank, method="lifetime-finder+sa")
+
+    # ------------------------------------------------------------------
+    def _pick(self, population: Sequence[str]) -> str:
+        return population[int(self._rng.integers(len(population)))]
+
+    def _propose_swap(
+        self,
+        model: SlicingCostModel,
+        current: Set[str],
+        edge: str,
+        target_rank: int,
+    ) -> Optional[Tuple[str, float]]:
+        """Find the best admissible replacement for ``edge`` among sampled candidates."""
+        critical = set(model.critical_nodes(current, target_rank))
+        covered_critical = critical & set(model.nodes_covering(edge))
+        candidates = [
+            ix
+            for ix in model.edges_covering_all(sorted(covered_critical))
+            if ix not in current
+        ]
+        if not candidates:
+            return None
+        if len(candidates) > self.max_candidates:
+            picks = self._rng.choice(len(candidates), size=self.max_candidates, replace=False)
+            candidates = [candidates[i] for i in picks]
+
+        best_edge: Optional[str] = None
+        best_cost = math.inf
+        for candidate in candidates:
+            trial = (current - {edge}) | {candidate}
+            if not model.satisfies_target(trial, target_rank):
+                continue
+            cost = model.total_cost(trial)
+            if cost < best_cost:
+                best_cost = cost
+                best_edge = candidate
+        if best_edge is None:
+            return None
+        return best_edge, best_cost

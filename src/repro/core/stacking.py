@@ -1,0 +1,232 @@
+"""Slice-or-stack decision model (§3.3, Fig. 7).
+
+Slicing pays for the memory bound with *redundant computation*; stacking —
+the inverse operation, putting a sliced dimension back by moving data
+through a slower storage level — pays for it with *data movement*.  On a
+multi-level storage system the right choice per level boundary depends on
+the bandwidth of that boundary versus the overhead of the available slicing
+sets: the paper's rule of thumb is "low bandwidth and low overhead → slice;
+high bandwidth and high overhead → stack", which is why the process level
+(disk ↔ main memory, slow IO) is sliced and the thread level (main memory ↔
+LDM, fast DMA) is stacked via the fused design of §5.
+
+:class:`SliceStackAnalyzer` quantifies both sides for a given contraction
+tree: the slicing overhead as a function of the target size (from any of
+the slicers in this package) and the *equivalent overhead* of stacking,
+obtained by translating the data-movement time into compute time through
+the machine's arithmetic-intensity ridge (the "line of equal overhead" of
+Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.memory import MemoryHierarchy, StorageLevel, sunway_hierarchy
+from ..hardware.spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
+from ..tensornet.contraction_tree import ContractionTree
+from .baseline_slicer import GreedySliceBaseline
+from .slice_finder import LifetimeSliceFinder
+from .slicing import SlicingCostModel
+
+__all__ = ["StackingEstimate", "StrategyDecision", "SliceStackAnalyzer"]
+
+
+@dataclass(frozen=True)
+class StackingEstimate:
+    """Cost of satisfying a memory target by stacking through one boundary.
+
+    Attributes
+    ----------
+    boundary:
+        ``(outer level, inner level)`` names.
+    target_rank:
+        Target rank ``t`` of the inner level.
+    bytes_moved:
+        Total bytes streamed through the boundary over the whole contraction.
+    movement_seconds:
+        Time of that streaming at the boundary bandwidth.
+    compute_seconds:
+        Pure compute time of the unsliced contraction at peak rate.
+    equivalent_overhead:
+        ``1 + movement / compute`` — the data movement expressed as if it
+        were redundant computation, so it can be compared with Eq. 2
+        directly (the y-axis of Fig. 7).
+    """
+
+    boundary: Tuple[str, str]
+    target_rank: int
+    bytes_moved: float
+    movement_seconds: float
+    compute_seconds: float
+
+    @property
+    def equivalent_overhead(self) -> float:
+        """Data movement translated into slicing-overhead units."""
+        if self.compute_seconds <= 0:
+            return math.inf
+        return 1.0 + self.movement_seconds / self.compute_seconds
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """The recommended strategy at one storage boundary for one target size."""
+
+    boundary: Tuple[str, str]
+    target_rank: int
+    slicing_overhead: float
+    stacking_overhead: float
+    strategy: str  # "slice" or "stack"
+
+    @property
+    def advantage(self) -> float:
+        """Overhead ratio of the rejected strategy to the chosen one (≥ 1)."""
+        lo = min(self.slicing_overhead, self.stacking_overhead)
+        hi = max(self.slicing_overhead, self.stacking_overhead)
+        if lo <= 0:
+            return math.inf
+        return hi / lo
+
+
+class SliceStackAnalyzer:
+    """Compare slicing against stacking on every boundary of a hierarchy.
+
+    Parameters
+    ----------
+    tree:
+        The contraction tree being executed.
+    hierarchy:
+        Storage hierarchy; defaults to the Sunway disk → main memory → LDM
+        stack.
+    spec:
+        Machine description (for peak-flop accounting).
+    element_bytes:
+        Element width (single-precision complex by default).
+    slicer:
+        ``"lifetime"`` (Algorithm 1) or ``"greedy"`` (cotengra baseline) —
+        which slicer supplies the slicing-overhead curve.
+    """
+
+    def __init__(
+        self,
+        tree: ContractionTree,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        spec: SunwaySpec = SW26010PRO,
+        element_bytes: int = COMPLEX64_BYTES,
+        slicer: str = "lifetime",
+    ) -> None:
+        if slicer not in ("lifetime", "greedy"):
+            raise ValueError("slicer must be 'lifetime' or 'greedy'")
+        self.tree = tree
+        self.hierarchy = hierarchy if hierarchy is not None else sunway_hierarchy(spec)
+        self.spec = spec
+        self.element_bytes = int(element_bytes)
+        self.slicer = slicer
+        self.cost_model = SlicingCostModel(tree)
+        # flops of the unsliced contraction (8 real ops per complex MAC)
+        self._flops = 8.0 * self.cost_model.total_cost(frozenset())
+        self._compute_seconds = self._flops / spec.peak_flops_per_node
+
+    # ------------------------------------------------------------------
+    # Slicing side
+    # ------------------------------------------------------------------
+    def slicing_overhead(self, target_rank: int) -> float:
+        """Overhead of the best slicing set this package finds for ``target_rank``."""
+        if self.cost_model.max_rank(frozenset()) <= target_rank:
+            return 1.0
+        if self.slicer == "lifetime":
+            result = LifetimeSliceFinder(target_rank).find(
+                self.tree, cost_model=self.cost_model
+            )
+        else:
+            result = GreedySliceBaseline(target_rank).find(
+                self.tree, cost_model=self.cost_model
+            )
+        return result.overhead
+
+    # ------------------------------------------------------------------
+    # Stacking side
+    # ------------------------------------------------------------------
+    def stacking_bytes(self, target_rank: int) -> float:
+        """Bytes streamed through a boundary if over-target tensors are stacked.
+
+        Every contraction whose operands or result exceed the inner level's
+        target rank streams those tensors through the boundary once each
+        (a get for each oversized operand, a put for an oversized result).
+        """
+        tree = self.tree
+        threshold = float(target_rank)
+        total_elements = 0.0
+        for node in tree.internal_nodes():
+            a, b = tree.children(node)  # type: ignore[misc]
+            for member in (a, b, node):
+                size_log2 = tree.node_log2_size(member)
+                if size_log2 > threshold:
+                    total_elements += 2.0**size_log2
+        return total_elements * self.element_bytes
+
+    def stacking_estimate(
+        self, boundary: Tuple[StorageLevel, StorageLevel], target_rank: int
+    ) -> StackingEstimate:
+        """Stacking cost at one boundary for one target size."""
+        outer, inner = boundary
+        bandwidth = outer.bandwidth_to_upper or math.inf
+        bytes_moved = self.stacking_bytes(target_rank)
+        movement_seconds = bytes_moved / bandwidth if bandwidth else math.inf
+        return StackingEstimate(
+            boundary=(outer.name, inner.name),
+            target_rank=target_rank,
+            bytes_moved=bytes_moved,
+            movement_seconds=movement_seconds,
+            compute_seconds=self._compute_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Combined analysis
+    # ------------------------------------------------------------------
+    def decide(
+        self, boundary_name: str, target_rank: int
+    ) -> StrategyDecision:
+        """Recommend slice vs stack at the named boundary for ``target_rank``."""
+        outer = self.hierarchy.level(boundary_name)
+        inner = self.hierarchy.inner_of(boundary_name)
+        if inner is None:
+            raise ValueError(f"{boundary_name!r} is the innermost level")
+        slicing = self.slicing_overhead(target_rank)
+        stacking = self.stacking_estimate((outer, inner), target_rank).equivalent_overhead
+        strategy = "slice" if slicing <= stacking else "stack"
+        return StrategyDecision(
+            boundary=(outer.name, inner.name),
+            target_rank=target_rank,
+            slicing_overhead=slicing,
+            stacking_overhead=stacking,
+            strategy=strategy,
+        )
+
+    def overhead_distribution(
+        self, target_ranks: Sequence[int]
+    ) -> List[Dict[str, float]]:
+        """The data behind Fig. 7: overhead curves over a sweep of target sizes.
+
+        For every target rank, reports the slicing overhead and the
+        stacking-equivalent overhead at every boundary of the hierarchy,
+        plus which strategy wins there.
+        """
+        rows: List[Dict[str, float]] = []
+        boundaries = self.hierarchy.boundaries()
+        for target in target_ranks:
+            row: Dict[str, float] = {
+                "target_rank": float(target),
+                "slicing_overhead": self.slicing_overhead(target),
+            }
+            for outer, inner in boundaries:
+                estimate = self.stacking_estimate((outer, inner), target)
+                key = f"stacking_overhead_{outer.name}_to_{inner.name}"
+                row[key] = estimate.equivalent_overhead
+                row[f"prefer_slice_{outer.name}_to_{inner.name}"] = float(
+                    row["slicing_overhead"] <= estimate.equivalent_overhead
+                )
+            rows.append(row)
+        return rows

@@ -1,0 +1,32 @@
+"""Execution engines: numerical contraction, sliced execution, performance simulation."""
+
+from .contract import TreeExecutor, contract_tree
+from .sliced import SlicedExecutor, SubtaskResult
+from .fused import ThreadLevelSimulator, ThreadTiming
+from .sampling import CorrelatedSampleBatch, CorrelatedSampler, linear_xeb_fidelity
+from .scaling import (
+    GORDON_BELL_2021_PFLOPS,
+    HeadlineProjection,
+    ProcessScheduler,
+    ScalingPoint,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "TreeExecutor",
+    "contract_tree",
+    "SlicedExecutor",
+    "SubtaskResult",
+    "CorrelatedSampleBatch",
+    "CorrelatedSampler",
+    "linear_xeb_fidelity",
+    "ThreadLevelSimulator",
+    "ThreadTiming",
+    "GORDON_BELL_2021_PFLOPS",
+    "HeadlineProjection",
+    "ProcessScheduler",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+]

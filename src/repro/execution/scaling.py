@@ -1,0 +1,267 @@
+"""Process-level scheduling and strong/weak scaling simulation (Fig. 11, §6.2).
+
+After slicing, the ``2^|S|`` subtasks are embarrassingly parallel: every
+process (node) contracts its share of subtasks independently and a single
+all-reduce at the end accumulates the amplitudes.  This module models that
+execution:
+
+* :class:`ProcessScheduler` distributes subtasks over nodes (block
+  distribution, exactly as independent slices are farmed out on the real
+  machine) and accounts for the one-off input broadcast and the final
+  all-reduce on a tree of the given fan-out;
+* :func:`strong_scaling` / :func:`weak_scaling` sweep node counts to
+  produce the two panels of Fig. 11;
+* :class:`HeadlineProjection` reproduces the §6.2 arithmetic: measured time
+  on 1024 nodes, projection to 107 520 nodes, sustained Pflop/s, and the
+  comparison against the 2021 Gordon Bell baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
+
+__all__ = [
+    "ProcessScheduler",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "HeadlineProjection",
+    "GORDON_BELL_2021_PFLOPS",
+]
+
+#: Sustained performance of the 2021 Gordon Bell winner the paper compares to.
+GORDON_BELL_2021_PFLOPS = 60.4
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve.
+
+    Attributes
+    ----------
+    num_nodes:
+        Nodes used.
+    num_subtasks:
+        Total subtasks executed.
+    elapsed_seconds:
+        Modelled wall time.
+    compute_seconds:
+        Time of the slowest node's subtask execution.
+    reduce_seconds:
+        Time of the final all-reduce.
+    speedup:
+        Relative to the smallest node count of the sweep (1.0 there).
+    efficiency:
+        ``speedup / (nodes / base nodes)`` for strong scaling, or
+        ``base time / time`` for weak scaling.
+    sustained_flops:
+        Aggregate sustained flop rate at this point.
+    """
+
+    num_nodes: int
+    num_subtasks: int
+    elapsed_seconds: float
+    compute_seconds: float
+    reduce_seconds: float
+    speedup: float
+    efficiency: float
+    sustained_flops: float
+
+
+class ProcessScheduler:
+    """Distributes slicing subtasks over nodes and models the wall time.
+
+    Parameters
+    ----------
+    subtask_seconds:
+        Time of one subtask on one node (from the thread-level simulator or
+        a measurement).
+    subtask_flops:
+        Flops of one subtask (for sustained-rate bookkeeping).
+    result_bytes:
+        Size of the per-node partial result that the final all-reduce
+        combines (one amplitude batch; 1 M single-precision complex
+        amplitudes by default).
+    spec:
+        Machine description (network bandwidth, peak rate).
+    reduce_latency_seconds:
+        Per-hop latency of the all-reduce tree.
+    """
+
+    def __init__(
+        self,
+        subtask_seconds: float,
+        subtask_flops: float,
+        result_bytes: float = 1_000_000 * COMPLEX64_BYTES,
+        spec: SunwaySpec = SW26010PRO,
+        reduce_latency_seconds: float = 5e-6,
+    ) -> None:
+        if subtask_seconds <= 0:
+            raise ValueError("subtask_seconds must be positive")
+        self.subtask_seconds = float(subtask_seconds)
+        self.subtask_flops = float(subtask_flops)
+        self.result_bytes = float(result_bytes)
+        self.spec = spec
+        self.reduce_latency_seconds = float(reduce_latency_seconds)
+
+    # ------------------------------------------------------------------
+    def subtasks_on_slowest_node(self, num_subtasks: int, num_nodes: int) -> int:
+        """Block distribution: the slowest node runs ``ceil(tasks / nodes)``."""
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        return math.ceil(num_subtasks / num_nodes)
+
+    def compute_seconds(self, num_subtasks: int, num_nodes: int) -> float:
+        """Computation time of the slowest node."""
+        return self.subtasks_on_slowest_node(num_subtasks, num_nodes) * self.subtask_seconds
+
+    def reduce_seconds(self, num_nodes: int) -> float:
+        """Binary-tree all-reduce of the partial results."""
+        if num_nodes <= 1:
+            return 0.0
+        hops = math.ceil(math.log2(num_nodes))
+        per_hop = self.result_bytes / self.spec.network_bandwidth + self.reduce_latency_seconds
+        return hops * per_hop
+
+    def elapsed_seconds(self, num_subtasks: int, num_nodes: int) -> float:
+        """Total modelled wall time."""
+        return self.compute_seconds(num_subtasks, num_nodes) + self.reduce_seconds(num_nodes)
+
+    def sustained_flops(self, num_subtasks: int, num_nodes: int) -> float:
+        """Aggregate sustained flop rate of the run."""
+        elapsed = self.elapsed_seconds(num_subtasks, num_nodes)
+        total_flops = self.subtask_flops * num_subtasks
+        return total_flops / elapsed if elapsed else 0.0
+
+    def parallel_efficiency(self, num_subtasks: int, num_nodes: int) -> float:
+        """Fraction of ideal speedup retained at ``num_nodes``."""
+        ideal = self.elapsed_seconds(num_subtasks, 1) / num_nodes
+        actual = self.elapsed_seconds(num_subtasks, num_nodes)
+        return ideal / actual if actual else 0.0
+
+
+def strong_scaling(
+    scheduler: ProcessScheduler,
+    num_subtasks: int = 65536,
+    node_counts: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
+) -> List[ScalingPoint]:
+    """Strong-scaling sweep (fixed total work) — the left panel of Fig. 11."""
+    if not node_counts:
+        raise ValueError("node_counts must not be empty")
+    base_nodes = node_counts[0]
+    base_time = scheduler.elapsed_seconds(num_subtasks, base_nodes)
+    points: List[ScalingPoint] = []
+    for nodes in node_counts:
+        elapsed = scheduler.elapsed_seconds(num_subtasks, nodes)
+        speedup = base_time / elapsed if elapsed else 0.0
+        efficiency = speedup / (nodes / base_nodes)
+        points.append(
+            ScalingPoint(
+                num_nodes=nodes,
+                num_subtasks=num_subtasks,
+                elapsed_seconds=elapsed,
+                compute_seconds=scheduler.compute_seconds(num_subtasks, nodes),
+                reduce_seconds=scheduler.reduce_seconds(nodes),
+                speedup=speedup,
+                efficiency=efficiency,
+                sustained_flops=scheduler.sustained_flops(num_subtasks, nodes),
+            )
+        )
+    return points
+
+
+def weak_scaling(
+    scheduler: ProcessScheduler,
+    subtasks_per_node: int = 16,
+    node_counts: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
+) -> List[ScalingPoint]:
+    """Weak-scaling sweep (fixed work per node) — the right panel of Fig. 11."""
+    if not node_counts:
+        raise ValueError("node_counts must not be empty")
+    base_nodes = node_counts[0]
+    base_time = scheduler.elapsed_seconds(subtasks_per_node * base_nodes, base_nodes)
+    points: List[ScalingPoint] = []
+    for nodes in node_counts:
+        num_subtasks = subtasks_per_node * nodes
+        elapsed = scheduler.elapsed_seconds(num_subtasks, nodes)
+        efficiency = base_time / elapsed if elapsed else 0.0
+        points.append(
+            ScalingPoint(
+                num_nodes=nodes,
+                num_subtasks=num_subtasks,
+                elapsed_seconds=elapsed,
+                compute_seconds=scheduler.compute_seconds(num_subtasks, nodes),
+                reduce_seconds=scheduler.reduce_seconds(nodes),
+                speedup=elapsed and base_time / elapsed,
+                efficiency=efficiency,
+                sustained_flops=scheduler.sustained_flops(num_subtasks, nodes),
+            )
+        )
+    return points
+
+
+@dataclass
+class HeadlineProjection:
+    """The §6.2 headline arithmetic.
+
+    Attributes
+    ----------
+    measured_nodes:
+        Node count of the measured run (1024 in the paper).
+    measured_seconds:
+        Measured/modelled wall time on ``measured_nodes`` (10098.5 s).
+    projected_nodes:
+        Node count of the projection (107 520 — the full machine).
+    total_flops:
+        Total useful flops of the workload (all subtasks, all samples).
+    spec:
+        Machine description.
+    """
+
+    measured_nodes: int
+    measured_seconds: float
+    projected_nodes: int
+    total_flops: float
+    spec: SunwaySpec = field(default_factory=lambda: SW26010PRO)
+
+    @property
+    def projected_seconds(self) -> float:
+        """Projected wall time assuming the demonstrated linear scaling."""
+        return self.measured_seconds * self.measured_nodes / self.projected_nodes
+
+    @property
+    def projected_cores(self) -> int:
+        """Cores used by the projected run (41 932 800 in the paper)."""
+        return self.projected_nodes * self.spec.cores_per_node
+
+    @property
+    def sustained_pflops(self) -> float:
+        """Sustained single-precision Pflop/s of the projected run."""
+        return self.total_flops / self.projected_seconds / 1e15
+
+    @property
+    def peak_fraction(self) -> float:
+        """Fraction of the machine's peak sustained by the projection."""
+        peak = self.spec.peak_flops_system(self.projected_nodes)
+        return (self.total_flops / self.projected_seconds) / peak if peak else 0.0
+
+    def speedup_over_gordon_bell(self, baseline_pflops: float = GORDON_BELL_2021_PFLOPS) -> float:
+        """Performance ratio against the 2021 Gordon Bell work (60.4 Pflop/s)."""
+        return self.sustained_pflops / baseline_pflops
+
+    def summary(self) -> Dict[str, float]:
+        """All headline numbers as a flat dict (used by the benchmark harness)."""
+        return {
+            "measured_nodes": float(self.measured_nodes),
+            "measured_seconds": self.measured_seconds,
+            "projected_nodes": float(self.projected_nodes),
+            "projected_cores": float(self.projected_cores),
+            "projected_seconds": self.projected_seconds,
+            "sustained_pflops": self.sustained_pflops,
+            "peak_fraction": self.peak_fraction,
+            "speedup_over_gb2021": self.speedup_over_gordon_bell(),
+        }

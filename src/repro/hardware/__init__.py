@@ -1,0 +1,33 @@
+"""Analytical performance model of the SW26010pro / new Sunway system."""
+
+from .spec import COMPLEX64_BYTES, COMPLEX128_BYTES, SW26010PRO, SunwaySpec
+from .memory import MemoryHierarchy, StorageLevel, sunway_hierarchy
+from .dma import (
+    DMAEngine,
+    RMAEngine,
+    TransferBreakdown,
+    cooperative_transfer_time,
+    naive_strided_transfer_time,
+)
+from .gemm import GEMMEstimate, GEMMModel, GEMMShape
+from .roofline import RooflineModel, RooflinePoint
+
+__all__ = [
+    "COMPLEX64_BYTES",
+    "COMPLEX128_BYTES",
+    "SW26010PRO",
+    "SunwaySpec",
+    "MemoryHierarchy",
+    "StorageLevel",
+    "sunway_hierarchy",
+    "DMAEngine",
+    "RMAEngine",
+    "TransferBreakdown",
+    "cooperative_transfer_time",
+    "naive_strided_transfer_time",
+    "GEMMEstimate",
+    "GEMMModel",
+    "GEMMShape",
+    "RooflineModel",
+    "RooflinePoint",
+]

@@ -1,0 +1,171 @@
+"""GEMM efficiency model for tensor contractions on CPEs.
+
+Contractions between tensors are implemented as (batched) complex matrix
+multiplications (§5.1, following Sw_Qsim and the 2021 Gordon Bell work).
+The paper's key observation:
+
+* square-like matrices (``m, n, k`` all ≥ 16) reach more than 70 % of the
+  peak on a CPE thanks to the 4×4 complex SIMD kernel,
+* *narrow* multiplications — and in RQC simulation two of the three extents
+  are very often < 16 — degenerate to a bandwidth-bound regime because
+  ``Θ(MNK) ≈ Θ(MN + NK + MK)``.
+
+:class:`GEMMModel` captures both regimes through a Roofline-style bound:
+the time of a GEMM is the maximum of its compute time at the (shape-
+dependent) achievable rate and its LDM-traffic time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
+
+__all__ = ["GEMMShape", "GEMMEstimate", "GEMMModel"]
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """Shape of a complex matrix multiplication ``C[m, n] += A[m, k] B[k, n]``."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> float:
+        """Real floating-point operations (8 per complex multiply-add)."""
+        return 8.0 * self.m * self.n * self.k
+
+    @property
+    def elements_touched(self) -> float:
+        """Operand plus result elements (the minimum traffic)."""
+        return float(self.m * self.n + self.n * self.k + self.m * self.k)
+
+    def bytes_touched(self, element_bytes: int = COMPLEX64_BYTES) -> float:
+        """Bytes of operand/result traffic."""
+        return self.elements_touched * element_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """flop per byte at single-precision complex."""
+        return self.flops / self.bytes_touched()
+
+    @property
+    def is_narrow(self) -> bool:
+        """The paper's narrow-GEMM criterion: at least two extents below 16."""
+        return sum(1 for x in (self.m, self.n, self.k) if x < 16) >= 2
+
+
+@dataclass(frozen=True)
+class GEMMEstimate:
+    """Predicted execution profile of one GEMM on one CPE."""
+
+    shape: GEMMShape
+    compute_seconds: float
+    traffic_seconds: float
+    achievable_fraction: float
+
+    @property
+    def seconds(self) -> float:
+        """Predicted wall time (the binding term of the roofline)."""
+        return max(self.compute_seconds, self.traffic_seconds)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the CPE peak."""
+        peak_time = self.compute_seconds * self.achievable_fraction
+        if self.seconds == 0:
+            return 0.0
+        return peak_time / self.seconds
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether LDM traffic dominates the kernel."""
+        return self.traffic_seconds > self.compute_seconds
+
+
+class GEMMModel:
+    """Shape-aware GEMM performance model for a single CPE.
+
+    Parameters
+    ----------
+    spec:
+        Machine description.
+    ldm_access_bandwidth:
+        Bandwidth of LDM accesses feeding the SIMD pipes (bytes/s).  The LDM
+        is SRAM-fast; the default of 4× the DMA rate per CPE keeps the model
+        conservative while preserving the paper's qualitative behaviour
+        (square GEMM compute-bound, narrow GEMM latency/traffic-limited).
+    kernel_block:
+        Register-block edge of the hand-written complex kernel (4×4 in §5.1).
+    """
+
+    def __init__(
+        self,
+        spec: SunwaySpec = SW26010PRO,
+        ldm_access_bandwidth: Optional[float] = None,
+        kernel_block: int = 4,
+    ) -> None:
+        self.spec = spec
+        self.peak_flops = spec.peak_flops_per_cpe
+        self.kernel_block = int(kernel_block)
+        if ldm_access_bandwidth is None:
+            ldm_access_bandwidth = 4.0 * spec.dma_bandwidth / spec.cpes_per_cg * spec.cpes_per_cg
+            # i.e. 4x the per-CG DMA bandwidth shared by the CG's CPEs,
+            # expressed per CPE below
+            ldm_access_bandwidth = 4.0 * spec.dma_bandwidth / spec.cpes_per_cg
+        self.ldm_access_bandwidth = float(ldm_access_bandwidth)
+
+    # ------------------------------------------------------------------
+    def achievable_fraction(self, shape: GEMMShape) -> float:
+        """Fraction of peak the SIMD kernel can reach for this shape.
+
+        Square-like shapes reach ``spec.gemm_peak_fraction`` (70 %); shapes
+        with extents below the register block suffer padding/masking losses
+        proportional to the wasted lanes.
+        """
+        fraction = self.spec.gemm_peak_fraction
+        for extent in (shape.m, shape.n, shape.k):
+            if extent < self.kernel_block:
+                fraction *= extent / self.kernel_block
+            elif extent < 16:
+                fraction *= 0.85
+        return max(fraction, 0.01)
+
+    def estimate(self, shape: GEMMShape, element_bytes: int = COMPLEX64_BYTES) -> GEMMEstimate:
+        """Predict the execution profile of one GEMM."""
+        fraction = self.achievable_fraction(shape)
+        compute_seconds = shape.flops / (self.peak_flops * fraction)
+        traffic_seconds = shape.bytes_touched(element_bytes) / self.ldm_access_bandwidth
+        return GEMMEstimate(
+            shape=shape,
+            compute_seconds=compute_seconds,
+            traffic_seconds=traffic_seconds,
+            achievable_fraction=fraction,
+        )
+
+    def seconds(self, shape: GEMMShape, element_bytes: int = COMPLEX64_BYTES) -> float:
+        """Predicted wall time of one GEMM."""
+        return self.estimate(shape, element_bytes).seconds
+
+    # ------------------------------------------------------------------
+    def contraction_shape(
+        self,
+        left_log2: float,
+        right_log2: float,
+        contracted_log2: float,
+    ) -> GEMMShape:
+        """Map a tensor contraction onto an equivalent GEMM shape.
+
+        ``left_log2``/``right_log2`` are the log2 sizes of the two operand
+        tensors and ``contracted_log2`` the log2 size of the summed index
+        group; the equivalent GEMM has ``k = 2^contracted`` and
+        ``m/n = operand size / k``.
+        """
+        k = 2.0**contracted_log2
+        m = max(2.0 ** (left_log2 - contracted_log2), 1.0)
+        n = max(2.0 ** (right_log2 - contracted_log2), 1.0)
+        return GEMMShape(m=int(round(m)), n=int(round(n)), k=int(round(k)))

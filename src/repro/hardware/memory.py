@@ -1,0 +1,166 @@
+"""Multi-level storage hierarchy model.
+
+§3.3 of the paper frames the slice-or-stack decision on "each two adjacent
+manually controllable levels on a multi-level storage system": hard disk ↔
+main memory (process level) and main memory ↔ LDM (thread level).  This
+module models such a hierarchy as an ordered list of :class:`StorageLevel`
+objects, each with a capacity and a bandwidth to the level above it, plus
+helpers for the capacity/rank arithmetic the planning layers need.
+
+The hierarchy is deliberately architecture-agnostic ("all we need is a
+multi-level storage system"); :func:`sunway_hierarchy` builds the concrete
+three-level Sunway instance from a :class:`~repro.hardware.spec.SunwaySpec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
+
+__all__ = ["StorageLevel", "MemoryHierarchy", "sunway_hierarchy"]
+
+
+@dataclass(frozen=True)
+class StorageLevel:
+    """One level of the storage hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (``"disk"``, ``"main_memory"``, ``"ldm"``).
+    capacity_bytes:
+        Usable capacity of the level (per the unit that owns it: node for
+        disk/main memory, CPE for LDM).  ``math.inf`` for unbounded levels.
+    bandwidth_to_upper:
+        Bandwidth (bytes/s) for moving data between this level and the next
+        *faster* level (e.g. disk→main memory IO bandwidth, main→LDM DMA).
+        ``None`` for the innermost level.
+    """
+
+    name: str
+    capacity_bytes: float
+    bandwidth_to_upper: Optional[float] = None
+
+    def capacity_elements(self, element_bytes: int = COMPLEX64_BYTES) -> float:
+        """Capacity in elements of the given width."""
+        return self.capacity_bytes / element_bytes
+
+    def max_rank(self, element_bytes: int = COMPLEX64_BYTES, reserve_factor: float = 1.0) -> int:
+        """Largest rank-``r`` (``2^r``-element) tensor the level can hold.
+
+        ``reserve_factor`` > 1 reserves room for additional operands (e.g. a
+        contraction needs both inputs and the output resident).
+        """
+        usable = self.capacity_elements(element_bytes) / reserve_factor
+        if math.isinf(usable):
+            return 64
+        if usable < 1:
+            return 0
+        return int(math.floor(math.log2(usable)))
+
+
+class MemoryHierarchy:
+    """An ordered multi-level storage hierarchy (slowest/biggest level first)."""
+
+    def __init__(self, levels: Sequence[StorageLevel]) -> None:
+        if not levels:
+            raise ValueError("a hierarchy needs at least one level")
+        names = [lvl.name for lvl in levels]
+        if len(set(names)) != len(names):
+            raise ValueError("level names must be unique")
+        self._levels: Tuple[StorageLevel, ...] = tuple(levels)
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> Tuple[StorageLevel, ...]:
+        """All levels, slowest first."""
+        return self._levels
+
+    def __iter__(self) -> Iterator[StorageLevel]:
+        return iter(self._levels)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def level(self, name: str) -> StorageLevel:
+        """Look a level up by name."""
+        for lvl in self._levels:
+            if lvl.name == name:
+                return lvl
+        raise KeyError(f"no storage level named {name!r}")
+
+    def boundaries(self) -> List[Tuple[StorageLevel, StorageLevel]]:
+        """Adjacent (outer, inner) level pairs — the slicing/stacking boundaries."""
+        return list(zip(self._levels[:-1], self._levels[1:]))
+
+    def inner_of(self, name: str) -> Optional[StorageLevel]:
+        """The level just inside (faster than) ``name``, if any."""
+        for outer, inner in self.boundaries():
+            if outer.name == name:
+                return inner
+        return None
+
+    # ------------------------------------------------------------------
+    def max_rank_per_level(
+        self, element_bytes: int = COMPLEX64_BYTES, reserve_factor: float = 1.0
+    ) -> Dict[str, int]:
+        """Largest tensor rank each level can hold."""
+        return {
+            lvl.name: lvl.max_rank(element_bytes, reserve_factor) for lvl in self._levels
+        }
+
+    def target_rank_for(
+        self, name: str, element_bytes: int = COMPLEX64_BYTES, reserve_factor: float = 4.0
+    ) -> int:
+        """Slicing target rank so a contraction's working set fits in ``name``.
+
+        ``reserve_factor=4`` reserves room for the two operands, the result
+        and scratch — the convention used by the paper's rank-30 (main
+        memory) and rank-13 (LDM) targets.
+        """
+        return self.level(name).max_rank(element_bytes, reserve_factor)
+
+
+def sunway_hierarchy(
+    spec: SunwaySpec = SW26010PRO,
+    disk_capacity_bytes: float = 1024.0 * 1024**4,
+    united_main_memory: bool = True,
+) -> MemoryHierarchy:
+    """The three-level Sunway hierarchy: disk → main memory → LDM.
+
+    Parameters
+    ----------
+    spec:
+        Machine description.
+    disk_capacity_bytes:
+        Capacity of the parallel filesystem visible to one node (1 PiB by
+        default — effectively unbounded, as in the paper's rank-53 example).
+    united_main_memory:
+        Whether the 6 CGs' memories are united into one 96 GB pool (the
+        paper's configuration) or kept per-CG (16 GB).
+    """
+    main_capacity = (
+        spec.main_memory_per_node_bytes if united_main_memory else spec.main_memory_per_cg_bytes
+    )
+    return MemoryHierarchy(
+        [
+            StorageLevel(
+                name="disk",
+                capacity_bytes=float(disk_capacity_bytes),
+                bandwidth_to_upper=spec.io_bandwidth,
+            ),
+            StorageLevel(
+                name="main_memory",
+                capacity_bytes=float(main_capacity),
+                bandwidth_to_upper=spec.dma_bandwidth,
+            ),
+            StorageLevel(
+                name="ldm",
+                capacity_bytes=float(spec.ldm_bytes),
+                bandwidth_to_upper=None,
+            ),
+        ]
+    )

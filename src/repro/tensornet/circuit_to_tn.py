@@ -1,0 +1,196 @@
+"""Conversion of quantum circuits into tensor networks.
+
+The amplitude ``<b| C |0...0>`` of a circuit ``C`` is the full contraction
+of a tensor network composed of
+
+* one rank-1 tensor ``|0>`` per qubit (the input layer),
+* one rank-2 / rank-4 tensor per gate, wired along each qubit's world line,
+* one rank-1 projector ``<b_q|`` per qubit (the output layer), or an open
+  index per qubit when computing a full amplitude batch.
+
+The wiring scheme follows the standard convention: every qubit carries a
+current index label that is advanced each time a gate touches it, so two
+gates acting successively on the same qubit share exactly one index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from .network import TensorNetwork
+from .tensor import Tensor
+
+__all__ = ["CircuitToTensorNetwork", "circuit_to_tensor_network", "amplitude_network"]
+
+
+_KET0 = np.array([1.0, 0.0], dtype=np.complex128)
+_KET1 = np.array([0.0, 1.0], dtype=np.complex128)
+
+
+@dataclass(frozen=True)
+class ConversionResult:
+    """Outcome of a circuit → tensor network conversion.
+
+    Attributes
+    ----------
+    network:
+        The resulting :class:`TensorNetwork`.
+    output_index_of_qubit:
+        For open conversions, the dangling index attached to each qubit.
+    """
+
+    network: TensorNetwork
+    output_index_of_qubit: Dict[int, str]
+
+
+class CircuitToTensorNetwork:
+    """Stateful converter from :class:`~repro.circuits.Circuit` to a TN.
+
+    Parameters
+    ----------
+    concrete:
+        When True, gate tensors carry actual numerical data; when False, an
+        abstract (planning-only) network is built, which is much cheaper for
+        53-qubit Sycamore circuits whose planning never touches data.
+    """
+
+    def __init__(self, concrete: bool = True) -> None:
+        self._concrete = concrete
+
+    # ------------------------------------------------------------------
+    def convert(
+        self,
+        circuit: Circuit,
+        bitstring: Optional[Sequence[int]] = None,
+        initial_state: Optional[Sequence[int]] = None,
+    ) -> ConversionResult:
+        """Convert ``circuit`` into a tensor network.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to convert.
+        bitstring:
+            Output bitstring to project on.  ``None`` leaves every final
+            qubit index open, so the contraction produces the full
+            ``2**n`` amplitude tensor (only sensible for small ``n``).
+        initial_state:
+            Input computational-basis state; defaults to ``|0...0>``.
+        """
+        n = circuit.num_qubits
+        if bitstring is not None and len(bitstring) != n:
+            raise ValueError("bitstring length does not match circuit width")
+        if initial_state is not None and len(initial_state) != n:
+            raise ValueError("initial_state length does not match circuit width")
+
+        tn = TensorNetwork()
+        wire: Dict[int, str] = {}
+        counter: Dict[int, int] = {}
+
+        # input layer
+        for q in range(n):
+            ix = f"q{q}_0"
+            wire[q] = ix
+            counter[q] = 0
+            bit = 0 if initial_state is None else int(initial_state[q])
+            data = (_KET0 if bit == 0 else _KET1) if self._concrete else None
+            tn.add_tensor(
+                Tensor(
+                    (ix,),
+                    data=data,
+                    sizes={ix: 2},
+                    tags=(f"input", f"qubit:{q}"),
+                )
+            )
+
+        # gate layer
+        for gate_pos, gate in enumerate(circuit):
+            self._add_gate(tn, gate, gate_pos, wire, counter)
+
+        # output layer
+        output_index_of_qubit: Dict[int, str] = {}
+        if bitstring is None:
+            # leave indices open, record them
+            for q in range(n):
+                output_index_of_qubit[q] = wire[q]
+            tn.set_output_indices(list(output_index_of_qubit.values()))
+        else:
+            for q in range(n):
+                ix = wire[q]
+                bit = int(bitstring[q])
+                data = (_KET0 if bit == 0 else _KET1) if self._concrete else None
+                tn.add_tensor(
+                    Tensor(
+                        (ix,),
+                        data=data,
+                        sizes={ix: 2},
+                        tags=("output", f"qubit:{q}"),
+                    )
+                )
+            tn.set_output_indices(())
+        return ConversionResult(network=tn, output_index_of_qubit=output_index_of_qubit)
+
+    # ------------------------------------------------------------------
+    def _add_gate(
+        self,
+        tn: TensorNetwork,
+        gate: Gate,
+        gate_pos: int,
+        wire: Dict[int, str],
+        counter: Dict[int, int],
+    ) -> None:
+        data = gate.tensor() if self._concrete else None
+        tags = (f"gate:{gate.name}", f"pos:{gate_pos}")
+        if gate.num_qubits == 1:
+            (q,) = gate.qubits
+            in_ix = wire[q]
+            counter[q] += 1
+            out_ix = f"q{q}_{counter[q]}"
+            wire[q] = out_ix
+            tn.add_tensor(
+                Tensor(
+                    (out_ix, in_ix),
+                    data=data,
+                    sizes={out_ix: 2, in_ix: 2},
+                    tags=tags + tuple(f"qubit:{x}" for x in gate.qubits),
+                )
+            )
+        else:
+            q0, q1 = gate.qubits
+            in0, in1 = wire[q0], wire[q1]
+            counter[q0] += 1
+            counter[q1] += 1
+            out0 = f"q{q0}_{counter[q0]}"
+            out1 = f"q{q1}_{counter[q1]}"
+            wire[q0], wire[q1] = out0, out1
+            tn.add_tensor(
+                Tensor(
+                    (out0, out1, in0, in1),
+                    data=data,
+                    sizes={out0: 2, out1: 2, in0: 2, in1: 2},
+                    tags=tags + tuple(f"qubit:{x}" for x in gate.qubits),
+                )
+            )
+
+
+def circuit_to_tensor_network(
+    circuit: Circuit,
+    bitstring: Optional[Sequence[int]] = None,
+    concrete: bool = True,
+    initial_state: Optional[Sequence[int]] = None,
+) -> TensorNetwork:
+    """Convenience wrapper returning only the network."""
+    converter = CircuitToTensorNetwork(concrete=concrete)
+    return converter.convert(circuit, bitstring=bitstring, initial_state=initial_state).network
+
+
+def amplitude_network(
+    circuit: Circuit, bitstring: Sequence[int], concrete: bool = True
+) -> TensorNetwork:
+    """Closed (scalar) network for the amplitude ``<bitstring| C |0..0>``."""
+    return circuit_to_tensor_network(circuit, bitstring=bitstring, concrete=concrete)

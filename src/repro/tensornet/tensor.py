@@ -1,0 +1,218 @@
+"""Labelled tensors.
+
+A :class:`Tensor` couples an (optional) numpy array with a tuple of *index
+labels*.  Index labels are the "edges" of the tensor-network graph in the
+paper's notation: two tensors sharing a label are connected, and contracting
+them sums over that label.
+
+Tensors may be *abstract* (``data is None``): the planning layers (path
+search, lifetime analysis, slicing) only need the index structure and sizes,
+and building the actual numerical data for a 53-qubit Sycamore network would
+be wasteful when all we want is to plan.  The execution layer requires
+concrete data and will raise if it is missing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Tensor", "TensorError"]
+
+
+class TensorError(ValueError):
+    """Raised for malformed tensor constructions."""
+
+
+class Tensor:
+    """A tensor with named indices.
+
+    Parameters
+    ----------
+    indices:
+        Ordered index labels, one per axis.
+    data:
+        Optional numpy array whose shape matches the index sizes.
+    sizes:
+        Mapping from index label to dimension size.  Required when ``data``
+        is ``None``; inferred from ``data.shape`` otherwise.  In quantum
+        circuit networks every size is 2.
+    tags:
+        Free-form tags (e.g. ``"gate:fsim"``, ``"qubit:17"``) used by the
+        simplifier and by debugging output.
+    """
+
+    __slots__ = ("_indices", "_data", "_sizes", "_tags")
+
+    def __init__(
+        self,
+        indices: Sequence[str],
+        data: Optional[np.ndarray] = None,
+        sizes: Optional[Mapping[str, int]] = None,
+        tags: Iterable[str] = (),
+    ) -> None:
+        self._indices: Tuple[str, ...] = tuple(indices)
+        if len(set(self._indices)) != len(self._indices):
+            raise TensorError(f"repeated index labels in {self._indices}")
+        if data is not None:
+            data = np.asarray(data)
+            if data.ndim != len(self._indices):
+                raise TensorError(
+                    f"data has {data.ndim} axes but {len(self._indices)} indices given"
+                )
+            inferred = {ix: int(dim) for ix, dim in zip(self._indices, data.shape)}
+            if sizes is not None:
+                for ix, size in inferred.items():
+                    if ix in sizes and int(sizes[ix]) != size:
+                        raise TensorError(
+                            f"size mismatch for index {ix!r}: data says {size}, "
+                            f"sizes says {sizes[ix]}"
+                        )
+            self._sizes = inferred
+        else:
+            if sizes is None:
+                raise TensorError("abstract tensors require explicit sizes")
+            missing = [ix for ix in self._indices if ix not in sizes]
+            if missing:
+                raise TensorError(f"missing sizes for indices {missing}")
+            self._sizes = {ix: int(sizes[ix]) for ix in self._indices}
+        self._data = data
+        self._tags: FrozenSet[str] = frozenset(tags)
+
+    # ------------------------------------------------------------------
+    @property
+    def indices(self) -> Tuple[str, ...]:
+        """Ordered index labels."""
+        return self._indices
+
+    @property
+    def data(self) -> Optional[np.ndarray]:
+        """Underlying array, or ``None`` for abstract tensors."""
+        return self._data
+
+    @property
+    def tags(self) -> FrozenSet[str]:
+        """Free-form tags."""
+        return self._tags
+
+    @property
+    def ndim(self) -> int:
+        """Tensor rank."""
+        return len(self._indices)
+
+    @property
+    def is_abstract(self) -> bool:
+        """Whether the tensor carries no numerical data."""
+        return self._data is None
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape implied by the index sizes."""
+        return tuple(self._sizes[ix] for ix in self._indices)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        out = 1
+        for ix in self._indices:
+            out *= self._sizes[ix]
+        return out
+
+    @property
+    def log2_size(self) -> float:
+        """log2 of the number of elements (the paper's natural unit)."""
+        return sum(math.log2(self._sizes[ix]) for ix in self._indices)
+
+    def size_of(self, index: str) -> int:
+        """Dimension of a named index."""
+        try:
+            return self._sizes[index]
+        except KeyError as exc:
+            raise TensorError(f"index {index!r} not on this tensor") from exc
+
+    def sizes(self) -> Dict[str, int]:
+        """Copy of the index→size mapping."""
+        return dict(self._sizes)
+
+    # ------------------------------------------------------------------
+    def with_data(self, data: np.ndarray) -> "Tensor":
+        """Return a copy of this tensor carrying ``data``."""
+        return Tensor(self._indices, data=data, sizes=self._sizes, tags=self._tags)
+
+    def with_tags(self, *tags: str) -> "Tensor":
+        """Return a copy with additional tags."""
+        return Tensor(
+            self._indices, data=self._data, sizes=self._sizes, tags=self._tags | set(tags)
+        )
+
+    def retagged(self, tags: Iterable[str]) -> "Tensor":
+        """Return a copy whose tags are exactly ``tags``."""
+        return Tensor(self._indices, data=self._data, sizes=self._sizes, tags=tags)
+
+    def reindexed(self, mapping: Mapping[str, str]) -> "Tensor":
+        """Return a copy with indices renamed according to ``mapping``."""
+        new_indices = tuple(mapping.get(ix, ix) for ix in self._indices)
+        new_sizes = {mapping.get(ix, ix): size for ix, size in self._sizes.items()}
+        return Tensor(new_indices, data=self._data, sizes=new_sizes, tags=self._tags)
+
+    def transposed(self, order: Sequence[str]) -> "Tensor":
+        """Return a copy with axes permuted into ``order``."""
+        order = tuple(order)
+        if set(order) != set(self._indices) or len(order) != len(self._indices):
+            raise TensorError(f"{order} is not a permutation of {self._indices}")
+        if self._data is None:
+            return Tensor(order, data=None, sizes=self._sizes, tags=self._tags)
+        perm = tuple(self._indices.index(ix) for ix in order)
+        return Tensor(
+            order, data=np.transpose(self._data, perm), sizes=self._sizes, tags=self._tags
+        )
+
+    def slice_index(self, index: str, value: int) -> "Tensor":
+        """Fix ``index`` to ``value``, reducing the rank by one.
+
+        This is the elementary *slicing* operation of the paper: the sliced
+        dimension is removed from the tensor and the caller enumerates all
+        of its values as independent subtasks.
+        """
+        if index not in self._indices:
+            # slicing an index the tensor does not carry is a no-op; this is
+            # exactly the case of a tensor outside the index's lifetime.
+            return self
+        size = self._sizes[index]
+        if not 0 <= value < size:
+            raise TensorError(f"slice value {value} out of range for index {index!r}")
+        axis = self._indices.index(index)
+        new_indices = self._indices[:axis] + self._indices[axis + 1 :]
+        new_sizes = {ix: s for ix, s in self._sizes.items() if ix != index}
+        if self._data is None:
+            return Tensor(new_indices, data=None, sizes=new_sizes, tags=self._tags)
+        new_data = np.take(self._data, value, axis=axis)
+        return Tensor(new_indices, data=new_data, sizes=new_sizes, tags=self._tags)
+
+    def require_data(self) -> np.ndarray:
+        """Return the data array, raising for abstract tensors."""
+        if self._data is None:
+            raise TensorError("operation requires a concrete (non-abstract) tensor")
+        return self._data
+
+    # ------------------------------------------------------------------
+    def contract_with(self, other: "Tensor") -> "Tensor":
+        """Pairwise contraction over all shared indices (numerical)."""
+        a = self.require_data()
+        b = other.require_data()
+        shared = [ix for ix in self._indices if ix in other._indices]
+        axes_a = [self._indices.index(ix) for ix in shared]
+        axes_b = [other._indices.index(ix) for ix in shared]
+        out = np.tensordot(a, b, axes=(axes_a, axes_b))
+        out_indices = tuple(ix for ix in self._indices if ix not in shared) + tuple(
+            ix for ix in other._indices if ix not in shared
+        )
+        sizes = {**self._sizes, **other._sizes}
+        sizes = {ix: sizes[ix] for ix in out_indices}
+        return Tensor(out_indices, data=out, sizes=sizes, tags=self._tags | other._tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "abstract" if self.is_abstract else "concrete"
+        return f"Tensor(rank={self.ndim}, indices={list(self._indices)}, {kind})"

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build a ladder of workloads:
+
+* tiny brickwork circuits whose amplitudes can be checked exactly against
+  the dense state-vector simulator,
+* a mid-size 2-D grid RQC whose (abstract) tensor network exercises the
+  planning stack — path search, stem extraction, slicing — without touching
+  numerical data,
+* ready-made contraction trees and cost models derived from them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import grid_circuit, random_brickwork_circuit
+from repro.core import SlicingCostModel, extract_stem
+from repro.paths import GreedyOptimizer, HyperOptimizer
+from repro.tensornet import amplitude_network, circuit_to_tensor_network, simplify_network
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """A 5-qubit brickwork circuit, verifiable against the state vector."""
+    return random_brickwork_circuit(5, 4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_bitstring():
+    return (0, 1, 0, 1, 1)
+
+
+@pytest.fixture(scope="session")
+def small_network(small_circuit, small_bitstring):
+    """Concrete closed network of one amplitude of the small circuit."""
+    tn = amplitude_network(small_circuit, list(small_bitstring), concrete=True)
+    simplify_network(tn)
+    return tn
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_network):
+    """A contraction tree for the small network."""
+    return GreedyOptimizer(seed=3).tree(small_network)
+
+
+@pytest.fixture(scope="session")
+def grid_network():
+    """Abstract (planning-only) network of a 4x5, 8-cycle grid RQC amplitude."""
+    circ = grid_circuit(4, 5, cycles=8, seed=3)
+    tn = amplitude_network(circ, [0] * circ.num_qubits, concrete=False)
+    simplify_network(tn)
+    return tn
+
+
+@pytest.fixture(scope="session")
+def grid_tree(grid_network):
+    """A good contraction tree of the grid network."""
+    return HyperOptimizer(max_trials=8, seed=1).search(grid_network)
+
+
+@pytest.fixture(scope="session")
+def grid_stem(grid_tree):
+    return extract_stem(grid_tree)
+
+
+@pytest.fixture(scope="session")
+def grid_cost_model(grid_tree):
+    return SlicingCostModel(grid_tree)
+
+
+@pytest.fixture(scope="session")
+def grid_target_rank(grid_tree):
+    """A slicing target that forces a non-trivial slicing set on the grid tree."""
+    return max(grid_tree.max_rank() - 4, 4)

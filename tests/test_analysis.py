@@ -1,0 +1,88 @@
+"""Tests of the analysis / reporting helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    compare_slicers,
+    format_kv,
+    format_series,
+    format_table,
+    slicing_summary,
+    stem_summary,
+    summarize_distribution,
+    tree_summary,
+)
+from repro.core import GreedySliceBaseline, LifetimeSliceFinder
+
+
+class TestFormatting:
+    def test_format_table_alignment_and_content(self):
+        rows = [
+            {"name": "a", "value": 1.2345678, "flag": True},
+            {"name": "bee", "value": 1e-7, "flag": False},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "bee" in text and "yes" in text and "no" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series([1.0, 2.0], {"y": [10.0, 20.0]}, x_label="t", title="s")
+        assert "t" in text and "y" in text and "20" in text
+
+    def test_format_series_short_series_padded_with_nan(self):
+        text = format_series([1.0, 2.0], {"y": [10.0]})
+        assert "nan" in text
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.0, "beta_long_key": "x"}, title="kv")
+        lines = text.splitlines()
+        assert lines[0] == "kv"
+        assert any(line.strip().startswith("alpha") for line in lines)
+
+    def test_summarize_distribution(self):
+        stats = summarize_distribution([3.0, 1.0, 2.0, 4.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["mean"] == pytest.approx(2.5)
+        assert summarize_distribution([]) == {"count": 0.0}
+
+
+class TestSummaries:
+    def test_tree_summary_keys(self, grid_tree):
+        summary = tree_summary(grid_tree)
+        assert summary["num_leaves"] == grid_tree.num_leaves
+        assert summary["max_rank"] == grid_tree.max_rank()
+        assert summary["log10_flops"] == pytest.approx(grid_tree.log10_total_cost())
+        assert summary["log2_flops"] == pytest.approx(
+            grid_tree.log10_total_cost() / math.log10(2.0)
+        )
+
+    def test_stem_summary(self, grid_stem):
+        summary = stem_summary(grid_stem)
+        assert summary["length"] == grid_stem.length
+        assert 0 < summary["cost_fraction"] <= 1.0
+
+    def test_slicing_summary_and_compare(self, grid_tree, grid_cost_model, grid_target_rank):
+        ours = LifetimeSliceFinder(grid_target_rank).find(grid_tree, cost_model=grid_cost_model)
+        base = GreedySliceBaseline(grid_target_rank).find(grid_tree, cost_model=grid_cost_model)
+        summary = slicing_summary(ours)
+        assert summary["num_sliced"] == ours.num_sliced
+        assert summary["overhead"] == pytest.approx(ours.overhead)
+        rows = compare_slicers(grid_tree, {"ours": ours, "baseline": base})
+        assert len(rows) == 2
+        assert {row["method"] for row in rows} == {"ours", "baseline"}

@@ -1,0 +1,135 @@
+"""Unit tests of the circuit IR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, CircuitError, Gate, Moment
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        c = Circuit(3)
+        assert c.num_qubits == 3
+        assert c.num_gates == 0
+        assert c.depth() == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_add_gate_and_chain(self):
+        c = Circuit(2).add("h", 0).add("cx", 0, 1)
+        assert c.num_gates == 2
+        assert c.gates[0].name == "h"
+
+    def test_add_with_params(self):
+        c = Circuit(1).add("rx", 0, params=(0.5,))
+        assert c.gates[0].params == (0.5,)
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).add("h", 5)
+
+    def test_extend_and_copy_independent(self):
+        c = Circuit(2).add("h", 0)
+        d = c.copy()
+        d.add("x", 1)
+        assert c.num_gates == 1
+        assert d.num_gates == 2
+
+    def test_concatenation(self):
+        a = Circuit(2).add("h", 0)
+        b = Circuit(2).add("cx", 0, 1)
+        c = a + b
+        assert c.num_gates == 2
+        assert a.num_gates == 1
+
+    def test_concatenation_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2) + Circuit(3)
+
+    def test_equality(self):
+        a = Circuit(2).add("h", 0)
+        b = Circuit(2).add("h", 0)
+        assert a == b
+        b.add("x", 1)
+        assert a != b
+
+
+class TestIntrospection:
+    def test_moments_pack_disjoint_gates(self):
+        c = Circuit(4).add("h", 0).add("h", 1).add("cx", 0, 1).add("h", 2)
+        moments = c.moments()
+        assert len(moments) == 2
+        assert set(g.name for g in moments[0]) == {"h"}
+        assert len(moments[0]) == 3  # h0, h1, h2 all fit in moment 0
+
+    def test_depth_counts_serial_dependencies(self):
+        c = Circuit(2).add("h", 0).add("x", 0).add("z", 0)
+        assert c.depth() == 3
+
+    def test_two_qubit_gate_count(self):
+        c = Circuit(3).add("h", 0).add("cz", 0, 1).add("cz", 1, 2)
+        assert c.num_two_qubit_gates == 2
+
+    def test_gate_counts(self):
+        c = Circuit(2).add("h", 0).add("h", 1).add("cx", 0, 1)
+        assert c.gate_counts() == {"h": 2, "cx": 1}
+
+    def test_interaction_graph(self):
+        c = Circuit(3).add("cz", 0, 1).add("cz", 1, 0).add("cz", 1, 2)
+        graph = c.interaction_graph()
+        assert graph[(0, 1)] == 2
+        assert graph[(1, 2)] == 1
+
+    def test_qubits_used(self):
+        c = Circuit(5).add("h", 1).add("cz", 3, 4)
+        assert c.qubits_used() == frozenset({1, 3, 4})
+
+    def test_iteration_and_indexing(self):
+        c = Circuit(2).add("h", 0).add("x", 1)
+        assert [g.name for g in c] == ["h", "x"]
+        assert c[1].name == "x"
+        assert len(c) == 2
+
+
+class TestMoment:
+    def test_overlapping_gates_rejected(self):
+        with pytest.raises(CircuitError):
+            Moment((Gate("h", (0,)), Gate("x", (0,))))
+
+    def test_moment_qubits(self):
+        m = Moment((Gate("h", (0,)), Gate("cz", (1, 2))))
+        assert m.qubits == frozenset({0, 1, 2})
+        assert len(m) == 2
+
+
+class TestUnitary:
+    def test_unitary_of_known_circuit(self):
+        # H then CX gives the Bell-state preparation unitary
+        c = Circuit(2).add("h", 0).add("cx", 0, 1)
+        u = c.unitary()
+        state = u @ np.array([1, 0, 0, 0], dtype=complex)
+        expected = np.array([1, 0, 0, 1], dtype=complex) / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_unitary_is_unitary(self):
+        c = Circuit(3)
+        rng = np.random.default_rng(0)
+        for layer in range(3):
+            for q in range(3):
+                c.add("u3", q, params=tuple(rng.uniform(0, 2 * np.pi, 3)))
+            c.add("cz", layer % 2, (layer % 2) + 1)
+        u = c.unitary()
+        assert np.allclose(u.conj().T @ u, np.eye(8), atol=1e-10)
+
+    def test_inverse_circuit_gives_identity(self):
+        c = Circuit(2).add("h", 0).add("t", 1).add("cx", 0, 1).add("rz", 0, params=(0.3,))
+        u = (c + c.inverse()).unitary()
+        assert np.allclose(u, np.eye(4), atol=1e-10)
+
+    def test_unitary_refuses_large_circuits(self):
+        with pytest.raises(CircuitError):
+            Circuit(20).unitary(max_qubits=12)

@@ -1,0 +1,100 @@
+"""Tests of the circuit → tensor network converter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, StateVectorSimulator, amplitude, random_brickwork_circuit
+from repro.tensornet import (
+    CircuitToTensorNetwork,
+    amplitude_network,
+    circuit_to_tensor_network,
+    simplify_network,
+)
+
+
+class TestStructure:
+    def test_closed_network_has_no_open_indices(self):
+        circ = Circuit(2).add("h", 0).add("cx", 0, 1)
+        tn = amplitude_network(circ, (0, 0))
+        assert tn.output_indices() == frozenset()
+        # 2 inputs + 2 gates + 2 outputs
+        assert tn.num_tensors == 6
+
+    def test_open_network_has_one_open_index_per_qubit(self):
+        circ = Circuit(3).add("h", 0).add("cz", 1, 2)
+        result = CircuitToTensorNetwork().convert(circ)
+        tn = result.network
+        assert len(tn.output_indices()) == 3
+        assert set(result.output_index_of_qubit) == {0, 1, 2}
+
+    def test_abstract_conversion_has_no_data(self):
+        circ = random_brickwork_circuit(4, 3, seed=0)
+        tn = circuit_to_tensor_network(circ, bitstring=[0] * 4, concrete=False)
+        assert not tn.is_concrete()
+        assert tn.num_tensors > 0
+
+    def test_gate_wiring_shares_one_index_per_qubit(self):
+        circ = Circuit(1).add("h", 0).add("x", 0)
+        tn = circuit_to_tensor_network(circ)
+        # input -- h -- x -- (open): the h and x tensors share exactly one index
+        tids = tn.tensor_ids
+        gate_tensors = [tid for tid in tids if any(t.startswith("gate:") for t in tn.tensor(tid).tags)]
+        assert len(gate_tensors) == 2
+        assert len(tn.shared_indices(*gate_tensors)) == 1
+
+    def test_bitstring_length_checked(self):
+        circ = Circuit(2).add("h", 0)
+        with pytest.raises(ValueError):
+            amplitude_network(circ, (0,))
+
+    def test_initial_state_length_checked(self):
+        circ = Circuit(2).add("h", 0)
+        with pytest.raises(ValueError):
+            circuit_to_tensor_network(circ, initial_state=(1,))
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("bitstring", [(0, 0, 0, 0), (1, 0, 1, 1)])
+    def test_closed_amplitude_matches_statevector(self, seed, bitstring):
+        circ = random_brickwork_circuit(4, 3, seed=seed)
+        tn = amplitude_network(circ, bitstring)
+        value = complex(tn.contract_all().require_data())
+        assert value == pytest.approx(amplitude(circ, bitstring), abs=1e-10)
+
+    def test_open_network_contracts_to_full_state(self):
+        circ = random_brickwork_circuit(3, 2, seed=4)
+        result = CircuitToTensorNetwork().convert(circ)
+        tn = result.network
+        out = tn.contract_all()
+        order = tuple(result.output_index_of_qubit[q] for q in range(3))
+        state = out.transposed(order).data.reshape(-1)
+        expected = StateVectorSimulator(3).run(circ).state_vector()
+        assert np.allclose(state, expected, atol=1e-10)
+
+    def test_custom_initial_state(self):
+        circ = Circuit(2).add("cx", 0, 1)
+        tn = circuit_to_tensor_network(circ, bitstring=(1, 1), initial_state=(1, 0))
+        value = complex(tn.contract_all().require_data())
+        assert value == pytest.approx(1.0)
+
+    def test_sycamore_style_gates_round_trip(self):
+        from repro.circuits import grid_circuit
+
+        circ = grid_circuit(2, 3, cycles=3, seed=7)
+        bitstring = [0, 1, 0, 1, 1, 0]
+        tn = amplitude_network(circ, bitstring)
+        simplify_network(tn)
+        value = complex(tn.contract_all().require_data())
+        assert value == pytest.approx(amplitude(circ, bitstring), abs=1e-9)
+
+    def test_amplitudes_sum_to_unit_probability(self):
+        circ = random_brickwork_circuit(3, 2, seed=8)
+        total = 0.0
+        for i in range(8):
+            bits = [(i >> (2 - q)) & 1 for q in range(3)]
+            tn = amplitude_network(circ, bits)
+            total += abs(complex(tn.contract_all().require_data())) ** 2
+        assert total == pytest.approx(1.0, abs=1e-9)

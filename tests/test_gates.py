@@ -1,0 +1,190 @@
+"""Unit tests of the gate library."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gate_matrix, gate_tensor, is_diagonal_gate, register_gate
+from repro.circuits.gates import (
+    FSIM,
+    Gate,
+    GateDefinitionError,
+    H,
+    ISWAP,
+    SQRT_ISWAP,
+    SW,
+    SX,
+    SY,
+    available_gates,
+    gate_num_qubits,
+)
+
+
+def _is_unitary(m: np.ndarray) -> bool:
+    return np.allclose(m.conj().T @ m, np.eye(m.shape[0]), atol=1e-10)
+
+
+PARAMETRIC_DEFAULTS = {
+    "rx": (0.7,),
+    "ry": (1.1,),
+    "rz": (2.3,),
+    "u3": (0.4, 1.2, 2.5),
+    "fsim": (math.pi / 2, math.pi / 6),
+    "cphase": (0.9,),
+}
+
+
+class TestGateMatrices:
+    def test_every_registered_gate_is_unitary(self):
+        for name in available_gates():
+            params = PARAMETRIC_DEFAULTS.get(name, ())
+            matrix = gate_matrix(name, params)
+            assert _is_unitary(matrix), name
+
+    def test_one_qubit_gates_are_2x2(self):
+        for name in available_gates():
+            params = PARAMETRIC_DEFAULTS.get(name, ())
+            if gate_num_qubits(name) == 1:
+                assert gate_matrix(name, params).shape == (2, 2)
+
+    def test_two_qubit_gates_are_4x4(self):
+        for name in available_gates():
+            params = PARAMETRIC_DEFAULTS.get(name, ())
+            if gate_num_qubits(name) == 2:
+                assert gate_matrix(name, params).shape == (4, 4)
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(H() @ H(), np.eye(2), atol=1e-12)
+
+    def test_sx_squares_to_x(self):
+        x = gate_matrix("x")
+        assert np.allclose(SX() @ SX(), x, atol=1e-12)
+
+    def test_sy_squares_to_y(self):
+        y = gate_matrix("y")
+        assert np.allclose(SY() @ SY(), y, atol=1e-12)
+
+    def test_sw_squares_to_w(self):
+        w = (gate_matrix("x") + gate_matrix("y")) / math.sqrt(2.0)
+        product = SW() @ SW()
+        # allow a global phase difference
+        phase = product[0, 0] / w[0, 0] if abs(w[0, 0]) > 1e-12 else product[1, 0] / w[1, 0]
+        assert np.allclose(product, w * phase, atol=1e-10)
+
+    def test_s_is_sqrt_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"), atol=1e-12)
+
+    def test_t_is_sqrt_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"), atol=1e-12)
+
+    def test_fsim_zero_angles_is_identity(self):
+        assert np.allclose(FSIM(0.0, 0.0), np.eye(4), atol=1e-12)
+
+    def test_fsim_pi_half_is_iswap_like(self):
+        m = FSIM(math.pi / 2, 0.0)
+        expected = ISWAP().copy()
+        expected[1, 2] = expected[2, 1] = -1j
+        assert np.allclose(m, expected, atol=1e-12)
+
+    def test_sqrt_iswap_squares_to_iswap(self):
+        assert np.allclose(SQRT_ISWAP() @ SQRT_ISWAP(), ISWAP(), atol=1e-12)
+
+    def test_cx_maps_10_to_11(self):
+        cx = gate_matrix("cx")
+        state = np.zeros(4)
+        state[2] = 1.0  # |10>
+        out = cx @ state
+        assert np.allclose(out, [0, 0, 0, 1])
+
+    def test_cz_phase_only_on_11(self):
+        cz = gate_matrix("cz")
+        assert cz[3, 3] == -1
+        assert np.allclose(np.diag(cz), [1, 1, 1, -1])
+
+    def test_rz_diagonal(self):
+        rz = gate_matrix("rz", (1.3,))
+        assert np.allclose(rz, np.diag(np.diag(rz)))
+
+    def test_u3_reduces_to_ry(self):
+        theta = 0.8
+        assert np.allclose(gate_matrix("u3", (theta, 0.0, 0.0)), gate_matrix("ry", (theta,)))
+
+
+class TestGateTensor:
+    def test_two_qubit_tensor_shape(self):
+        t = gate_tensor("cz")
+        assert t.shape == (2, 2, 2, 2)
+
+    def test_tensor_matches_matrix_reshape(self):
+        m = gate_matrix("fsim", (0.3, 0.7))
+        t = gate_tensor("fsim", (0.3, 0.7))
+        assert np.allclose(t.reshape(4, 4), m)
+
+    def test_one_qubit_tensor_is_matrix(self):
+        assert np.allclose(gate_tensor("h"), gate_matrix("h"))
+
+
+class TestGateErrors:
+    def test_unknown_gate_raises(self):
+        with pytest.raises(GateDefinitionError):
+            gate_matrix("nonexistent")
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(GateDefinitionError):
+            gate_matrix("rx", ())
+
+    def test_gate_wrong_qubit_count_raises(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("cz", (0,))
+
+    def test_gate_duplicate_qubits_raises(self):
+        with pytest.raises(GateDefinitionError):
+            Gate("cz", (1, 1))
+
+    def test_register_invalid_arity_raises(self):
+        with pytest.raises(GateDefinitionError):
+            register_gate("threeq", lambda: np.eye(8), 3)
+
+
+class TestGateInstances:
+    def test_gate_matrix_and_tensor(self):
+        g = Gate("fsim", (0, 1), (math.pi / 2, math.pi / 6))
+        assert g.num_qubits == 2
+        assert g.matrix().shape == (4, 4)
+        assert g.tensor().shape == (2, 2, 2, 2)
+
+    def test_gate_params_coerced_to_float(self):
+        g = Gate("rx", (0,), (1,))
+        assert isinstance(g.params[0], float)
+
+    def test_diagonal_flag(self):
+        assert Gate("cz", (0, 1)).is_diagonal
+        assert Gate("t", (0,)).is_diagonal
+        assert not Gate("h", (0,)).is_diagonal
+        assert is_diagonal_gate("rz")
+
+    def test_dagger_inverts_matrix(self):
+        cases = [
+            Gate("h", (0,)),
+            Gate("s", (0,)),
+            Gate("t", (0,)),
+            Gate("rx", (0,), (0.9,)),
+            Gate("fsim", (0, 1), (0.5, 0.2)),
+            Gate("sw", (0,)),
+            Gate("sqrt_iswap", (0, 1)),
+        ]
+        for gate in cases:
+            product = gate.matrix() @ gate.dagger().matrix()
+            assert np.allclose(product, np.eye(product.shape[0]), atol=1e-10), gate
+
+    def test_custom_gate_registration(self):
+        register_gate("mytest_phase", lambda: np.diag([1.0, 1j]).astype(complex), 1, 0, diagonal=True)
+        assert "mytest_phase" in available_gates()
+        assert is_diagonal_gate("mytest_phase")
+        g = Gate("mytest_phase", (0,))
+        assert np.allclose(g.matrix(), np.diag([1.0, 1j]))

@@ -1,0 +1,220 @@
+"""Tests of the SW26010pro hardware model (spec, memory hierarchy, DMA/RMA, GEMM, roofline)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hardware import (
+    COMPLEX64_BYTES,
+    DMAEngine,
+    GEMMModel,
+    GEMMShape,
+    MemoryHierarchy,
+    RMAEngine,
+    RooflineModel,
+    RooflinePoint,
+    SW26010PRO,
+    StorageLevel,
+    SunwaySpec,
+    cooperative_transfer_time,
+    naive_strided_transfer_time,
+    sunway_hierarchy,
+)
+
+
+class TestSpec:
+    def test_documented_constants(self):
+        spec = SW26010PRO
+        assert spec.cgs_per_node == 6
+        assert spec.cpes_per_cg == 64
+        assert spec.ldm_bytes == 256 * 1024
+        assert spec.main_memory_per_cg_bytes == 16 * 1024**3
+        assert spec.dma_bandwidth == pytest.approx(51.2e9)
+        assert spec.rma_bandwidth == pytest.approx(800e9)
+        assert spec.arithmetic_intensity_ridge == pytest.approx(42.3)
+
+    def test_derived_core_counts(self):
+        # the paper's 390 cores per node and 41,932,800 cores on 107,520 nodes
+        assert SW26010PRO.cores_per_node == 390
+        assert SW26010PRO.cores_per_node * 107_520 == 41_932_800
+
+    def test_united_main_memory_is_96gb(self):
+        assert SW26010PRO.main_memory_per_node_bytes == 96 * 1024**3
+
+    def test_peak_flops_consistency(self):
+        spec = SW26010PRO
+        assert spec.peak_flops_per_cg == pytest.approx(42.3 * 51.2e9)
+        assert spec.peak_flops_per_node == pytest.approx(6 * spec.peak_flops_per_cg)
+        assert spec.peak_flops_per_cpe == pytest.approx(spec.peak_flops_per_cg / 64)
+        assert spec.peak_flops_system(2) == pytest.approx(2 * spec.peak_flops_per_node)
+
+    def test_ldm_rank_13(self):
+        # 256 KB of single-precision complex with room for operands = rank 13
+        assert SW26010PRO.ldm_max_rank(COMPLEX64_BYTES) == 13
+
+    def test_main_memory_rank(self):
+        # 96 GB of single-precision complex holds a rank-33 tensor
+        assert SW26010PRO.main_memory_max_rank(united=True) == 33
+        assert SW26010PRO.main_memory_max_rank(united=False) == 31
+
+    def test_with_overrides(self):
+        fat = SW26010PRO.with_overrides(ldm_bytes=1024 * 1024)
+        assert fat.ldm_bytes == 1024 * 1024
+        assert SW26010PRO.ldm_bytes == 256 * 1024  # original untouched
+
+
+class TestMemoryHierarchy:
+    def test_sunway_hierarchy_levels(self):
+        h = sunway_hierarchy()
+        assert [lvl.name for lvl in h] == ["disk", "main_memory", "ldm"]
+        assert len(h) == 3
+        assert h.level("ldm").capacity_bytes == SW26010PRO.ldm_bytes
+
+    def test_boundaries(self):
+        h = sunway_hierarchy()
+        names = [(o.name, i.name) for o, i in h.boundaries()]
+        assert names == [("disk", "main_memory"), ("main_memory", "ldm")]
+        assert h.inner_of("main_memory").name == "ldm"
+        assert h.inner_of("ldm") is None
+
+    def test_level_lookup_error(self):
+        with pytest.raises(KeyError):
+            sunway_hierarchy().level("tape")
+
+    def test_max_ranks(self):
+        h = sunway_hierarchy()
+        ranks = h.max_rank_per_level()
+        assert ranks["ldm"] < ranks["main_memory"] < ranks["disk"]
+
+    def test_target_rank_reserves_working_set(self):
+        h = sunway_hierarchy()
+        assert h.target_rank_for("ldm") <= h.level("ldm").max_rank()
+
+    def test_per_cg_main_memory(self):
+        h = sunway_hierarchy(united_main_memory=False)
+        assert h.level("main_memory").capacity_bytes == SW26010PRO.main_memory_per_cg_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                [StorageLevel("a", 10.0), StorageLevel("a", 10.0)]
+            )
+
+    def test_storage_level_rank(self):
+        lvl = StorageLevel("x", capacity_bytes=float(2**20))
+        assert lvl.max_rank(element_bytes=8) == 17
+        assert lvl.max_rank(element_bytes=8, reserve_factor=4.0) == 15
+        assert StorageLevel("inf", math.inf).max_rank() == 64
+
+
+class TestDMAModels:
+    def test_paper_anchor_points(self):
+        dma = DMAEngine()
+        # >=50% of peak at 512 B granularity, <1% for element-wise access
+        assert dma.efficiency(512.0) == pytest.approx(0.5)
+        assert dma.efficiency(8.0) < 0.02
+        assert dma.efficiency(1e9) > 0.99
+
+    def test_transfer_time_scales(self):
+        dma = DMAEngine()
+        assert dma.transfer_time(1e6, 512.0) == pytest.approx(
+            2 * dma.transfer_time(0.5e6, 512.0)
+        )
+        assert dma.transfer_time(0.0, 512.0) == 0.0
+        assert dma.transfer_time(1.0, 0.0) == math.inf
+
+    def test_rma_is_faster_than_dma_at_same_granularity(self):
+        dma, rma = DMAEngine(), RMAEngine()
+        assert rma.effective_bandwidth(2048.0) > dma.effective_bandwidth(2048.0)
+
+    def test_cooperative_beats_naive_for_scattered_data(self):
+        num_bytes = 64 * 2**13 * COMPLEX64_BYTES
+        naive = naive_strided_transfer_time(num_bytes, contiguous_run_bytes=8.0)
+        coop = cooperative_transfer_time(num_bytes)
+        assert coop.total_seconds < naive.total_seconds
+        # the paper quotes orders of magnitude; require at least 10x here
+        assert naive.total_seconds / coop.total_seconds > 10.0
+
+    def test_cooperative_breakdown_fields(self):
+        t = cooperative_transfer_time(1e6)
+        assert t.dma_seconds > 0 and t.rma_seconds > 0
+        assert t.total_seconds == pytest.approx(t.dma_seconds + t.rma_seconds)
+        assert t.effective_bandwidth > 0
+
+
+class TestGEMMModel:
+    def test_square_gemm_is_compute_bound_and_efficient(self):
+        model = GEMMModel()
+        estimate = model.estimate(GEMMShape(256, 256, 256))
+        assert not estimate.memory_bound
+        assert estimate.efficiency > 0.5
+
+    def test_narrow_gemm_is_memory_bound(self):
+        model = GEMMModel()
+        estimate = model.estimate(GEMMShape(4096, 2, 2))
+        assert GEMMShape(4096, 2, 2).is_narrow
+        assert estimate.memory_bound
+        assert estimate.efficiency < 0.2
+
+    def test_flops_and_intensity(self):
+        shape = GEMMShape(8, 8, 8)
+        assert shape.flops == pytest.approx(8 * 8 * 8 * 8)
+        assert shape.arithmetic_intensity > 0
+        # the paper's criterion: narrow when at least two extents are < 16
+        assert shape.is_narrow
+        assert not GEMMShape(32, 32, 8).is_narrow
+
+    def test_achievable_fraction_bounds(self):
+        model = GEMMModel()
+        for shape in (GEMMShape(1, 1, 1), GEMMShape(2, 2, 1024), GEMMShape(64, 64, 64)):
+            fraction = model.achievable_fraction(shape)
+            assert 0.0 < fraction <= SW26010PRO.gemm_peak_fraction + 1e-12
+
+    def test_contraction_shape_mapping(self):
+        model = GEMMModel()
+        shape = model.contraction_shape(left_log2=20.0, right_log2=8.0, contracted_log2=4.0)
+        assert shape.k == 16
+        assert shape.m == 2 ** (20 - 4)
+        assert shape.n == 2 ** (8 - 4)
+
+    def test_seconds_positive(self):
+        assert GEMMModel().seconds(GEMMShape(32, 32, 32)) > 0
+
+
+class TestRoofline:
+    def test_ridge_point_matches_spec(self):
+        model = RooflineModel()
+        assert model.ridge_point == pytest.approx(42.3)
+
+    def test_attainable_flops(self):
+        model = RooflineModel()
+        assert model.attainable_flops(1.0) == pytest.approx(SW26010PRO.dma_bandwidth)
+        assert model.attainable_flops(1e6) == pytest.approx(SW26010PRO.peak_flops_per_cg)
+        assert model.attainable_flops(0.0) == 0.0
+
+    def test_compute_bound_classification(self):
+        model = RooflineModel()
+        assert not model.is_compute_bound(2.6)  # the paper's unfused mixed-precision AI
+        assert model.is_compute_bound(50.0)
+
+    def test_bound_time(self):
+        model = RooflineModel()
+        flops, data = 1e12, 1e9
+        assert model.bound_time(flops, data) == pytest.approx(
+            max(flops / model.peak_flops, data / model.memory_bandwidth)
+        )
+
+    def test_curve_and_classify(self):
+        model = RooflineModel()
+        curve = model.curve([1.0, 10.0, 100.0])
+        assert len(curve) == 3
+        assert curve[0][1] <= curve[1][1] <= curve[2][1]
+        point = RooflinePoint("kernel", 20.0, 0.5 * model.attainable_flops(20.0))
+        info = model.classify(point)
+        assert info["fraction_of_bound"] == pytest.approx(0.5)
+        assert info["compute_bound"] == 0.0
+        assert point.bound_fraction(model) == pytest.approx(0.5)

@@ -1,0 +1,175 @@
+"""Tests of the TensorNetwork container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensornet import Tensor, TensorNetwork, TensorNetworkError
+
+
+def _matrix_chain_network(rng=None):
+    """A -- B -- C matrix chain with open ends: result is A @ B @ C."""
+    rng = rng or np.random.default_rng(0)
+    a = rng.normal(size=(2, 3))
+    b = rng.normal(size=(3, 4))
+    c = rng.normal(size=(4, 5))
+    tn = TensorNetwork()
+    tn.add_tensor(Tensor(("i", "x"), data=a))
+    tn.add_tensor(Tensor(("x", "y"), data=b))
+    tn.add_tensor(Tensor(("y", "j"), data=c))
+    return tn, a, b, c
+
+
+class TestStructure:
+    def test_add_and_remove(self):
+        tn = TensorNetwork()
+        tid = tn.add_tensor(Tensor(("a",), data=np.ones(2)))
+        assert tid in tn
+        assert tn.num_tensors == 1
+        tn.remove_tensor(tid)
+        assert tn.num_tensors == 0
+        assert "a" not in tn.indices
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(TensorNetworkError):
+            TensorNetwork().remove_tensor(3)
+
+    def test_duplicate_tid_rejected(self):
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("a",), data=np.ones(2)), tid=5)
+        with pytest.raises(TensorNetworkError):
+            tn.add_tensor(Tensor(("b",), data=np.ones(2)), tid=5)
+
+    def test_replace_tensor(self):
+        tn = TensorNetwork()
+        tid = tn.add_tensor(Tensor(("a",), data=np.ones(2)))
+        tn.replace_tensor(tid, Tensor(("b",), data=np.zeros(3)))
+        assert tn.tensor(tid).indices == ("b",)
+        assert tn.size_of("b") == 3
+
+    def test_index_owners_and_neighbors(self):
+        tn, *_ = _matrix_chain_network()
+        tids = tn.tensor_ids
+        assert tn.index_owners("x") == frozenset({tids[0], tids[1]})
+        assert tn.neighbors(tids[1]) == frozenset({tids[0], tids[2]})
+        assert tn.shared_indices(tids[0], tids[1]) == frozenset({"x"})
+
+    def test_output_indices_default_rule(self):
+        tn, *_ = _matrix_chain_network()
+        assert tn.output_indices() == frozenset({"i", "j"})
+        assert tn.inner_indices() == frozenset({"x", "y"})
+
+    def test_explicit_output_indices(self):
+        tn, *_ = _matrix_chain_network()
+        tn.set_output_indices(["i"])
+        assert tn.output_indices() == frozenset({"i"})
+        tn.set_output_indices(None)
+        assert tn.output_indices() == frozenset({"i", "j"})
+
+    def test_explicit_output_unknown_index(self):
+        tn, *_ = _matrix_chain_network()
+        with pytest.raises(TensorNetworkError):
+            tn.set_output_indices(["nope"])
+
+    def test_copy_is_independent(self):
+        tn, *_ = _matrix_chain_network()
+        clone = tn.copy()
+        clone.remove_tensor(clone.tensor_ids[0])
+        assert tn.num_tensors == 3
+        assert clone.num_tensors == 2
+
+    def test_metrics(self):
+        tn, *_ = _matrix_chain_network()
+        assert tn.max_rank() == 2
+        assert tn.is_concrete()
+        assert tn.total_log2_size() > 0
+
+    def test_size_of_unknown_index(self):
+        with pytest.raises(TensorNetworkError):
+            TensorNetwork().size_of("a")
+
+
+class TestGraphViews:
+    def test_networkx_graph_nodes_and_edges(self):
+        tn, *_ = _matrix_chain_network()
+        g = tn.to_networkx()
+        # 3 tensors + 2 virtual nodes for the open indices i, j
+        assert sum(1 for n in g.nodes if isinstance(n, int)) == 3
+        edge_indices = {d["index"] for *_e, d in g.edges(data=True)}
+        assert edge_indices == {"i", "x", "y", "j"}
+
+    def test_line_graph(self):
+        tn, *_ = _matrix_chain_network()
+        lg = tn.line_graph()
+        assert set(lg.nodes) == {"i", "x", "y", "j"}
+        assert lg.has_edge("i", "x")
+        assert lg.has_edge("x", "y")
+        assert not lg.has_edge("i", "j")
+
+
+class TestContraction:
+    def test_contract_pair_matrix_product(self):
+        tn, a, b, c = _matrix_chain_network()
+        tids = tn.tensor_ids
+        new = tn.contract_pair(tids[0], tids[1])
+        assert tn.num_tensors == 2
+        assert np.allclose(tn.tensor(new).data, a @ b)
+
+    def test_contract_pair_self_rejected(self):
+        tn, *_ = _matrix_chain_network()
+        with pytest.raises(TensorNetworkError):
+            tn.contract_pair(tn.tensor_ids[0], tn.tensor_ids[0])
+
+    def test_contract_all_matches_direct_product(self):
+        tn, a, b, c = _matrix_chain_network()
+        result = tn.contract_all()
+        expected = a @ b @ c
+        assert set(result.indices) == {"i", "j"}
+        got = result.transposed(("i", "j")).data
+        assert np.allclose(got, expected)
+
+    def test_contract_all_with_explicit_order(self):
+        tn, a, b, c = _matrix_chain_network()
+        # contract (1,2) first -> new id 3, then (0,3)
+        result = tn.contract_all(order=[(1, 2), (0, 3)])
+        assert np.allclose(result.transposed(("i", "j")).data, a @ b @ c)
+
+    def test_contract_all_closed_network_scalar(self):
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=3)
+        w = rng.normal(size=3)
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("k",), data=v))
+        tn.add_tensor(Tensor(("k",), data=w))
+        result = tn.contract_all()
+        assert result.data == pytest.approx(float(v @ w))
+
+    def test_contract_all_empty_raises(self):
+        with pytest.raises(TensorNetworkError):
+            TensorNetwork().contract_all()
+
+    def test_contract_all_requires_concrete(self):
+        tn = TensorNetwork([Tensor(("a",), sizes={"a": 2})])
+        with pytest.raises(TensorNetworkError):
+            tn.contract_all()
+
+    def test_hyper_index_kept_until_last_owner(self):
+        # three tensors sharing one index: contracting two of them must keep
+        # the index alive for the third
+        rng = np.random.default_rng(3)
+        x, y, z = rng.normal(size=(3, 4))
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("k",), data=x))
+        tn.add_tensor(Tensor(("k",), data=y))
+        tn.add_tensor(Tensor(("k",), data=z))
+        result = tn.contract_all()
+        assert result.data == pytest.approx(float(np.sum(x * y * z)))
+
+    def test_disconnected_components_outer_product(self):
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("a",), data=np.array([2.0, 0.0])))
+        tn.add_tensor(Tensor(("b",), data=np.array([0.0, 3.0])))
+        result = tn.contract_all()
+        assert result.ndim == 2
+        assert result.transposed(("a", "b")).data[0, 1] == pytest.approx(6.0)

@@ -1,0 +1,145 @@
+"""Tests of the permutation maps and the §5.3.1 recursion-formula reduction."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InSituPermutation,
+    PermutationSpec,
+    PrecalculatedPermutation,
+    ReducedPermutationMap,
+    standard_contraction_permutation,
+)
+
+
+def _random_tensor(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+STRATEGIES = [InSituPermutation, PrecalculatedPermutation, ReducedPermutationMap]
+
+
+class TestSpec:
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationSpec(perm=(0, 0), shape=(2, 2))
+
+    def test_basic_properties(self):
+        spec = PermutationSpec(perm=(2, 0, 1), shape=(2, 3, 4))
+        assert spec.ndim == 3
+        assert spec.size == 24
+        assert spec.target_shape == (4, 2, 3)
+        assert not spec.is_identity
+        assert PermutationSpec(perm=(0, 1), shape=(2, 2)).is_identity
+
+    def test_fixed_prefix_and_suffix(self):
+        # the paper's A example: 0,1,2,4,5,7,8,3,6 keeps a 3-axis prefix
+        spec = PermutationSpec(perm=(0, 1, 2, 4, 5, 7, 8, 3, 6), shape=(2,) * 9)
+        assert spec.fixed_prefix == 3
+        assert spec.fixed_suffix == 0
+        # the paper's B example: 3,8,0,1,2,4,5,6,7 keeps nothing fixed in place,
+        # but a suffix-preserving permutation does
+        spec_b = PermutationSpec(perm=(2, 0, 1, 3, 4), shape=(2,) * 5)
+        assert spec_b.fixed_suffix == 2
+        assert spec_b.fixed_prefix == 0
+
+    def test_identity_prefix_covers_everything(self):
+        spec = PermutationSpec(perm=(0, 1, 2), shape=(2, 2, 2))
+        assert spec.fixed_prefix == 3
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.__name__)
+    @pytest.mark.parametrize(
+        "perm,shape",
+        [
+            ((1, 0), (2, 3)),
+            ((2, 0, 1), (2, 3, 4)),
+            ((0, 2, 1), (2, 2, 2)),
+            ((0, 1, 3, 2), (2, 2, 2, 2)),
+            ((3, 1, 2, 0), (2, 3, 2, 3)),
+            ((0, 1, 2, 4, 3, 5), (2,) * 6),
+        ],
+    )
+    def test_matches_numpy_transpose(self, strategy, perm, shape):
+        spec = PermutationSpec(perm=perm, shape=shape)
+        array = _random_tensor(shape, seed=hash((perm, shape)) % 2**31)
+        result = strategy(spec).permute(array)
+        assert np.allclose(result, np.transpose(array, perm))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.__name__)
+    def test_all_rank4_permutations(self, strategy):
+        shape = (2, 2, 2, 2)
+        array = _random_tensor(shape, seed=9)
+        for perm in itertools.permutations(range(4)):
+            spec = PermutationSpec(perm=perm, shape=shape)
+            assert np.allclose(strategy(spec).permute(array), np.transpose(array, perm)), perm
+
+    def test_source_index_agreement(self):
+        spec = PermutationSpec(perm=(0, 2, 1, 3), shape=(2,) * 4)
+        in_situ = InSituPermutation(spec)
+        pre = PrecalculatedPermutation(spec)
+        reduced = ReducedPermutationMap(spec)
+        for target in range(spec.size):
+            assert in_situ.source_index(target) == pre.source_index(target)
+            assert in_situ.source_index(target) == reduced.source_index(target)
+
+
+class TestReduction:
+    def test_paper_a_example_reduction_factor(self):
+        # rank-9 tensor, first 3 axes fixed: the stored map shrinks by 2^3 = 8
+        spec = PermutationSpec(perm=(0, 1, 2, 4, 5, 7, 8, 3, 6), shape=(2,) * 9)
+        reduced = ReducedPermutationMap(spec)
+        assert reduced.reduction_factor == pytest.approx(8.0)
+        assert reduced.stored_entries == 2**6
+
+    def test_suffix_reduction(self):
+        spec = PermutationSpec(perm=(1, 2, 0, 3, 4, 5, 6), shape=(2,) * 7)
+        reduced = ReducedPermutationMap(spec)
+        # 4 trailing axes preserved: reduction of 2^4
+        assert reduced.reduction_factor == pytest.approx(16.0)
+
+    def test_storage_hierarchy(self):
+        spec = PermutationSpec(perm=(0, 1, 3, 2, 4), shape=(2,) * 5)
+        assert InSituPermutation(spec).stored_entries == 0
+        assert PrecalculatedPermutation(spec).stored_entries == 32
+        assert ReducedPermutationMap(spec).stored_entries < 32
+
+    def test_identity_needs_one_entry(self):
+        spec = PermutationSpec(perm=(0, 1, 2), shape=(2, 2, 2))
+        assert ReducedPermutationMap(spec).stored_entries == 1
+
+
+class TestContractionPermutation:
+    def test_operand_a_moves_absorbed_axes_to_back(self):
+        spec = standard_contraction_permutation(5, absorbed=(1, 3), operand="A")
+        assert spec.perm == (0, 2, 4, 1, 3)
+
+    def test_operand_b_moves_absorbed_axes_to_front(self):
+        spec = standard_contraction_permutation(5, absorbed=(1, 3), operand="B")
+        assert spec.perm == (1, 3, 0, 2, 4)
+
+    def test_gemm_equivalence_of_permuted_contraction(self):
+        # contracting over axes (1, 3) of A with axes (0, 1) of a small B is the
+        # same as permuting A so the absorbed axes are trailing and doing a GEMM
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(2,) * 5)
+        b = rng.normal(size=(2, 2, 2))
+        direct = np.tensordot(a, b, axes=([1, 3], [0, 1]))
+        spec = standard_contraction_permutation(5, absorbed=(1, 3), operand="A")
+        a_perm = ReducedPermutationMap(spec).permute(a)
+        via_gemm = (a_perm.reshape(8, 4) @ b.reshape(4, 2)).reshape(2, 2, 2, 2)
+        assert np.allclose(direct, via_gemm)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            standard_contraction_permutation(3, absorbed=(5,))
+        with pytest.raises(ValueError):
+            standard_contraction_permutation(3, absorbed=(1, 1))
+        with pytest.raises(ValueError):
+            standard_contraction_permutation(3, absorbed=(0,), operand="C")

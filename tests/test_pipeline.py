@@ -1,0 +1,113 @@
+"""End-to-end tests of the SimulationPlanner pipeline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SimulationPlan, SimulationPlanner
+from repro.circuits import amplitude, grid_circuit, random_brickwork_circuit
+from repro.execution import strong_scaling
+
+
+@pytest.fixture(scope="module")
+def planned_grid():
+    planner = SimulationPlanner(target_rank=12, ldm_rank=7, max_trials=8, seed=0)
+    circuit = grid_circuit(4, 5, cycles=8, seed=3)
+    return planner.plan_circuit(circuit)
+
+
+class TestPlanning:
+    def test_plan_is_complete(self, planned_grid):
+        plan = planned_grid
+        assert isinstance(plan, SimulationPlan)
+        assert plan.tree.num_leaves == plan.network.num_tensors
+        assert plan.slicing.satisfies_target
+        assert plan.slicing.max_rank <= 12
+        assert plan.fused_plan.total_steps == plan.stem.length
+        assert set(plan.timings) == {"step-by-step", "fused"}
+
+    def test_summary_keys_and_values(self, planned_grid):
+        summary = planned_grid.summary()
+        expected_keys = {
+            "num_tensors",
+            "log10_total_cost",
+            "max_rank",
+            "num_sliced",
+            "num_subtasks",
+            "slicing_overhead",
+            "stem_cost_fraction",
+            "fused_groups",
+            "average_fused_steps",
+            "arithmetic_intensity_gain",
+            "subtask_seconds",
+            "thread_speedup",
+        }
+        assert expected_keys <= set(summary)
+        assert summary["slicing_overhead"] >= 1.0
+        assert summary["num_subtasks"] == 2 ** summary["num_sliced"]
+        assert 0 < summary["stem_cost_fraction"] <= 1.0
+
+    def test_scheduler_and_scaling(self, planned_grid):
+        scheduler = planned_grid.scheduler()
+        points = strong_scaling(scheduler, num_subtasks=1024, node_counts=[8, 16, 32])
+        assert len(points) == 3
+        assert points[0].elapsed_seconds >= points[-1].elapsed_seconds
+
+    def test_compute_time_decreases_with_nodes(self, planned_grid):
+        # per-node compute shrinks with more nodes; the (tiny-workload) total
+        # may be dominated by the all-reduce, so compare the compute part
+        scheduler = planned_grid.scheduler(result_bytes=8.0)
+        subtasks = max(int(planned_grid.num_subtasks), 64)
+        assert scheduler.compute_seconds(subtasks, 64) <= scheduler.compute_seconds(subtasks, 4)
+        assert planned_grid.estimated_seconds(4) > 0
+
+    def test_headline_projection_consistency(self, planned_grid):
+        projection = planned_grid.headline_projection(measured_nodes=64, projected_nodes=1024)
+        assert projection.projected_seconds == pytest.approx(
+            projection.measured_seconds * 64 / 1024
+        )
+        assert projection.sustained_pflops >= 0
+
+    def test_default_target_rank_comes_from_main_memory(self):
+        planner = SimulationPlanner(seed=0)
+        assert planner.target_rank == planner.hierarchy.target_rank_for("main_memory")
+        assert planner.ldm_rank == 13
+
+    def test_plan_network_directly(self, planned_grid):
+        planner = SimulationPlanner(target_rank=12, ldm_rank=7, max_trials=4, seed=1)
+        replanned = planner.plan_network(planned_grid.network)
+        assert replanned.slicing.satisfies_target
+
+
+class TestEndToEndCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_planned_sliced_execution_matches_statevector(self, seed):
+        circuit = random_brickwork_circuit(6, 4, seed=seed)
+        bits = [(seed + q) % 2 for q in range(6)]
+        planner = SimulationPlanner(target_rank=5, ldm_rank=4, max_trials=6, seed=seed)
+        plan = planner.plan_circuit(circuit, bitstring=bits, concrete=True)
+        value = planner.execute_plan(plan)
+        assert value == pytest.approx(amplitude(circuit, bits), abs=1e-8)
+
+    def test_forced_slicing_still_correct(self):
+        """Push the target low enough that several edges must be sliced."""
+        circuit = grid_circuit(3, 4, cycles=8, seed=5)
+        bits = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 0]
+        planner = SimulationPlanner(target_rank=6, ldm_rank=4, max_trials=6, seed=2)
+        plan = planner.plan_circuit(circuit, bitstring=bits, concrete=True)
+        value = planner.execute_plan(plan)
+        assert plan.slicing.num_sliced >= 1
+        assert value == pytest.approx(amplitude(circuit, bits), abs=1e-8)
+
+    def test_refinement_toggle(self):
+        circuit = grid_circuit(3, 4, cycles=6, seed=6)
+        base = SimulationPlanner(
+            target_rank=8, ldm_rank=5, max_trials=4, refine_slices=False, seed=3
+        ).plan_circuit(circuit)
+        refined = SimulationPlanner(
+            target_rank=8, ldm_rank=5, max_trials=4, refine_slices=True, seed=3
+        ).plan_circuit(circuit)
+        assert refined.slicing.overhead <= base.slicing.overhead + 1e-9

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These are the paper's load-bearing identities, checked over randomly
+generated circuits, trees and slicing sets rather than hand-picked cases:
+
+* a sliced contraction summed over all subtasks equals the unsliced value,
+* slicing an edge halves exactly the tensors in its lifetime,
+* Eq. 4 equals the per-subtask cost times the subtask count for any slicing
+  set, and the overhead superposition rule of Fig. 5 holds,
+* Algorithm 1 always satisfies the memory target and the SA refiner never
+  regresses it,
+* the reduced permutation map agrees with ``numpy.transpose`` for any
+  permutation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import amplitude, random_brickwork_circuit
+from repro.core import (
+    GreedySliceBaseline,
+    LifetimeSliceFinder,
+    PermutationSpec,
+    ReducedPermutationMap,
+    SimulatedAnnealingSliceRefiner,
+    SlicingCostModel,
+    compute_lifetimes,
+    extract_stem,
+)
+from repro.execution import SlicedExecutor
+from repro.paths import GreedyOptimizer
+from repro.tensornet import ContractionTree, amplitude_network, simplify_network
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+circuit_strategy = st.tuples(
+    st.integers(min_value=3, max_value=6),  # qubits
+    st.integers(min_value=2, max_value=4),  # depth
+    st.integers(min_value=0, max_value=1000),  # seed
+)
+
+perm_strategy = st.integers(min_value=2, max_value=7).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+def _planning_tree(seed: int, temperature: float = 0.5) -> ContractionTree:
+    """A randomised contraction tree over the shared grid-like workload."""
+    circ = random_brickwork_circuit(7, 5, seed=seed % 17)
+    tn = amplitude_network(circ, [0] * 7, concrete=False)
+    simplify_network(tn)
+    return GreedyOptimizer(temperature=temperature, seed=seed).tree(tn)
+
+
+# ---------------------------------------------------------------------------
+# Numerical slicing invariant
+# ---------------------------------------------------------------------------
+
+
+class TestSlicedContractionProperty:
+    @SETTINGS
+    @given(params=circuit_strategy, num_sliced=st.integers(min_value=1, max_value=3))
+    def test_sum_of_subtasks_equals_unsliced_amplitude(self, params, num_sliced):
+        qubits, depth, seed = params
+        circ = random_brickwork_circuit(qubits, depth, seed=seed)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=qubits).tolist()
+        tn = amplitude_network(circ, bits)
+        simplify_network(tn)
+        if tn.num_tensors < 2:
+            return
+        tree = GreedyOptimizer(seed=seed).tree(tn)
+        inner = sorted(tn.inner_indices())
+        if not inner:
+            return
+        picks = rng.choice(len(inner), size=min(num_sliced, len(inner)), replace=False)
+        sliced = [inner[i] for i in picks]
+        executor = SlicedExecutor(tn, tree, sliced)
+        assert executor.amplitude() == pytest.approx(amplitude(circ, bits), abs=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Lifetime / cost-model invariants
+# ---------------------------------------------------------------------------
+
+
+class TestLifetimeProperties:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_slicing_halves_exactly_the_lifetime(self, seed):
+        tree = _planning_tree(seed)
+        edges = sorted(tree.all_indices())
+        rng = np.random.default_rng(seed)
+        edge = edges[int(rng.integers(len(edges)))]
+        lifetime = compute_lifetimes(tree, edges=[edge])[edge]
+        for node in tree.nodes():
+            before = tree.node_log2_size(node)
+            after = tree.node_log2_size(node, sliced={edge})
+            if node in lifetime.nodes:
+                assert after == pytest.approx(before - 1.0)
+            else:
+                assert after == pytest.approx(before)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000), k=st.integers(min_value=1, max_value=5))
+    def test_eq4_equals_subtask_count_times_per_subtask_cost(self, seed, k):
+        tree = _planning_tree(seed)
+        rng = np.random.default_rng(seed)
+        edges = sorted(tree.all_indices())
+        picks = rng.choice(len(edges), size=min(k, len(edges)), replace=False)
+        sliced = frozenset(edges[i] for i in picks)
+        model = SlicingCostModel(tree)
+        assert model.total_cost(sliced) == pytest.approx(
+            model.contraction_cost(sliced) * model.num_subtasks(sliced), rel=1e-9
+        )
+        assert model.total_cost(sliced) == pytest.approx(tree.total_cost(sliced), rel=1e-9)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000), k=st.integers(min_value=1, max_value=4))
+    def test_overhead_superposition_rule(self, seed, k):
+        tree = _planning_tree(seed)
+        rng = np.random.default_rng(seed + 1)
+        edges = sorted(tree.all_indices())
+        picks = rng.choice(len(edges), size=min(k, len(edges)), replace=False)
+        sliced = frozenset(edges[i] for i in picks)
+        expected = 0.0
+        for node in tree.internal_nodes():
+            union = tree.contraction_indices(node)
+            missing = len(sliced) - len(sliced & union)
+            expected += 2.0**missing * 2.0 ** tree.node_log2_flops(node)
+        assert tree.total_cost(sliced) == pytest.approx(expected, rel=1e-9)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_adding_an_edge_never_lowers_total_cost(self, seed):
+        tree = _planning_tree(seed)
+        rng = np.random.default_rng(seed + 2)
+        edges = sorted(tree.all_indices())
+        base = frozenset(edges[i] for i in rng.choice(len(edges), size=2, replace=False))
+        extra = edges[int(rng.integers(len(edges)))]
+        assert tree.total_cost(base | {extra}) >= tree.total_cost(base) - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Slicer guarantees
+# ---------------------------------------------------------------------------
+
+
+class TestSlicerProperties:
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delta=st.integers(min_value=1, max_value=5),
+    )
+    def test_finder_always_satisfies_target(self, seed, delta):
+        tree = _planning_tree(seed)
+        target = max(tree.max_rank() - delta, 2)
+        model = SlicingCostModel(tree)
+        result = LifetimeSliceFinder(target).find(tree, cost_model=model)
+        assert result.satisfies_target
+        assert result.sliced <= frozenset(model.indices)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_refiner_never_regresses(self, seed):
+        tree = _planning_tree(seed)
+        target = max(tree.max_rank() - 3, 2)
+        model = SlicingCostModel(tree)
+        initial = LifetimeSliceFinder(target).find(tree, cost_model=model)
+        refined = SimulatedAnnealingSliceRefiner(seed=seed).refine(
+            tree, initial.sliced, target, cost_model=model
+        )
+        assert refined.satisfies_target
+        assert refined.overhead <= initial.overhead + 1e-9
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delta=st.integers(min_value=1, max_value=4),
+    )
+    def test_baseline_always_satisfies_target(self, seed, delta):
+        tree = _planning_tree(seed, temperature=0.8)
+        target = max(tree.max_rank() - delta, 2)
+        result = GreedySliceBaseline(target).find(tree)
+        assert result.satisfies_target
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_stem_is_a_parent_chain(self, seed):
+        tree = _planning_tree(seed)
+        stem = extract_stem(tree)
+        parents = tree.parent_map()
+        for lower, upper in zip(stem.nodes, stem.nodes[1:]):
+            assert parents[lower] == upper
+        assert stem.nodes[-1] == tree.root
+
+
+# ---------------------------------------------------------------------------
+# Permutation maps
+# ---------------------------------------------------------------------------
+
+
+class TestPermutationProperties:
+    @SETTINGS
+    @given(perm=perm_strategy, seed=st.integers(min_value=0, max_value=1000))
+    def test_reduced_map_matches_numpy(self, perm, seed):
+        shape = (2,) * len(perm)
+        spec = PermutationSpec(perm=tuple(perm), shape=shape)
+        rng = np.random.default_rng(seed)
+        array = rng.normal(size=shape)
+        assert np.allclose(
+            ReducedPermutationMap(spec).permute(array), np.transpose(array, perm)
+        )
+
+    @SETTINGS
+    @given(perm=perm_strategy)
+    def test_reduction_factor_matches_fixed_blocks(self, perm):
+        spec = PermutationSpec(perm=tuple(perm), shape=(2,) * len(perm))
+        reduced = ReducedPermutationMap(spec)
+        expected = 2.0 ** (spec.fixed_prefix + spec.fixed_suffix)
+        assert reduced.reduction_factor == pytest.approx(expected)

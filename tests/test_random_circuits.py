@@ -1,0 +1,132 @@
+"""Tests of the RQC generators (Sycamore-style grid circuits, brickwork)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    GridSpec,
+    grid_circuit,
+    grid_coupling_map,
+    random_brickwork_circuit,
+    sycamore_circuit,
+    sycamore_coupling_map,
+)
+from repro.circuits.random_circuits import SYCAMORE_FSIM_PHI, SYCAMORE_FSIM_THETA
+
+
+class TestGridSpec:
+    def test_num_qubits_counts_missing(self):
+        spec = GridSpec(rows=3, cols=4, missing=((0, 0), (2, 3)))
+        assert spec.num_qubits == 10
+
+    def test_site_index_is_dense_and_skips_missing(self):
+        spec = GridSpec(rows=2, cols=2, missing=((0, 1),))
+        index = spec.site_index()
+        assert (0, 1) not in index
+        assert sorted(index.values()) == [0, 1, 2]
+
+
+class TestCouplingMap:
+    def test_patterns_are_matchings(self):
+        spec = GridSpec(rows=4, cols=5)
+        patterns = grid_coupling_map(spec)
+        for name, pairs in patterns.items():
+            qubits = [q for pair in pairs for q in pair]
+            assert len(qubits) == len(set(qubits)), f"pattern {name} is not a matching"
+
+    def test_all_grid_edges_covered_exactly_once(self):
+        spec = GridSpec(rows=3, cols=3)
+        patterns = grid_coupling_map(spec)
+        all_pairs = [tuple(sorted(p)) for pairs in patterns.values() for p in pairs]
+        assert len(all_pairs) == len(set(all_pairs))
+        # a 3x3 grid has 2*3 vertical + 3*2 horizontal = 12 edges
+        assert len(all_pairs) == 12
+
+    def test_sycamore_layout_size(self):
+        spec, patterns = sycamore_coupling_map()
+        assert spec.num_qubits == 53
+        assert set(patterns) == {"A", "B", "C", "D"}
+
+
+class TestGridCircuit:
+    def test_deterministic_given_seed(self):
+        a = grid_circuit(3, 3, cycles=4, seed=7)
+        b = grid_circuit(3, 3, cycles=4, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = grid_circuit(3, 3, cycles=4, seed=7)
+        b = grid_circuit(3, 3, cycles=4, seed=8)
+        assert a != b
+
+    def test_gate_structure(self):
+        cycles = 6
+        circ = grid_circuit(3, 4, cycles=cycles, seed=0)
+        counts = circ.gate_counts()
+        single = sum(counts.get(g, 0) for g in ("sx", "sy", "sw"))
+        # one single-qubit layer per cycle plus the final layer
+        assert single == 12 * (cycles + 1)
+        assert counts.get("fsim", 0) > 0
+
+    def test_single_qubit_gates_never_repeat_consecutively(self):
+        circ = grid_circuit(3, 3, cycles=8, seed=5)
+        last: dict[int, str] = {}
+        for gate in circ:
+            if gate.num_qubits == 1:
+                q = gate.qubits[0]
+                if q in last:
+                    assert gate.name != last[q], f"repeated {gate.name} on qubit {q}"
+                last[q] = gate.name
+
+    def test_fsim_angles(self):
+        circ = grid_circuit(2, 2, cycles=2, seed=0)
+        for gate in circ:
+            if gate.name == "fsim":
+                assert gate.params == (SYCAMORE_FSIM_THETA, SYCAMORE_FSIM_PHI)
+
+    def test_couplers_respect_grid_adjacency(self):
+        rows, cols = 3, 4
+        spec = GridSpec(rows=rows, cols=cols)
+        index = spec.site_index()
+        position = {v: k for k, v in index.items()}
+        circ = grid_circuit(rows, cols, cycles=8, seed=1)
+        for gate in circ:
+            if gate.num_qubits == 2:
+                (r0, c0), (r1, c1) = position[gate.qubits[0]], position[gate.qubits[1]]
+                assert abs(r0 - r1) + abs(c0 - c1) == 1
+
+    def test_zero_cycles_gives_empty_circuit(self):
+        circ = grid_circuit(2, 2, cycles=0, seed=0)
+        assert circ.num_gates == 0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            grid_circuit(2, 2, cycles=-1)
+
+    def test_sycamore_circuit_dimensions(self):
+        circ = sycamore_circuit(cycles=4, seed=0)
+        assert circ.num_qubits == 53
+        assert circ.num_two_qubit_gates > 0
+
+
+class TestBrickwork:
+    def test_structure(self):
+        circ = random_brickwork_circuit(6, 4, seed=0)
+        assert circ.num_qubits == 6
+        counts = circ.gate_counts()
+        assert counts["u3"] == 6 * 4
+        # alternating layers: 3 + 2 + 3 + 2 pairs on 6 qubits (offsets 0 and 1)
+        assert counts["cz"] == 10
+
+    def test_deterministic(self):
+        assert random_brickwork_circuit(4, 3, seed=2) == random_brickwork_circuit(4, 3, seed=2)
+
+    def test_custom_two_qubit_gate(self):
+        circ = random_brickwork_circuit(4, 2, seed=0, two_qubit_gate="iswap")
+        assert "iswap" in circ.gate_counts()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            random_brickwork_circuit(0, 3)

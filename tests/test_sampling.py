@@ -1,0 +1,137 @@
+"""Tests of correlated-sample batches and the XEB estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import StateVectorSimulator, random_brickwork_circuit
+from repro.execution.sampling import (
+    CorrelatedSampleBatch,
+    CorrelatedSampler,
+    linear_xeb_fidelity,
+)
+
+
+@pytest.fixture(scope="module")
+def sampler_case():
+    circuit = random_brickwork_circuit(6, 4, seed=21)
+    base = (1, 0, 0, 1, 0, 1)
+    sampler = CorrelatedSampler(circuit, open_qubits=(1, 4), max_trials=4, seed=0)
+    batch = sampler.compute_batch(base)
+    reference = StateVectorSimulator(6).run(circuit)
+    return circuit, base, sampler, batch, reference
+
+
+class TestCorrelatedBatch:
+    def test_batch_shape(self, sampler_case):
+        _, _, sampler, batch, _ = sampler_case
+        assert batch.open_qubits == (1, 4)
+        assert batch.amplitudes.shape == (2, 2)
+        assert batch.num_samples == 4
+        assert batch.num_open_qubits == 2
+
+    def test_amplitudes_match_statevector(self, sampler_case):
+        circuit, base, _, batch, reference = sampler_case
+        for b1 in range(2):
+            for b4 in range(2):
+                bits = list(base)
+                bits[1], bits[4] = b1, b4
+                assert batch.amplitudes[b1, b4] == pytest.approx(
+                    reference.amplitude(bits), abs=1e-9
+                )
+                assert batch.amplitude_of(bits) == pytest.approx(
+                    reference.amplitude(bits), abs=1e-9
+                )
+
+    def test_bitstrings_enumeration(self, sampler_case):
+        _, base, _, batch, _ = sampler_case
+        strings = batch.bitstrings()
+        assert strings.shape == (4, 6)
+        # closed qubits keep the base value on every row
+        for q in (0, 2, 3, 5):
+            assert np.all(strings[:, q] == base[q])
+        # open qubits enumerate all four combinations
+        assert len({tuple(row[[1, 4]]) for row in strings}) == 4
+
+    def test_amplitude_of_rejects_wrong_base(self, sampler_case):
+        _, base, _, batch, _ = sampler_case
+        bits = list(base)
+        bits[0] ^= 1  # flip a closed qubit
+        with pytest.raises(ValueError):
+            batch.amplitude_of(bits)
+        with pytest.raises(ValueError):
+            batch.amplitude_of(bits[:-1])
+
+    def test_probabilities_and_sampling(self, sampler_case):
+        _, _, _, batch, _ = sampler_case
+        probs = batch.probabilities()
+        assert probs.shape == (4,)
+        assert np.all(probs >= 0)
+        draws = batch.sample(32, seed=3)
+        assert draws.shape == (32, 6)
+        assert set(np.unique(draws)) <= {0, 1}
+
+    def test_sliced_batch_matches_unsliced(self, sampler_case):
+        circuit, base, _, batch, _ = sampler_case
+        sampler = CorrelatedSampler(circuit, open_qubits=(1, 4), max_trials=4, seed=1)
+        network, _, _ = sampler.build_network(base, concrete=True)
+        inner = sorted(network.inner_indices())[:2]
+        sliced_batch = sampler.compute_batch(base, sliced=inner)
+        assert np.allclose(sliced_batch.amplitudes, batch.amplitudes, atol=1e-9)
+
+    def test_target_rank_driven_slicing(self):
+        circuit = random_brickwork_circuit(6, 4, seed=22)
+        sampler = CorrelatedSampler(
+            circuit, open_qubits=(0, 5), target_rank=4, max_trials=4, seed=2
+        )
+        batch = sampler.compute_batch([0] * 6)
+        reference = StateVectorSimulator(6).run(circuit)
+        bits = [0] * 6
+        assert batch.amplitude_of(bits) == pytest.approx(reference.amplitude(bits), abs=1e-8)
+
+
+class TestSamplerValidation:
+    def test_requires_open_qubits(self):
+        circuit = random_brickwork_circuit(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            CorrelatedSampler(circuit, open_qubits=())
+
+    def test_open_qubit_range_checked(self):
+        circuit = random_brickwork_circuit(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            CorrelatedSampler(circuit, open_qubits=(9,))
+
+    def test_base_bitstring_length_checked(self):
+        circuit = random_brickwork_circuit(4, 2, seed=0)
+        sampler = CorrelatedSampler(circuit, open_qubits=(0,))
+        with pytest.raises(ValueError):
+            sampler.build_network([0, 1])
+
+
+class TestXEB:
+    def test_ideal_device_scores_one_on_porter_thomas(self):
+        # exponential (Porter-Thomas) probabilities: <p over samples drawn
+        # from p> = 2/2^n, so F = 1
+        rng = np.random.default_rng(0)
+        n = 10
+        dim = 2**n
+        probs = rng.exponential(1.0 / dim, size=dim)
+        probs /= probs.sum()
+        draws = rng.choice(dim, size=20000, p=probs)
+        fidelity = linear_xeb_fidelity(probs[draws], n)
+        assert fidelity == pytest.approx(1.0, abs=0.15)
+
+    def test_uniform_sampler_scores_zero(self):
+        rng = np.random.default_rng(1)
+        n = 10
+        dim = 2**n
+        probs = rng.exponential(1.0 / dim, size=dim)
+        probs /= probs.sum()
+        draws = rng.integers(0, dim, size=20000)
+        fidelity = linear_xeb_fidelity(probs[draws], n)
+        assert fidelity == pytest.approx(0.0, abs=0.15)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            linear_xeb_fidelity([], 4)

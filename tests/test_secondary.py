@@ -1,0 +1,133 @@
+"""Tests of secondary slicing (the fused thread-level plan) and its invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import FusedPlan, LifetimeSliceFinder, SecondarySlicer, extract_stem
+from repro.hardware import SW26010PRO
+
+
+@pytest.fixture(scope="module")
+def fused_inputs(grid_tree, grid_stem):
+    """Stem + process slicing + plan at a small LDM rank (forces real fusion)."""
+    target = max(grid_tree.max_rank() - 4, 4)
+    slicing = LifetimeSliceFinder(target).find(grid_tree, stem=grid_stem)
+    ldm_rank = max(target - 3, 3)
+    plan = SecondarySlicer(ldm_rank=ldm_rank).plan(grid_stem, process_sliced=slicing.sliced)
+    return grid_stem, slicing, plan, ldm_rank
+
+
+class TestPlanStructure:
+    def test_groups_cover_every_step_exactly_once(self, fused_inputs):
+        stem, _, plan, _ = fused_inputs
+        covered = []
+        for group in plan.groups:
+            covered.extend(range(group.start, group.stop))
+        assert covered == list(range(len(stem.steps)))
+        assert plan.total_steps == len(stem.steps)
+
+    def test_groups_are_contiguous_and_ordered(self, fused_inputs):
+        _, _, plan, _ = fused_inputs
+        position = 0
+        for group in plan.groups:
+            assert group.start == position
+            assert group.stop > group.start
+            position = group.stop
+
+    def test_secondary_sliced_indices_survive_inside_group(self, fused_inputs):
+        stem, slicing, plan, _ = fused_inputs
+        for group in plan.groups:
+            for position in range(group.start + 1, group.stop):
+                result = stem.steps[position].result_indices - slicing.sliced
+                branch = stem.steps[position].branch_indices - slicing.sliced
+                for index in group.secondary_sliced:
+                    assert index in result, "sliced index contracted inside a fused group"
+                    assert index not in branch
+
+    def test_in_ldm_working_set_fits(self, fused_inputs):
+        stem, slicing, plan, ldm_rank = fused_inputs
+        for group in plan.groups:
+            assert group.kept_rank <= ldm_rank
+            for position in range(group.start, group.stop - 1):
+                # every intermediate stem tensor inside the group fits too
+                result = stem.steps[position].result_indices - slicing.sliced
+                assert len(result - group.secondary_sliced) <= ldm_rank
+
+    def test_group_subtask_count(self, fused_inputs):
+        _, _, plan, _ = fused_inputs
+        for group in plan.groups:
+            assert group.num_subtasks == 2 ** len(group.secondary_sliced)
+
+
+class TestDMAAccounting:
+    def test_transfer_savings_formula(self, fused_inputs):
+        """Fusing a length-n group removes exactly n-1 get/put round trips."""
+        _, _, plan, _ = fused_inputs
+        expected_saved = sum(2 * (g.num_steps - 1) for g in plan.groups)
+        assert plan.dma_transfers_saved() == expected_saved
+        assert plan.dma_transfers_fused() == 2 * plan.num_groups
+        assert plan.dma_transfers_step_by_step() == 2 * plan.total_steps
+
+    def test_fused_bytes_never_exceed_step_by_step(self, fused_inputs):
+        _, _, plan, _ = fused_inputs
+        assert plan.bytes_moved_fused() <= plan.bytes_moved_step_by_step() + 1e-9
+
+    def test_arithmetic_intensity_improves(self, fused_inputs):
+        _, _, plan, _ = fused_inputs
+        assert plan.intensity_gain() >= 1.0
+        assert plan.arithmetic_intensity_fused() >= plan.arithmetic_intensity_step_by_step()
+
+    def test_average_fused_steps(self, fused_inputs):
+        _, _, plan, _ = fused_inputs
+        assert plan.average_fused_steps == pytest.approx(plan.total_steps / plan.num_groups)
+
+
+class TestNoOverheadInvariant:
+    """§5.2: secondary slicing carries no computational overhead — the flops
+    per secondary subtask times the number of subtasks equals the unsliced
+    flops of the covered region."""
+
+    def test_flops_conserved(self, fused_inputs):
+        stem, slicing, plan, _ = fused_inputs
+        tree = stem.tree
+        for group in plan.groups:
+            unsliced = 0.0
+            for position in range(group.start, group.stop):
+                union = tree.contraction_indices(stem.steps[position].node) - slicing.sliced
+                unsliced += 2.0 ** len(union)
+            per_subtask = 2.0**group.log2_flops
+            # the secondary-sliced indices are alive on every contraction of
+            # the group, so slicing them divides the per-subtask cost exactly
+            # by the number of subtasks
+            assert per_subtask * group.num_subtasks == pytest.approx(unsliced, rel=1e-9)
+
+
+class TestConfiguration:
+    def test_default_ldm_rank_is_13(self):
+        assert SecondarySlicer().ldm_rank == SW26010PRO.ldm_max_rank() == 13
+
+    def test_invalid_ldm_rank(self):
+        with pytest.raises(ValueError):
+            SecondarySlicer(ldm_rank=0)
+
+    def test_max_fused_steps_cap(self, grid_stem, grid_tree):
+        target = max(grid_tree.max_rank() - 4, 4)
+        slicing = LifetimeSliceFinder(target).find(grid_tree, stem=grid_stem)
+        capped = SecondarySlicer(ldm_rank=max(target - 2, 3), max_fused_steps=1).plan(
+            grid_stem, process_sliced=slicing.sliced
+        )
+        assert all(group.num_steps == 1 for group in capped.groups)
+
+    def test_plan_accepts_tree_directly(self, grid_tree):
+        plan = SecondarySlicer(ldm_rank=max(grid_tree.max_rank() - 2, 3)).plan(grid_tree)
+        assert isinstance(plan, FusedPlan)
+        assert plan.total_steps == extract_stem(grid_tree).length
+
+    def test_no_slicing_needed_when_ldm_is_large(self, grid_stem):
+        plan = SecondarySlicer(ldm_rank=64).plan(grid_stem)
+        assert all(not group.secondary_sliced for group in plan.groups)
+        # with no index ever dying, the whole stem fuses into one group
+        assert plan.num_groups == 1

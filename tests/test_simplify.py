@@ -1,0 +1,124 @@
+"""Tests of the rank-1/rank-2 absorption preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, amplitude, random_brickwork_circuit, grid_circuit
+from repro.tensornet import (
+    Tensor,
+    TensorNetwork,
+    absorb_rank_one,
+    absorb_rank_two,
+    amplitude_network,
+    simplify_network,
+)
+
+
+class TestValuePreservation:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_simplified_network_gives_same_amplitude(self, seed):
+        circ = random_brickwork_circuit(5, 4, seed=seed)
+        bits = [(seed >> q) & 1 for q in range(5)]
+        tn = amplitude_network(circ, bits)
+        report = simplify_network(tn)
+        value = complex(tn.contract_all().require_data()) * report.scalar_prefactor
+        assert value == pytest.approx(amplitude(circ, bits), abs=1e-9)
+
+    def test_open_network_preserved(self):
+        circ = random_brickwork_circuit(3, 3, seed=5)
+        from repro.tensornet import CircuitToTensorNetwork
+
+        result = CircuitToTensorNetwork().convert(circ)
+        tn = result.network
+        before = tn.contract_all()
+        report = simplify_network(tn)
+        after = tn.contract_all()
+        order = before.indices
+        assert np.allclose(
+            before.data, after.transposed(order).data * report.scalar_prefactor, atol=1e-9
+        )
+
+    def test_grid_circuit_value_preserved(self):
+        circ = grid_circuit(2, 3, cycles=2, seed=1)
+        bits = [0] * 6
+        tn = amplitude_network(circ, bits)
+        report = simplify_network(tn)
+        value = complex(tn.contract_all().require_data()) * report.scalar_prefactor
+        assert value == pytest.approx(amplitude(circ, bits), abs=1e-9)
+
+
+class TestReduction:
+    def test_tensor_count_strictly_decreases(self):
+        circ = random_brickwork_circuit(5, 4, seed=1)
+        tn = amplitude_network(circ, [0] * 5)
+        before = tn.num_tensors
+        report = simplify_network(tn)
+        assert tn.num_tensors < before
+        assert report.initial_tensors == before
+        assert report.final_tensors == tn.num_tensors
+        assert report.tensors_removed == before - tn.num_tensors
+
+    def test_no_rank_one_tensors_left_closed_network(self):
+        circ = random_brickwork_circuit(5, 4, seed=2)
+        tn = amplitude_network(circ, [0] * 5)
+        simplify_network(tn)
+        assert all(tn.tensor(tid).ndim >= 1 for tid in tn.tensor_ids)
+        # the only allowed low-rank leftovers are tensors carrying open
+        # indices; a closed network must have none of rank <= 1 unless the
+        # whole network collapsed to a scalar
+        if tn.num_tensors > 1:
+            assert all(tn.tensor(tid).ndim > 2 or tn.tensor(tid).ndim >= 1 for tid in tn)
+
+    def test_rank1_pass_only(self):
+        circ = random_brickwork_circuit(4, 2, seed=3)
+        tn = amplitude_network(circ, [0] * 4)
+        before = tn.num_tensors
+        moved = absorb_rank_one(tn)
+        assert moved > 0
+        assert tn.num_tensors < before
+        assert tn.num_tensors >= 1
+
+    def test_rank2_disabled(self):
+        circ = random_brickwork_circuit(4, 2, seed=3)
+        tn = amplitude_network(circ, [0] * 4)
+        report = simplify_network(tn, absorb_rank2=False)
+        assert report.rank2_absorbed == 0
+
+    def test_abstract_network_simplification(self):
+        circ = random_brickwork_circuit(5, 4, seed=4)
+        concrete = amplitude_network(circ, [0] * 5, concrete=True)
+        abstract = amplitude_network(circ, [0] * 5, concrete=False)
+        simplify_network(concrete)
+        simplify_network(abstract)
+        # same structural outcome regardless of whether data is attached
+        assert concrete.num_tensors == abstract.num_tensors
+        assert set(concrete.indices) == set(abstract.indices)
+
+
+class TestEdgeCases:
+    def test_open_rank1_tensor_kept(self):
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("a",), data=np.array([1.0, 2.0])))
+        tn.add_tensor(Tensor(("a", "b"), data=np.eye(2)))
+        # 'b' is open: the rank-1 'a' vector is absorbed, the result keeps b
+        simplify_network(tn)
+        assert tn.num_tensors == 1
+        assert tn.output_indices() == frozenset({"b"})
+
+    def test_disconnected_scalar_folded_into_prefactor(self):
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor((), data=np.array(2.0 + 0j)))
+        tn.add_tensor(Tensor(("a",), data=np.array([1.0, 0.0])))
+        tn.add_tensor(Tensor(("a",), data=np.array([3.0, 0.0])))
+        report = simplify_network(tn)
+        assert report.scalar_prefactor == pytest.approx(2.0 + 0j)
+
+    def test_two_tensor_network_fully_collapses(self):
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("a",), data=np.array([1.0, 2.0])))
+        tn.add_tensor(Tensor(("a",), data=np.array([3.0, 4.0])))
+        simplify_network(tn)
+        # collapses to a single scalar tensor or an empty network with prefactor
+        assert tn.num_tensors <= 1

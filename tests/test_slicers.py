@@ -1,0 +1,184 @@
+"""Tests of the three slicing strategies: Algorithm 1, Algorithm 2 and the greedy baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    GreedySliceBaseline,
+    LifetimeSliceFinder,
+    SimulatedAnnealingSliceRefiner,
+    SlicingCostModel,
+    cotengra_style_slices,
+    extract_stem,
+    find_slices,
+    remove_redundant_edges,
+)
+from repro.paths import GreedyOptimizer, HyperOptimizer
+
+
+class TestLifetimeSliceFinder:
+    @pytest.mark.parametrize("delta", [2, 4, 6])
+    def test_satisfies_target(self, grid_tree, grid_cost_model, delta):
+        target = max(grid_tree.max_rank() - delta, 3)
+        result = LifetimeSliceFinder(target).find(grid_tree, cost_model=grid_cost_model)
+        assert result.satisfies_target
+        assert result.max_rank <= target
+
+    def test_no_slicing_needed_when_target_is_large(self, grid_tree, grid_cost_model):
+        target = grid_tree.max_rank()
+        result = LifetimeSliceFinder(target).find(grid_tree, cost_model=grid_cost_model)
+        assert result.num_sliced == 0
+        assert result.overhead == pytest.approx(1.0)
+
+    def test_sliced_edges_exist_in_tree(self, grid_tree, grid_cost_model, grid_target_rank):
+        result = LifetimeSliceFinder(grid_target_rank).find(
+            grid_tree, cost_model=grid_cost_model
+        )
+        assert result.sliced <= grid_tree.all_indices()
+
+    def test_smaller_target_needs_at_least_as_many_slices(self, grid_tree, grid_cost_model):
+        max_rank = grid_tree.max_rank()
+        sizes = []
+        for target in (max_rank - 2, max_rank - 4, max_rank - 6):
+            target = max(target, 3)
+            result = LifetimeSliceFinder(target).find(grid_tree, cost_model=grid_cost_model)
+            sizes.append(result.num_sliced)
+        assert sizes == sorted(sizes)
+
+    def test_overhead_at_least_one(self, grid_tree, grid_cost_model, grid_target_rank):
+        result = LifetimeSliceFinder(grid_target_rank).find(
+            grid_tree, cost_model=grid_cost_model
+        )
+        assert result.overhead >= 1.0 - 1e-12
+
+    def test_stem_only_mode(self, grid_tree, grid_stem):
+        target = max(grid_stem.max_rank() - 3, 3)
+        finder = LifetimeSliceFinder(target, ensure_full_tree=False)
+        sliced = finder.find_on_stem(grid_stem)
+        # every stem tensor must fit the target after slicing
+        for indices in grid_stem.stem_tensor_indices:
+            assert len(indices - sliced) <= target
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            LifetimeSliceFinder(0)
+
+    def test_find_slices_helper_with_refinement(self, grid_tree, grid_target_rank):
+        plain = find_slices(grid_tree, grid_target_rank, refine=False)
+        refined = find_slices(grid_tree, grid_target_rank, refine=True, seed=0)
+        assert plain.satisfies_target and refined.satisfies_target
+        assert refined.overhead <= plain.overhead + 1e-9
+
+
+class TestGreedyBaseline:
+    def test_satisfies_target(self, grid_tree, grid_cost_model, grid_target_rank):
+        result = GreedySliceBaseline(grid_target_rank).find(
+            grid_tree, cost_model=grid_cost_model
+        )
+        assert result.satisfies_target
+        assert result.method == "greedy-baseline"
+
+    def test_deterministic_single_restart(self, grid_tree, grid_cost_model, grid_target_rank):
+        a = GreedySliceBaseline(grid_target_rank, seed=0).find(grid_tree, grid_cost_model)
+        b = GreedySliceBaseline(grid_target_rank, seed=99).find(grid_tree, grid_cost_model)
+        assert a.sliced == b.sliced
+
+    def test_restarts_never_hurt(self, grid_tree, grid_cost_model, grid_target_rank):
+        single = GreedySliceBaseline(grid_target_rank, restarts=1, seed=1).find(
+            grid_tree, grid_cost_model
+        )
+        multi = GreedySliceBaseline(grid_target_rank, restarts=4, seed=1).find(
+            grid_tree, grid_cost_model
+        )
+        assert multi.log10_total_cost <= single.log10_total_cost + 1e-9
+        assert multi.satisfies_target
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GreedySliceBaseline(0)
+        with pytest.raises(ValueError):
+            GreedySliceBaseline(5, restarts=0)
+
+    def test_helper_function(self, grid_tree, grid_target_rank):
+        result = cotengra_style_slices(grid_tree, grid_target_rank)
+        assert result.satisfies_target
+
+
+class TestSliceRefiner:
+    def test_never_violates_bound_and_never_worse(
+        self, grid_tree, grid_cost_model, grid_target_rank
+    ):
+        finder = LifetimeSliceFinder(grid_target_rank)
+        initial = finder.find(grid_tree, cost_model=grid_cost_model)
+        refiner = SimulatedAnnealingSliceRefiner(seed=7)
+        refined = refiner.refine(
+            grid_tree, initial.sliced, grid_target_rank, cost_model=grid_cost_model
+        )
+        assert refined.satisfies_target
+        assert refined.overhead <= initial.overhead + 1e-9
+        assert refiner.last_trace is not None
+        assert refiner.last_trace.final_overhead == pytest.approx(refined.overhead)
+
+    def test_refines_baseline_slicing_too(self, grid_tree, grid_cost_model, grid_target_rank):
+        baseline = GreedySliceBaseline(grid_target_rank).find(grid_tree, grid_cost_model)
+        refined = SimulatedAnnealingSliceRefiner(seed=3).refine(
+            grid_tree, baseline.sliced, grid_target_rank, cost_model=grid_cost_model
+        )
+        assert refined.satisfies_target
+        assert refined.overhead <= baseline.overhead + 1e-9
+
+    def test_redundant_edge_removal(self, grid_tree, grid_cost_model, grid_target_rank):
+        finder = LifetimeSliceFinder(grid_target_rank)
+        initial = finder.find(grid_tree, cost_model=grid_cost_model)
+        # add an obviously useless sliced edge (one with the shortest lifetime)
+        extra = min(
+            (ix for ix in grid_cost_model.indices if ix not in initial.sliced),
+            key=lambda ix: len(grid_cost_model.nodes_covering(ix)),
+        )
+        padded = initial.sliced | {extra}
+        pruned = remove_redundant_edges(grid_cost_model, padded, grid_target_rank)
+        assert grid_cost_model.satisfies_target(pruned, grid_target_rank)
+        assert len(pruned) <= len(padded)
+
+    def test_empty_slicing_set_is_noop(self, grid_tree, grid_cost_model):
+        target = grid_tree.max_rank()
+        refined = SimulatedAnnealingSliceRefiner(seed=0).refine(
+            grid_tree, frozenset(), target, cost_model=grid_cost_model
+        )
+        assert refined.num_sliced == 0
+        assert refined.overhead == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSliceRefiner(cooling=2.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSliceRefiner(initial_temperature=0.001, final_temperature=0.01)
+
+
+class TestCrossStrategyComparison:
+    """The paper's Fig. 10 claim, in miniature: on most paths the lifetime
+    pipeline produces slicing sets that are no larger than the greedy
+    baseline's and have no higher overhead."""
+
+    def test_pipeline_competitive_with_baseline_across_paths(self, grid_network):
+        wins = 0
+        total = 0
+        for seed in range(6):
+            tree = GreedyOptimizer(temperature=0.6, seed=seed).tree(grid_network)
+            model = SlicingCostModel(tree)
+            target = max(tree.max_rank() - 4, 3)
+            if tree.max_rank() <= target:
+                continue
+            ours = find_slices(tree, target, refine=True, seed=seed)
+            baseline = GreedySliceBaseline(target).find(tree, cost_model=model)
+            total += 1
+            if (
+                ours.num_sliced <= baseline.num_sliced
+                and ours.overhead <= baseline.overhead * 1.05
+            ):
+                wins += 1
+        assert total > 0
+        assert wins / total >= 0.5

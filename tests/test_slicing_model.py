@@ -1,0 +1,143 @@
+"""Tests of the SlicingCostModel against the reference tree cost formulas."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core import SlicingCostModel, SlicingError
+from repro.tensornet import ContractionTree
+
+
+def _chain_tree():
+    leaf_indices = [{"i", "x"}, {"x", "y"}, {"y", "j"}]
+    sizes = {"i": 2, "x": 4, "y": 8, "j": 2}
+    return ContractionTree(
+        leaf_indices=leaf_indices,
+        index_sizes=sizes,
+        ssa_path=[(0, 1), (3, 2)],
+        output_indices={"i", "j"},
+    )
+
+
+class TestAgreementWithTree:
+    @pytest.mark.parametrize("num_sliced", [0, 1, 2, 3])
+    def test_total_cost_matches_tree(self, grid_tree, grid_cost_model, num_sliced):
+        edges = sorted(grid_tree.all_indices())[:num_sliced]
+        sliced = frozenset(edges)
+        assert grid_cost_model.total_cost(sliced) == pytest.approx(
+            grid_tree.total_cost(sliced), rel=1e-10
+        )
+        assert grid_cost_model.max_rank(sliced) == grid_tree.max_rank(sliced)
+        assert grid_cost_model.max_intermediate_log2_size(sliced) == pytest.approx(
+            grid_tree.max_intermediate_log2_size(sliced)
+        )
+
+    def test_overhead_matches_eq2(self, grid_tree, grid_cost_model):
+        edges = frozenset(sorted(grid_tree.all_indices())[:4])
+        expected = grid_tree.total_cost(edges) / grid_tree.total_cost(frozenset())
+        assert grid_cost_model.overhead(edges) == pytest.approx(expected, rel=1e-10)
+
+    def test_contraction_cost_per_subtask(self, grid_tree, grid_cost_model):
+        edges = frozenset(sorted(grid_tree.all_indices())[:3])
+        assert grid_cost_model.contraction_cost(edges) == pytest.approx(
+            grid_tree.contraction_cost(edges), rel=1e-10
+        )
+
+    def test_num_subtasks(self, grid_cost_model, grid_tree):
+        edges = sorted(grid_tree.all_indices())[:5]
+        assert grid_cost_model.num_subtasks(frozenset(edges)) == pytest.approx(2.0**5)
+        assert grid_cost_model.num_subtasks(frozenset()) == 1.0
+
+    def test_per_node_quantities(self, grid_tree, grid_cost_model):
+        edges = frozenset(sorted(grid_tree.all_indices())[:3])
+        costs = grid_cost_model.per_node_log2_cost(edges)
+        multipliers = grid_cost_model.per_node_multiplier(edges)
+        for row, node in enumerate(grid_cost_model.nodes):
+            assert costs[row] == pytest.approx(grid_tree.node_log2_flops(node, edges))
+            union = grid_tree.contraction_indices(node)
+            expected_mult = 2.0 ** (len(edges) - len(edges & union))
+            assert multipliers[row] == pytest.approx(expected_mult)
+
+
+class TestEq4BruteForce:
+    def test_total_cost_equals_sum_over_subtasks(self):
+        """Eq. 4 must equal the literal sum of Eq. 1 over every subtask."""
+        tree = _chain_tree()
+        model = SlicingCostModel(tree)
+        sliced = ("x", "y")
+        per_subtask = tree.contraction_cost(frozenset(sliced))
+        num_subtasks = 4 * 8
+        assert model.total_cost(frozenset(sliced)) == pytest.approx(
+            per_subtask * num_subtasks
+        )
+
+    def test_eq4_closed_form(self, grid_tree, grid_cost_model):
+        sliced = frozenset(sorted(grid_tree.all_indices())[:4])
+        # Eq. 4 with w=2 everywhere: sum_V 2^{|s_V| + |S| - |S ∩ s_V|}
+        expected = 0.0
+        for node in grid_tree.internal_nodes():
+            union = grid_tree.contraction_indices(node)
+            expected += 2.0 ** (len(union) + len(sliced) - len(sliced & union))
+        assert grid_cost_model.total_cost(sliced) == pytest.approx(expected, rel=1e-10)
+
+
+class TestCriticalAndCovering:
+    def test_critical_nodes_definition(self, grid_tree, grid_cost_model):
+        sliced = frozenset(sorted(grid_tree.all_indices())[:4])
+        target = grid_cost_model.max_rank(sliced)
+        critical = grid_cost_model.critical_nodes(sliced, target)
+        assert critical, "at least the max-rank node must be critical"
+        for node in critical:
+            rank = sum(1 for ix in grid_tree.node_indices(node) if ix not in sliced)
+            assert rank == target
+
+    def test_nodes_covering_is_lifetime(self, grid_tree, grid_cost_model):
+        edge = sorted(grid_tree.all_indices())[0]
+        covering = set(grid_cost_model.nodes_covering(edge))
+        expected = {
+            node
+            for node in grid_tree.internal_nodes()
+            if edge in grid_tree.node_indices(node)
+        }
+        assert covering == expected
+
+    def test_edges_covering_all(self, grid_tree, grid_cost_model):
+        # pick a node and ask for the edges covering it: each returned edge
+        # must indeed carry the node, and edges on the node must be returned
+        node = grid_cost_model.nodes[len(grid_cost_model.nodes) // 2]
+        edges = grid_cost_model.edges_covering_all([node])
+        node_indices = grid_tree.node_indices(node)
+        assert set(edges) == set(node_indices)
+
+    def test_edges_covering_empty_is_all(self, grid_cost_model):
+        assert set(grid_cost_model.edges_covering_all([])) == set(grid_cost_model.indices)
+
+    def test_node_result_rank(self, grid_tree, grid_cost_model):
+        sliced = frozenset(sorted(grid_tree.all_indices())[:2])
+        node = grid_cost_model.nodes[0]
+        expected = sum(1 for ix in grid_tree.node_indices(node) if ix not in sliced)
+        assert grid_cost_model.node_result_rank(node, sliced) == expected
+
+
+class TestErrors:
+    def test_unknown_edge_raises(self, grid_cost_model):
+        with pytest.raises(SlicingError):
+            grid_cost_model.total_cost({"definitely-not-an-edge"})
+
+    def test_single_tensor_tree_rejected(self):
+        tree = ContractionTree(
+            leaf_indices=[{"a"}], index_sizes={"a": 2}, ssa_path=[], output_indices={"a"}
+        )
+        with pytest.raises(SlicingError):
+            SlicingCostModel(tree)
+
+    def test_result_packaging(self, grid_cost_model, grid_tree, grid_target_rank):
+        sliced = frozenset(sorted(grid_tree.all_indices())[:3])
+        result = grid_cost_model.result(sliced, grid_target_rank, method="test")
+        assert result.method == "test"
+        assert result.num_sliced == 3
+        assert result.overhead == pytest.approx(grid_cost_model.overhead(sliced))
+        assert result.satisfies_target == (result.max_rank <= grid_target_rank)

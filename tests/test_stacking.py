@@ -1,0 +1,105 @@
+"""Tests of the slice-or-stack decision model (§3.3 / Fig. 7)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import SliceStackAnalyzer, StackingEstimate, StrategyDecision
+from repro.hardware import SW26010PRO, sunway_hierarchy
+
+
+@pytest.fixture(scope="module")
+def analyzer(grid_tree):
+    return SliceStackAnalyzer(grid_tree)
+
+
+class TestSlicingSide:
+    def test_no_overhead_when_everything_fits(self, analyzer, grid_tree):
+        assert analyzer.slicing_overhead(grid_tree.max_rank()) == pytest.approx(1.0)
+
+    def test_overhead_grows_as_target_shrinks(self, analyzer, grid_tree):
+        big = analyzer.slicing_overhead(grid_tree.max_rank() - 2)
+        small = analyzer.slicing_overhead(max(grid_tree.max_rank() - 6, 3))
+        assert small >= big >= 1.0
+
+    def test_greedy_slicer_variant(self, grid_tree):
+        greedy = SliceStackAnalyzer(grid_tree, slicer="greedy")
+        target = max(grid_tree.max_rank() - 4, 3)
+        assert greedy.slicing_overhead(target) >= 1.0
+
+    def test_invalid_slicer(self, grid_tree):
+        with pytest.raises(ValueError):
+            SliceStackAnalyzer(grid_tree, slicer="magic")
+
+
+class TestStackingSide:
+    def test_bytes_decrease_with_larger_target(self, analyzer, grid_tree):
+        small_target = analyzer.stacking_bytes(max(grid_tree.max_rank() - 6, 3))
+        large_target = analyzer.stacking_bytes(grid_tree.max_rank())
+        assert small_target >= large_target
+
+    def test_zero_bytes_when_everything_fits(self, analyzer, grid_tree):
+        # nothing exceeds a target at the tree's own max rank
+        assert analyzer.stacking_bytes(grid_tree.max_rank() + 1) == 0.0
+
+    def test_estimate_fields(self, analyzer, grid_tree):
+        hierarchy = sunway_hierarchy()
+        boundary = (hierarchy.level("disk"), hierarchy.level("main_memory"))
+        estimate = analyzer.stacking_estimate(boundary, max(grid_tree.max_rank() - 4, 3))
+        assert isinstance(estimate, StackingEstimate)
+        assert estimate.boundary == ("disk", "main_memory")
+        assert estimate.equivalent_overhead >= 1.0
+        assert estimate.movement_seconds == pytest.approx(
+            estimate.bytes_moved / SW26010PRO.io_bandwidth
+        )
+
+    def test_faster_boundary_has_lower_equivalent_overhead(self, analyzer, grid_tree):
+        hierarchy = sunway_hierarchy()
+        target = max(grid_tree.max_rank() - 4, 3)
+        io_est = analyzer.stacking_estimate(
+            (hierarchy.level("disk"), hierarchy.level("main_memory")), target
+        )
+        dma_est = analyzer.stacking_estimate(
+            (hierarchy.level("main_memory"), hierarchy.level("ldm")), target
+        )
+        assert dma_est.equivalent_overhead <= io_est.equivalent_overhead
+
+
+class TestDecision:
+    def test_decide_returns_cheaper_strategy(self, analyzer, grid_tree):
+        target = max(grid_tree.max_rank() - 4, 3)
+        decision = analyzer.decide("disk", target)
+        assert isinstance(decision, StrategyDecision)
+        if decision.slicing_overhead <= decision.stacking_overhead:
+            assert decision.strategy == "slice"
+        else:
+            assert decision.strategy == "stack"
+        assert decision.advantage >= 1.0
+
+    def test_innermost_level_has_no_inner_boundary(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.decide("ldm", 10)
+
+    def test_paper_rule_of_thumb(self, analyzer, grid_tree):
+        """Low-bandwidth IO boundary favours slicing more strongly than the
+        high-bandwidth DMA boundary for the same target."""
+        target = max(grid_tree.max_rank() - 4, 3)
+        disk = analyzer.decide("disk", target)
+        mem = analyzer.decide("main_memory", target)
+        assert disk.stacking_overhead >= mem.stacking_overhead
+
+
+class TestDistribution:
+    def test_overhead_distribution_rows(self, analyzer, grid_tree):
+        targets = [grid_tree.max_rank() - d for d in (2, 4, 6)]
+        targets = [max(t, 3) for t in targets]
+        rows = analyzer.overhead_distribution(targets)
+        assert len(rows) == len(targets)
+        for row, target in zip(rows, targets):
+            assert row["target_rank"] == float(target)
+            assert row["slicing_overhead"] >= 1.0
+            assert "stacking_overhead_disk_to_main_memory" in row
+            assert "stacking_overhead_main_memory_to_ldm" in row
+            assert row["prefer_slice_disk_to_main_memory"] in (0.0, 1.0)

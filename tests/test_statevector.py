@@ -1,0 +1,117 @@
+"""Tests of the dense state-vector reference simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CircuitError,
+    StateVectorSimulator,
+    amplitude,
+    random_brickwork_circuit,
+    sample_bitstrings,
+    simulate_statevector,
+)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        sim = StateVectorSimulator(3)
+        vec = sim.state_vector()
+        assert vec[0] == 1.0
+        assert np.allclose(vec[1:], 0.0)
+
+    def test_reset(self):
+        sim = StateVectorSimulator(2)
+        sim.run(Circuit(2).add("h", 0))
+        sim.reset()
+        assert sim.amplitude((0, 0)) == pytest.approx(1.0)
+
+    def test_width_guard(self):
+        with pytest.raises(CircuitError):
+            StateVectorSimulator(40)
+
+    def test_circuit_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            StateVectorSimulator(2).run(Circuit(3).add("h", 0))
+
+    def test_bell_state(self):
+        sim = StateVectorSimulator(2).run(Circuit(2).add("h", 0).add("cx", 0, 1))
+        assert sim.amplitude((0, 0)) == pytest.approx(1 / np.sqrt(2))
+        assert sim.amplitude((1, 1)) == pytest.approx(1 / np.sqrt(2))
+        assert sim.amplitude((0, 1)) == pytest.approx(0.0)
+
+    def test_ghz_state(self):
+        c = Circuit(4).add("h", 0).add("cx", 0, 1).add("cx", 1, 2).add("cx", 2, 3)
+        probs = StateVectorSimulator(4).run(c).probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+        assert np.sum(probs) == pytest.approx(1.0)
+
+
+class TestAgainstUnitary:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_circuit_matches_dense_unitary(self, seed):
+        circ = random_brickwork_circuit(4, 3, seed=seed)
+        vec = simulate_statevector(circ)
+        expected = circ.unitary() @ np.eye(16)[:, 0]
+        assert np.allclose(vec, expected, atol=1e-10)
+
+    def test_norm_preserved(self):
+        circ = random_brickwork_circuit(6, 6, seed=9)
+        sim = StateVectorSimulator(6).run(circ)
+        assert sim.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_two_qubit_gate_on_non_adjacent_qubits(self):
+        c = Circuit(3).add("x", 0).add("cx", 0, 2)
+        sim = StateVectorSimulator(3).run(c)
+        assert sim.amplitude((1, 0, 1)) == pytest.approx(1.0)
+
+    def test_gate_order_of_qubit_arguments_matters(self):
+        # CX with control on qubit 1, target on qubit 0
+        c = Circuit(2).add("x", 1).add("cx", 1, 0)
+        sim = StateVectorSimulator(2).run(c)
+        assert sim.amplitude((1, 1)) == pytest.approx(1.0)
+
+
+class TestAmplitudeHelpers:
+    def test_amplitude_function(self):
+        circ = Circuit(2).add("h", 0).add("cx", 0, 1)
+        assert amplitude(circ, (1, 1)) == pytest.approx(1 / np.sqrt(2))
+
+    def test_amplitude_bad_bitstring(self):
+        sim = StateVectorSimulator(2)
+        with pytest.raises(CircuitError):
+            sim.amplitude((0,))
+        with pytest.raises(CircuitError):
+            sim.amplitude((0, 2))
+
+    def test_single_precision_mode(self):
+        circ = random_brickwork_circuit(4, 3, seed=1)
+        vec32 = simulate_statevector(circ, dtype=np.complex64)
+        vec64 = simulate_statevector(circ)
+        assert vec32.dtype == np.complex64
+        assert np.allclose(vec32, vec64, atol=1e-5)
+
+
+class TestSampling:
+    def test_sample_shape_and_values(self):
+        circ = Circuit(3).add("h", 0).add("h", 1).add("h", 2)
+        samples = sample_bitstrings(circ, 50, seed=1)
+        assert samples.shape == (50, 3)
+        assert set(np.unique(samples)) <= {0, 1}
+
+    def test_sampling_respects_distribution(self):
+        # |1> deterministic on qubit 0
+        circ = Circuit(2).add("x", 0)
+        samples = sample_bitstrings(circ, 20, seed=0)
+        assert np.all(samples[:, 0] == 1)
+        assert np.all(samples[:, 1] == 0)
+
+    def test_sampling_reproducible(self):
+        circ = random_brickwork_circuit(4, 2, seed=0)
+        a = sample_bitstrings(circ, 10, seed=5)
+        b = sample_bitstrings(circ, 10, seed=5)
+        assert np.array_equal(a, b)

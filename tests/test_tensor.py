@@ -1,0 +1,147 @@
+"""Tests of the labelled Tensor class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensornet import Tensor, TensorError
+
+
+class TestConstruction:
+    def test_concrete_tensor_infers_sizes(self):
+        t = Tensor(("a", "b"), data=np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.size_of("b") == 3
+        assert not t.is_abstract
+
+    def test_abstract_tensor_requires_sizes(self):
+        with pytest.raises(TensorError):
+            Tensor(("a",))
+
+    def test_abstract_tensor(self):
+        t = Tensor(("a", "b", "c"), sizes={"a": 2, "b": 2, "c": 2})
+        assert t.is_abstract
+        assert t.size == 8
+        assert t.log2_size == pytest.approx(3.0)
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(TensorError):
+            Tensor(("a", "a"), sizes={"a": 2})
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(TensorError):
+            Tensor(("a",), data=np.zeros((2, 2)))
+
+    def test_size_conflict_rejected(self):
+        with pytest.raises(TensorError):
+            Tensor(("a",), data=np.zeros(2), sizes={"a": 3})
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(TensorError):
+            Tensor(("a", "b"), sizes={"a": 2})
+
+    def test_unknown_index_size_query(self):
+        t = Tensor(("a",), sizes={"a": 2})
+        with pytest.raises(TensorError):
+            t.size_of("zz")
+
+
+class TestTransforms:
+    def test_reindexed(self):
+        t = Tensor(("a", "b"), data=np.arange(4).reshape(2, 2))
+        r = t.reindexed({"a": "x"})
+        assert r.indices == ("x", "b")
+        assert np.array_equal(r.data, t.data)
+
+    def test_transposed(self):
+        data = np.arange(6).reshape(2, 3)
+        t = Tensor(("a", "b"), data=data)
+        p = t.transposed(("b", "a"))
+        assert p.indices == ("b", "a")
+        assert np.array_equal(p.data, data.T)
+
+    def test_transposed_invalid_order(self):
+        t = Tensor(("a", "b"), sizes={"a": 2, "b": 2})
+        with pytest.raises(TensorError):
+            t.transposed(("a", "c"))
+
+    def test_with_tags(self):
+        t = Tensor(("a",), sizes={"a": 2}, tags=("x",))
+        assert t.with_tags("y").tags == frozenset({"x", "y"})
+        assert t.retagged(["z"]).tags == frozenset({"z"})
+
+    def test_with_data(self):
+        t = Tensor(("a",), sizes={"a": 2})
+        c = t.with_data(np.ones(2))
+        assert not c.is_abstract
+
+    def test_require_data_on_abstract(self):
+        with pytest.raises(TensorError):
+            Tensor(("a",), sizes={"a": 2}).require_data()
+
+
+class TestSlicing:
+    def test_slice_index_reduces_rank(self):
+        data = np.arange(8).reshape(2, 2, 2)
+        t = Tensor(("a", "b", "c"), data=data)
+        s = t.slice_index("b", 1)
+        assert s.indices == ("a", "c")
+        assert np.array_equal(s.data, data[:, 1, :])
+
+    def test_slice_missing_index_is_noop(self):
+        t = Tensor(("a",), data=np.arange(2))
+        assert t.slice_index("zz", 0) is t
+
+    def test_slice_out_of_range(self):
+        t = Tensor(("a",), data=np.arange(2))
+        with pytest.raises(TensorError):
+            t.slice_index("a", 5)
+
+    def test_slice_abstract_tensor(self):
+        t = Tensor(("a", "b"), sizes={"a": 2, "b": 4})
+        s = t.slice_index("b", 0)
+        assert s.indices == ("a",)
+        assert s.is_abstract
+
+    def test_sum_of_slices_reconstructs_contraction(self):
+        # summing a sliced shared index reproduces the tensordot
+        rng = np.random.default_rng(0)
+        a = Tensor(("i", "k"), data=rng.normal(size=(3, 4)))
+        b = Tensor(("k", "j"), data=rng.normal(size=(4, 5)))
+        full = a.contract_with(b)
+        partial = sum(
+            a.slice_index("k", v).contract_with(b.slice_index("k", v)).data
+            for v in range(4)
+        )
+        assert np.allclose(full.data, partial)
+
+
+class TestContraction:
+    def test_matrix_multiply(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 5))
+        out = Tensor(("i", "k"), data=a).contract_with(Tensor(("k", "j"), data=b))
+        assert out.indices == ("i", "j")
+        assert np.allclose(out.data, a @ b)
+
+    def test_outer_product_when_no_shared_index(self):
+        a = Tensor(("i",), data=np.array([1.0, 2.0]))
+        b = Tensor(("j",), data=np.array([3.0, 4.0]))
+        out = a.contract_with(b)
+        assert out.shape == (2, 2)
+        assert np.allclose(out.data, np.outer([1, 2], [3, 4]))
+
+    def test_full_contraction_to_scalar(self):
+        a = Tensor(("i",), data=np.array([1.0, 2.0]))
+        b = Tensor(("i",), data=np.array([3.0, 4.0]))
+        out = a.contract_with(b)
+        assert out.ndim == 0
+        assert out.data == pytest.approx(11.0)
+
+    def test_contract_with_abstract_raises(self):
+        a = Tensor(("i",), sizes={"i": 2})
+        b = Tensor(("i",), data=np.ones(2))
+        with pytest.raises(TensorError):
+            a.contract_with(b)
