@@ -1,0 +1,162 @@
+"""EXEC_PLAN — compiled contraction plans vs the reference einsum walker.
+
+Measures the wall-clock effect of the plan compiler on a numerically
+contractable Sycamore-style grid RQC (the 53-qubit benchmark workload of
+``conftest.py`` is planning-only; this one is sized so every variant runs
+in seconds).  Four executors contract the *same* sliced workload:
+
+* ``reference`` — the seed path: einsum walker, re-planned per subtask;
+* ``compiled``  — compiled tensordot plan, no intermediate reuse;
+* ``cached``    — compiled plan + slice-invariant intermediate caching;
+* ``batched``   — cached plan sweeping one sliced index as a batch axis.
+
+Asserts the acceptance criteria of the plan-compiler PR: the cached
+compiled executor is at least 5x faster than the reference path on a
+workload with >= 16 subtasks, and every slice-invariant contraction runs
+exactly once (checked through the instrumented step counters).  Emits a
+``BENCH_exec_plan.json`` trajectory point next to the text table in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import format_table
+from repro.circuits import grid_circuit
+from repro.core import LifetimeSliceFinder
+from repro.execution import SlicedExecutor
+from repro.paths import HyperOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+EXEC_ROWS = int(os.environ.get("REPRO_BENCH_EXEC_ROWS", "5"))
+EXEC_COLS = int(os.environ.get("REPRO_BENCH_EXEC_COLS", "5"))
+EXEC_CYCLES = int(os.environ.get("REPRO_BENCH_EXEC_CYCLES", "10"))
+EXEC_SEED = int(os.environ.get("REPRO_BENCH_EXEC_SEED", "3"))
+#: How many ranks below the tree's peak the slicing target sits.
+EXEC_RANK_DROP = int(os.environ.get("REPRO_BENCH_EXEC_RANK_DROP", "6"))
+EXEC_REPEATS = int(os.environ.get("REPRO_BENCH_EXEC_REPEATS", "3"))
+
+
+@pytest.fixture(scope="module")
+def exec_workload():
+    """Concrete network + tree + slicing set for the executor comparison."""
+    circuit = grid_circuit(EXEC_ROWS, EXEC_COLS, cycles=EXEC_CYCLES, seed=EXEC_SEED)
+    network = amplitude_network(circuit, [0] * circuit.num_qubits, concrete=True)
+    simplify_network(network)
+    tree = HyperOptimizer(max_trials=8, seed=1).search(network)
+    target = max(tree.max_rank() - EXEC_RANK_DROP, 4)
+    slicing = LifetimeSliceFinder(target).find(tree)
+    inner = network.inner_indices()
+    sliced = tuple(ix for ix in slicing.sliced if ix in inner)
+    return network, tree, sliced
+
+
+def _time_run(make_executor, repeats):
+    """Best-of-N wall time of a full sliced run, executor build included.
+
+    Building the executor inside the timed region charges the compiled
+    variants for plan compilation — the amortization across subtasks is
+    exactly the effect under test.
+    """
+    best_seconds = float("inf")
+    executor = None
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        executor = make_executor()
+        value = executor.amplitude()
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    return best_seconds, value, executor
+
+
+def test_exec_plan_speedup(exec_workload, record_result):
+    network, tree, sliced = exec_workload
+
+    variants = {
+        "reference": lambda: SlicedExecutor(network, tree, sliced, mode="reference"),
+        "compiled": lambda: SlicedExecutor(network, tree, sliced, cache_invariant=False),
+        "cached": lambda: SlicedExecutor(network, tree, sliced),
+        "batched": lambda: SlicedExecutor(network, tree, sliced, batch_index="auto"),
+    }
+
+    seconds = {}
+    values = {}
+    executors = {}
+    for name, make in variants.items():
+        repeats = 1 if name == "reference" else EXEC_REPEATS
+        seconds[name], values[name], executors[name] = _time_run(make, repeats)
+
+    reference_value = values["reference"]
+    for name, value in values.items():
+        assert value == pytest.approx(reference_value, abs=1e-8), name
+
+    num_subtasks = executors["reference"].num_subtasks
+    assert num_subtasks >= 16, "workload must have at least 16 subtasks"
+
+    # the cached path must contract each slice-invariant intermediate once
+    cached = executors["cached"]
+    counts = cached.stats.node_counts
+    invariant = cached.plan.invariant_nodes
+    for node in invariant:
+        assert counts.get(node, 0) == 1, (
+            f"invariant node {node} contracted {counts.get(node, 0)} times"
+        )
+    dependent_steps = sum(
+        1 for node in cached.plan.dependent_nodes if node >= tree.num_leaves
+    )
+
+    speedups = {name: seconds["reference"] / seconds[name] for name in variants}
+    assert speedups["cached"] >= 5.0, (
+        f"compiled+cached executor is only {speedups['cached']:.1f}x faster "
+        "than the reference path (need >= 5x)"
+    )
+
+    rows = [
+        {
+            "executor": name,
+            "seconds": seconds[name],
+            "speedup": speedups[name],
+            "subtasks": num_subtasks,
+        }
+        for name in variants
+    ]
+    text = format_table(
+        rows,
+        title=(
+            f"EXEC_PLAN: {EXEC_ROWS}x{EXEC_COLS} m={EXEC_CYCLES} grid RQC, "
+            f"{len(sliced)} sliced indices, {num_subtasks} subtasks "
+            "(paper: plan once, amortize across all slices)"
+        ),
+        precision=4,
+    )
+    record_result("exec_plan", text)
+
+    point = {
+        "bench": "exec_plan",
+        "timestamp": time.time(),
+        "workload": {
+            "rows": EXEC_ROWS,
+            "cols": EXEC_COLS,
+            "cycles": EXEC_CYCLES,
+            "seed": EXEC_SEED,
+            "num_leaves": tree.num_leaves,
+            "max_rank": tree.max_rank(),
+            "num_sliced": len(sliced),
+            "num_subtasks": num_subtasks,
+        },
+        "seconds": seconds,
+        "speedups": speedups,
+        "invariant_steps": len(invariant),
+        "dependent_steps": dependent_steps,
+        "invariant_contracted_exactly_once": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_exec_plan.json").write_text(json.dumps(point, indent=2) + "\n")

@@ -8,6 +8,7 @@ from .lifetime import (
     lifetime_lengths,
     lifetime_of,
     lifetimes_on_nodes,
+    slice_dependent_nodes,
     verify_halving_property,
 )
 from .stem import Stem, StemStep, extract_stem, stem_profile
@@ -37,6 +38,7 @@ __all__ = [
     "lifetime_lengths",
     "lifetime_of",
     "lifetimes_on_nodes",
+    "slice_dependent_nodes",
     "verify_halving_property",
     "Stem",
     "StemStep",

@@ -40,6 +40,7 @@ __all__ = [
     "lifetimes_on_nodes",
     "lifetime_contains",
     "lifetime_is_contiguous_on_path",
+    "slice_dependent_nodes",
     "verify_halving_property",
 ]
 
@@ -190,6 +191,40 @@ def lifetime_is_contiguous_on_path(
     first = membership.index(True)
     last = len(membership) - 1 - membership[::-1].index(True)
     return all(membership[first : last + 1])
+
+
+def slice_dependent_nodes(
+    tree: ContractionTree, sliced: Iterable[str]
+) -> FrozenSet[int]:
+    """Nodes whose value depends on the assignment of the sliced edges.
+
+    A tree node is *slice-dependent* when some leaf of its subtree lies in
+    the lifetime of a sliced edge: fixing the edge to different values then
+    changes the leaf tensors feeding the node, hence its value.  Conversely
+    every other node is *slice-invariant* — it is contracted from leaves
+    untouched by the slicing and produces the identical intermediate in
+    every subtask.  The plan compiler computes those intermediates once and
+    reuses them across all ``prod w(e)`` subtasks; the recomputation that
+    slicing does force is confined to exactly the dependent set, which is
+    the executable form of the lifetime/overhead argument of Eq. 2.
+
+    Returns the set of dependent nodes (leaves and intermediates).  The
+    empty slicing set yields the empty set: everything is invariant.
+    """
+    sliced = frozenset(sliced)
+    if not sliced:
+        return frozenset()
+    lifetimes = compute_lifetimes(tree, edges=sliced, include_leaves=True)
+    num_leaves = tree.num_leaves
+    touched_leaves: Set[int] = set()
+    for lifetime in lifetimes.values():
+        touched_leaves.update(n for n in lifetime.nodes if n < num_leaves)
+    dependent: Set[int] = set(touched_leaves)
+    for node in tree.internal_nodes():
+        a, b = tree.children(node)  # type: ignore[misc]
+        if a in dependent or b in dependent:
+            dependent.add(node)
+    return frozenset(dependent)
 
 
 def verify_halving_property(

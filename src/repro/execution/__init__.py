@@ -1,6 +1,37 @@
-"""Execution engines: numerical contraction, sliced execution, performance simulation."""
+"""Execution engines: numerical contraction, sliced execution, performance simulation.
+
+Executor architecture
+---------------------
+Numerical contraction has two paths that are cross-checked against each
+other (and, for small circuits, against the dense state-vector simulator):
+
+* **Reference path** — ``TreeExecutor(compiled=False)`` /
+  ``SlicedExecutor(mode="reference")``: a deliberately simple einsum walker
+  that re-builds spec strings, re-slices every leaf and re-contracts the
+  whole tree for every call.  Slow, obviously correct, never optimized —
+  it is the oracle of the equivalence tests.
+* **Compiled path** (default) — :mod:`repro.execution.plan` compiles a
+  contraction tree once into a :class:`CompiledPlan` of per-step
+  ``tensordot`` axis pairs (with a precompiled einsum fallback for hyper
+  indices), per-leaf slicing instructions and a lifetime-derived free/reuse
+  schedule.  On top of the plan, :class:`SlicedExecutor` adds
+
+  - *slice-invariant caching*: intermediates whose subtree no sliced
+    edge's lifetime reaches are contracted once and shared across all
+    ``prod w(e)`` subtasks,
+  - *batched sweeps* (``batch_index=``): one sliced index is kept as a
+    leading batch axis and all of its values execute in a single batched
+    (BLAS ``matmul``) contraction,
+  - an optional ``concurrent.futures`` thread pool over subtask chunks
+    (``max_workers=``).
+
+``PlanStats`` instruments both cached and uncached execution with per-node
+step counters so tests and benchmarks can assert how often each contraction
+actually ran.
+"""
 
 from .contract import TreeExecutor, contract_tree
+from .plan import CompiledPlan, ContractStep, LeafStep, PlanError, PlanStats, compile_plan
 from .sliced import SlicedExecutor, SubtaskResult
 from .fused import ThreadLevelSimulator, ThreadTiming
 from .sampling import CorrelatedSampleBatch, CorrelatedSampler, linear_xeb_fidelity
@@ -16,6 +47,12 @@ from .scaling import (
 __all__ = [
     "TreeExecutor",
     "contract_tree",
+    "CompiledPlan",
+    "ContractStep",
+    "LeafStep",
+    "PlanError",
+    "PlanStats",
+    "compile_plan",
     "SlicedExecutor",
     "SubtaskResult",
     "CorrelatedSampleBatch",

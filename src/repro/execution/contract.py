@@ -1,14 +1,21 @@
 """Numerical execution of a contraction tree on a concrete tensor network.
 
-This is the reference executor: it walks the contraction tree in creation
-(topological) order, contracts pairs of numpy tensors with einsum and
-returns the root tensor.  Correctness of every planning component in this
-package is ultimately checked against it (and it, in turn, against the
-dense state-vector simulator).
+Two execution paths live here:
+
+* the **reference** einsum walker (``compiled=False``) — walks the tree in
+  creation order, building an einsum spec string for every pair
+  contraction.  It is deliberately simple; correctness of every planning
+  component in this package is ultimately checked against it (and it, in
+  turn, against the dense state-vector simulator).
+* the **compiled** path (the default) — delegates to
+  :mod:`repro.execution.plan`, which compiles the tree once into
+  ``tensordot`` axis pairs and leaf slicing instructions and reuses the
+  plan across calls with the same tree and fixed-index set.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -16,6 +23,7 @@ import numpy as np
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .plan import CompiledPlan, compile_plan
 
 __all__ = ["TreeExecutor", "contract_tree"]
 
@@ -28,10 +36,26 @@ class TreeExecutor:
     dtype:
         Optional dtype override for the intermediate tensors (the paper's
         production runs use single-precision complex; tests use double).
+    compiled:
+        Use the compiled ``tensordot`` plan (default).  ``False`` selects
+        the reference einsum walker that everything is cross-checked
+        against.
     """
 
-    def __init__(self, dtype: Optional[np.dtype] = None) -> None:
+    #: Maximum number of compiled plans memoized per executor instance.
+    _PLAN_MEMO_SIZE = 8
+
+    def __init__(self, dtype: Optional[np.dtype] = None, compiled: bool = True) -> None:
         self._dtype = np.dtype(dtype) if dtype is not None else None
+        self._compiled = bool(compiled)
+        # memo keyed on object ids; the network is held through a weakref
+        # with an eviction callback, so a dropped network's (potentially
+        # huge) tensor data is not pinned and a recycled id cannot collide
+        # with a stale entry.  The tree is pinned by the plan itself.
+        self._plans: Dict[
+            Tuple[int, int, frozenset],
+            Tuple["weakref.ref[TensorNetwork]", CompiledPlan],
+        ] = {}
 
     # ------------------------------------------------------------------
     def execute(
@@ -55,6 +79,38 @@ class TreeExecutor:
             that carries them before contraction.
         """
         fixed_indices = fixed_indices or {}
+        if self._compiled:
+            plan = self._plan_for(network, tree, frozenset(fixed_indices))
+            return plan.execute(network, fixed_indices)
+        return self._execute_reference(network, tree, fixed_indices)
+
+    def _plan_for(
+        self, network: TensorNetwork, tree: ContractionTree, sliced: frozenset
+    ) -> CompiledPlan:
+        key = (id(network), id(tree), sliced)
+        hit = self._plans.get(key)
+        if hit is not None:
+            network_ref, plan = hit
+            # the network is mutable: drop the memoized plan if a leaf
+            # tensor's axis order changed since compilation
+            if network_ref() is network and plan.matches_network(network):
+                return plan
+            del self._plans[key]
+        plan = compile_plan(network, tree, sliced, dtype=self._dtype)
+        if len(self._plans) >= self._PLAN_MEMO_SIZE:
+            self._plans.pop(next(iter(self._plans)))
+        evict = lambda _, plans=self._plans, key=key: plans.pop(key, None)  # noqa: E731
+        self._plans[key] = (weakref.ref(network, evict), plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _execute_reference(
+        self,
+        network: TensorNetwork,
+        tree: ContractionTree,
+        fixed_indices: Dict[str, int],
+    ) -> Tensor:
+        """The seed einsum walker, kept verbatim as the reference path."""
         live: Dict[int, Tensor] = {}
         for leaf, tid in enumerate(tree.leaf_tids):
             tensor = network.tensor(tid)
@@ -127,5 +183,5 @@ def contract_tree(
     tree: ContractionTree,
     fixed_indices: Optional[Dict[str, int]] = None,
 ) -> Tensor:
-    """One-shot helper around :class:`TreeExecutor`."""
+    """One-shot helper around :class:`TreeExecutor` (compiled path)."""
     return TreeExecutor().execute(network, tree, fixed_indices)

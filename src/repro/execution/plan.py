@@ -1,0 +1,608 @@
+"""Compiled contraction plans: plan once, execute ``prod w(e)`` times.
+
+The sliced execution model of the paper runs the *same* contraction tree for
+every subtask — only the values assigned to the sliced indices change.  The
+reference executor (:class:`~repro.execution.contract.TreeExecutor`'s einsum
+walker) rebuilds einsum spec strings, re-slices every leaf and re-contracts
+the entire tree for each subtask; all of that work is slice-invariant and
+can be hoisted out of the subtask loop.  This module performs that hoisting:
+
+* :func:`compile_plan` turns a (network, tree, slicing set) triple into a
+  :class:`CompiledPlan` — per-leaf slicing instructions plus one
+  :class:`ContractStep` per internal tree node holding precomputed
+  ``tensordot`` axis pairs (or, for the rare hyper-index cases, a
+  precompiled einsum spec) and the output index order.  Nothing about the
+  plan depends on the *values* assigned to the sliced indices, so one plan
+  serves every subtask.
+* The compiler classifies every tree node as *slice-dependent* or
+  *slice-invariant* using :func:`repro.core.lifetime.slice_dependent_nodes`:
+  a node is invariant exactly when no sliced edge's lifetime reaches a leaf
+  of its subtree, so it produces the identical intermediate in every
+  subtask.  The plan derives from this a free/reuse schedule: dependent
+  intermediates are freed as soon as their parent consumes them, while the
+  maximal invariant subtrees (the *frontier*) are computed once by
+  :meth:`CompiledPlan.warm_cache` and reused across all subtasks.
+* An optional *batched* mode keeps one sliced index alive as a leading
+  batch axis instead of enumerating it: steps where the batch axis appears
+  on both operands compile to a BLAS batched matmul
+  (``transpose → reshape → matmul → reshape``), so all ``w(e)`` values of
+  that index are swept in a single batched contraction.
+
+:class:`PlanStats` instruments execution with per-node step counters; the
+benchmark and the equivalence tests use it to assert that the cached path
+performs each slice-invariant contraction exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from ..core.lifetime import slice_dependent_nodes
+from ..tensornet.contraction_tree import ContractionTree
+from ..tensornet.network import TensorNetwork
+from ..tensornet.tensor import Tensor
+
+__all__ = [
+    "CompiledPlan",
+    "ContractStep",
+    "LeafStep",
+    "PlanError",
+    "PlanStats",
+    "compile_plan",
+]
+
+
+class PlanError(ValueError):
+    """Raised when a plan cannot be compiled or is executed inconsistently."""
+
+
+@dataclass
+class PlanStats:
+    """Execution counters for a :class:`CompiledPlan`.
+
+    Attributes
+    ----------
+    node_counts:
+        How many times the contraction at each internal node actually ran.
+        On the cached path every slice-invariant node must stay at 1 no
+        matter how many subtasks execute — the benchmark asserts this.
+    cache_hits:
+        Number of operand fetches served from the invariant cache.
+    executions:
+        Number of ``execute`` calls (subtasks, or batched sweeps).
+    """
+
+    node_counts: Dict[int, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    executions: int = 0
+
+    def record_step(self, node: int) -> None:
+        self.node_counts[node] = self.node_counts.get(node, 0) + 1
+
+    @property
+    def steps_executed(self) -> int:
+        """Total pair contractions performed."""
+        return sum(self.node_counts.values())
+
+    def merge(self, other: "PlanStats") -> None:
+        """Fold another stats object into this one (used by worker pools)."""
+        for node, count in other.node_counts.items():
+            self.node_counts[node] = self.node_counts.get(node, 0) + count
+        self.cache_hits += other.cache_hits
+        self.executions += other.executions
+
+
+@dataclass(frozen=True)
+class LeafStep:
+    """Load (and slice) one leaf tensor.
+
+    ``takes`` is the ordered list of ``(index, axis)`` pairs to apply with
+    ``np.take``; the axis positions already account for previously removed
+    axes, so they are applied left to right with no per-call bookkeeping.
+    ``source_indices`` records the axis order of the network tensor the
+    step was compiled against, so staleness is detectable.
+    """
+
+    node: int
+    tid: int
+    takes: Tuple[Tuple[str, int], ...]
+    out_indices: Tuple[str, ...]
+    source_indices: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ContractStep:
+    """One precompiled pair contraction.
+
+    ``kind`` selects the kernel:
+
+    * ``"tensordot"`` — ``np.tensordot(a, b, axes)``; the planned output
+      order equals tensordot's natural order so no transpose is needed.
+    * ``"bmm"`` — batched matmul over the batch axis:
+      ``transpose/reshape`` both operands to ``(w_b, m, k)``/``(w_b, k, n)``
+      and ``np.matmul``; used when the batch index lives on both operands.
+    * ``"einsum"`` — precompiled integer-sublist einsum (no symbol-table
+      size limit, unlike spec strings); fallback for hyper indices kept on
+      the output and for axes summed out of a single operand.
+    """
+
+    node: int
+    lhs: int
+    rhs: int
+    kind: str
+    out_indices: Tuple[str, ...]
+    invariant: bool
+    free_full: Tuple[int, ...]
+    free_cached: Tuple[int, ...]
+    log2_flops: float
+    axes: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+    sub_lhs: Optional[Tuple[int, ...]] = None
+    sub_rhs: Optional[Tuple[int, ...]] = None
+    sub_out: Optional[Tuple[int, ...]] = None
+    bmm_perm_lhs: Optional[Tuple[int, ...]] = None
+    bmm_perm_rhs: Optional[Tuple[int, ...]] = None
+    bmm_lhs_shape: Optional[Tuple[int, int, int]] = None
+    bmm_rhs_shape: Optional[Tuple[int, int, int]] = None
+    bmm_out_shape: Optional[Tuple[int, ...]] = None
+
+
+class CompiledPlan:
+    """A contraction tree compiled against one network and slicing set.
+
+    Instances are produced by :func:`compile_plan`; they are immutable and
+    safe to share between threads once :meth:`warm_cache` has completed.
+    """
+
+    def __init__(
+        self,
+        tree: ContractionTree,
+        enumerated: Tuple[str, ...],
+        batch_index: Optional[str],
+        dtype: Optional[np.dtype],
+        leaf_steps: Tuple[LeafStep, ...],
+        steps: Tuple[ContractStep, ...],
+        frontier: FrozenSet[int],
+        dependent: FrozenSet[int],
+        out_indices: Tuple[str, ...],
+        out_sizes: Dict[str, int],
+        root_perm: Optional[Tuple[int, ...]],
+    ) -> None:
+        self._tree = tree
+        self._enumerated = enumerated
+        self._enumerated_sizes: Dict[str, int] = {}
+        for ix in enumerated:
+            try:
+                self._enumerated_sizes[ix] = tree.index_size(ix)
+            except Exception:
+                # index unknown to the tree: fixing it is a no-op (matches
+                # the reference walker), so no range to enforce
+                pass
+        self._batch_index = batch_index
+        self._dtype = dtype
+        self._leaf_steps = leaf_steps
+        self._steps = steps
+        self._frontier = frontier
+        self._dependent = dependent
+        self._out_indices = out_indices
+        self._out_sizes = dict(out_sizes)
+        self._root_perm = root_perm
+        self._variant_leaf_steps = tuple(
+            ls for ls in leaf_steps if ls.node in dependent
+        )
+        self._invariant_steps = tuple(s for s in steps if s.invariant)
+        self._variant_steps = tuple(s for s in steps if not s.invariant)
+
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> ContractionTree:
+        """The tree this plan was compiled from."""
+        return self._tree
+
+    @property
+    def sliced(self) -> Tuple[str, ...]:
+        """The enumerated sliced indices (excludes the batch index)."""
+        return self._enumerated
+
+    @property
+    def batch_index(self) -> Optional[str]:
+        """The sliced index kept as a batch axis, if any."""
+        return self._batch_index
+
+    @property
+    def out_indices(self) -> Tuple[str, ...]:
+        """Index order of the result (batch index leading when batched)."""
+        return self._out_indices
+
+    @property
+    def num_steps(self) -> int:
+        """Number of pair contractions in one full (uncached) execution."""
+        return len(self._steps)
+
+    @property
+    def invariant_nodes(self) -> FrozenSet[int]:
+        """Internal nodes whose contraction is slice-invariant."""
+        return frozenset(s.node for s in self._invariant_steps)
+
+    @property
+    def dependent_nodes(self) -> FrozenSet[int]:
+        """Nodes (leaves and internals) that depend on the slice assignment."""
+        return self._dependent
+
+    @property
+    def frontier(self) -> FrozenSet[int]:
+        """Maximal invariant subtree roots retained in the cache."""
+        return self._frontier
+
+    def invariant_log2_flops(self) -> float:
+        """log2 of the per-subtask flops saved by the invariant cache."""
+        total = sum(2.0**s.log2_flops for s in self._invariant_steps)
+        return math.log2(total) if total else float("-inf")
+
+    def matches_network(self, network: TensorNetwork) -> bool:
+        """Whether the network's leaf index orders still match the plan.
+
+        The plan bakes in each leaf's axis order; if a tensor was replaced
+        with a permuted or re-indexed one, the plan must be recompiled.
+        """
+        try:
+            return all(
+                network.tensor(ls.tid).indices == ls.source_indices
+                for ls in self._leaf_steps
+            )
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    def new_cache(self) -> Dict[int, np.ndarray]:
+        """A fresh (empty) invariant-intermediate cache."""
+        return {}
+
+    def cache_is_warm(self, cache: Mapping[int, np.ndarray]) -> bool:
+        """Whether every frontier intermediate is present in ``cache``."""
+        return all(node in cache for node in self._frontier)
+
+    def warm_cache(
+        self,
+        network: TensorNetwork,
+        cache: Dict[int, np.ndarray],
+        stats: Optional[PlanStats] = None,
+    ) -> None:
+        """Compute every slice-invariant intermediate once into ``cache``.
+
+        Runs only the invariant portion of the plan (which touches no sliced
+        index, hence needs no assignment); interior invariant buffers are
+        freed as soon as they are consumed and only the frontier survives.
+        """
+        live: Dict[int, np.ndarray] = {}
+        for ls in self._leaf_steps:
+            if ls.node in self._dependent:
+                continue
+            live[ls.node] = self._load_leaf(network, ls, None)
+        for step in self._invariant_steps:
+            self._run_step(step, live)
+            if stats is not None:
+                stats.record_step(step.node)
+            for child in step.free_full:
+                if child not in self._frontier:
+                    del live[child]
+        for node in self._frontier:
+            cache[node] = live[node]
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        network: TensorNetwork,
+        assignment: Optional[Mapping[str, int]] = None,
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        stats: Optional[PlanStats] = None,
+    ) -> Tensor:
+        """Contract the network for one slice assignment.
+
+        Parameters
+        ----------
+        network:
+            The concrete network the plan was compiled against.
+        assignment:
+            Value of every enumerated sliced index.
+        cache:
+            Optional invariant cache (from :meth:`new_cache`).  When given,
+            only the slice-dependent part of the tree is recontracted; the
+            cache is warmed on first use.
+        stats:
+            Optional instrumentation counters.
+        """
+        assignment = dict(assignment or {})
+        if set(assignment) != set(self._enumerated):
+            raise PlanError(
+                f"assignment keys {sorted(assignment)} do not match the "
+                f"plan's sliced indices {sorted(self._enumerated)}"
+            )
+        for ix, size in self._enumerated_sizes.items():
+            # np.take would silently wrap negative values
+            if not 0 <= assignment[ix] < size:
+                raise PlanError(
+                    f"slice value {assignment[ix]} out of range for index {ix!r}"
+                )
+        if stats is not None:
+            stats.executions += 1
+
+        if cache is None:
+            live: Dict[int, np.ndarray] = {}
+            for ls in self._leaf_steps:
+                live[ls.node] = self._load_leaf(network, ls, assignment)
+            for step in self._steps:
+                self._run_step(step, live)
+                if stats is not None:
+                    stats.record_step(step.node)
+                for child in step.free_full:
+                    del live[child]
+        else:
+            if not self.cache_is_warm(cache):
+                self.warm_cache(network, cache, stats)
+            live = {node: cache[node] for node in self._frontier}
+            if stats is not None:
+                stats.cache_hits += len(self._frontier)
+            for ls in self._variant_leaf_steps:
+                live[ls.node] = self._load_leaf(network, ls, assignment)
+            for step in self._variant_steps:
+                self._run_step(step, live)
+                if stats is not None:
+                    stats.record_step(step.node)
+                for child in step.free_cached:
+                    del live[child]
+
+        data = live[self._tree.root]
+        if cache is not None and self._tree.root in self._frontier:
+            # the root itself is cached (nothing is slice-dependent): hand
+            # out a copy so callers cannot corrupt the shared cache buffer
+            data = data.copy()
+        if self._root_perm is not None:
+            data = np.transpose(data, self._root_perm)
+        return Tensor(self._out_indices, data=data, sizes=self._out_sizes)
+
+    # ------------------------------------------------------------------
+    def _load_leaf(
+        self,
+        network: TensorNetwork,
+        leaf_step: LeafStep,
+        assignment: Optional[Mapping[str, int]],
+    ) -> np.ndarray:
+        tensor = network.tensor(leaf_step.tid)
+        data = tensor.data
+        if data is None:
+            raise ValueError(
+                f"tensor {leaf_step.tid} is abstract; the executor needs "
+                "concrete data"
+            )
+        for index, axis in leaf_step.takes:
+            data = np.take(data, assignment[index], axis=axis)  # type: ignore[index]
+        if self._dtype is not None:
+            # convert after slicing so the cast copies only the slice
+            data = np.asarray(data, dtype=self._dtype)
+        return data
+
+    @staticmethod
+    def _run_step(step: ContractStep, live: Dict[int, np.ndarray]) -> None:
+        a = live[step.lhs]
+        b = live[step.rhs]
+        if step.kind == "tensordot":
+            out = np.tensordot(a, b, axes=step.axes)
+        elif step.kind == "bmm":
+            a3 = np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
+            b3 = np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
+            out = np.matmul(a3, b3).reshape(step.bmm_out_shape)
+        else:
+            out = np.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out)
+        live[step.node] = out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledPlan(steps={len(self._steps)}, "
+            f"invariant={len(self._invariant_steps)}, "
+            f"sliced={list(self._enumerated)}, batch={self._batch_index!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiler
+# ----------------------------------------------------------------------
+def compile_plan(
+    network: TensorNetwork,
+    tree: ContractionTree,
+    sliced: AbstractSet[str] = frozenset(),
+    batch_index: Optional[str] = None,
+    dtype: Optional[np.dtype] = None,
+) -> CompiledPlan:
+    """Compile ``tree`` over ``network`` for a fixed slicing set.
+
+    Parameters
+    ----------
+    network:
+        The network whose leaf tensors will be contracted.  Only the index
+        *structure* is baked into the plan; the numerical data is read fresh
+        from the network at execution time.
+    tree:
+        Contraction tree whose ``leaf_tids`` refer to ``network``.
+    sliced:
+        The slicing set.  Every index in it is removed from the leaves; at
+        execution time an assignment supplies the value of each one.
+    batch_index:
+        Optional member of ``sliced`` to keep as a live batch axis instead
+        of enumerating it: the compiled steps carry it through to the root
+        (leading axis), so a single execution sweeps all of its values.
+    dtype:
+        Optional dtype override applied to every leaf at load time.
+    """
+    sliced = frozenset(sliced)
+    if batch_index is not None and batch_index not in sliced:
+        raise PlanError(f"batch index {batch_index!r} is not in the sliced set")
+    enumerated = frozenset(ix for ix in sliced if ix != batch_index)
+
+    dependent = slice_dependent_nodes(tree, enumerated)
+
+    orders: Dict[int, Tuple[str, ...]] = {}
+    has_batch: Dict[int, bool] = {}
+    leaf_steps: List[LeafStep] = []
+    for leaf, tid in enumerate(tree.leaf_tids):
+        tensor = network.tensor(tid)
+        if frozenset(tensor.indices) != tree.node_indices(leaf):
+            raise PlanError(
+                f"leaf {leaf} (tensor {tid}) carries indices "
+                f"{sorted(tensor.indices)} but the tree expects "
+                f"{sorted(tree.node_indices(leaf))}; recompile the plan "
+                "against the current network"
+            )
+        working = list(tensor.indices)
+        takes: List[Tuple[str, int]] = []
+        for ix in tensor.indices:
+            if ix in enumerated:
+                takes.append((ix, working.index(ix)))
+                working.remove(ix)
+        orders[leaf] = tuple(working)
+        has_batch[leaf] = batch_index is not None and batch_index in working
+        leaf_steps.append(
+            LeafStep(
+                node=leaf,
+                tid=tid,
+                takes=tuple(takes),
+                out_indices=orders[leaf],
+                source_indices=tensor.indices,
+            )
+        )
+
+    # frontier: maximal slice-invariant subtree roots — the nodes whose
+    # intermediates the cache retains across subtasks
+    frontier: Set[int] = set()
+    for node in tree.internal_nodes():
+        if node in dependent:
+            for child in tree.children(node):  # type: ignore[union-attr]
+                if child not in dependent:
+                    frontier.add(child)
+    if tree.root not in dependent:
+        # the whole tree is invariant (empty enumerated set): the cache
+        # retains the root itself
+        frontier.add(tree.root)
+
+    steps: List[ContractStep] = []
+    for node in tree.internal_nodes():
+        lhs, rhs = tree.children(node)  # type: ignore[misc]
+        a_ixs, b_ixs = orders[lhs], orders[rhs]
+        a_set, b_set = set(a_ixs), set(b_ixs)
+        out_set = {ix for ix in tree.node_indices(node) if ix not in enumerated}
+        node_batch = has_batch[lhs] or has_batch[rhs]
+        has_batch[node] = node_batch
+        if node_batch:
+            out_set.add(batch_index)  # never sum the batch axis
+
+        shared = a_set & b_set
+        contracted = [ix for ix in a_ixs if ix in shared and ix not in out_set]
+        kept_shared = [ix for ix in a_ixs if ix in shared and ix in out_set]
+        solo_summed = [
+            ix for ix in (*a_ixs, *b_ixs) if ix not in shared and ix not in out_set
+        ]
+        out_order = [ix for ix in a_ixs if ix in out_set] + [
+            ix for ix in b_ixs if ix in out_set and ix not in a_set
+        ]
+
+        invariant = node not in dependent
+
+        kwargs: Dict[str, object] = {}
+        if not kept_shared and not solo_summed:
+            kind = "tensordot"
+            kwargs["axes"] = (
+                tuple(a_ixs.index(ix) for ix in contracted),
+                tuple(b_ixs.index(ix) for ix in contracted),
+            )
+        elif (
+            batch_index is not None
+            and kept_shared == [batch_index]
+            and not solo_summed
+        ):
+            kind = "bmm"
+            size = tree.index_size
+            m_ixs = [ix for ix in a_ixs if ix in out_set and ix != batch_index]
+            n_ixs = [ix for ix in b_ixs if ix in out_set and ix != batch_index]
+            w_b = size(batch_index)
+            m = math.prod(size(ix) for ix in m_ixs)
+            k = math.prod(size(ix) for ix in contracted)
+            n = math.prod(size(ix) for ix in n_ixs)
+            kwargs["bmm_perm_lhs"] = tuple(
+                a_ixs.index(ix) for ix in (batch_index, *m_ixs, *contracted)
+            )
+            kwargs["bmm_perm_rhs"] = tuple(
+                b_ixs.index(ix) for ix in (batch_index, *contracted, *n_ixs)
+            )
+            kwargs["bmm_lhs_shape"] = (w_b, m, k)
+            kwargs["bmm_rhs_shape"] = (w_b, k, n)
+            kwargs["bmm_out_shape"] = tuple(
+                size(ix) for ix in (batch_index, *m_ixs, *n_ixs)
+            )
+            out_order = [batch_index, *m_ixs, *n_ixs]
+        else:
+            kind = "einsum"
+            # integer axis labels (einsum's interleaved form): unlike spec
+            # strings these are not limited to 52 ASCII symbols
+            labels: Dict[str, int] = {}
+
+            def label(ix: str) -> int:
+                return labels.setdefault(ix, len(labels))
+
+            kwargs["sub_lhs"] = tuple(label(ix) for ix in a_ixs)
+            kwargs["sub_rhs"] = tuple(label(ix) for ix in b_ixs)
+            kwargs["sub_out"] = tuple(label(ix) for ix in out_order)
+
+        orders[node] = tuple(out_order)
+        steps.append(
+            ContractStep(
+                node=node,
+                lhs=lhs,
+                rhs=rhs,
+                kind=kind,
+                out_indices=orders[node],
+                invariant=invariant,
+                free_full=(lhs, rhs),
+                free_cached=tuple(c for c in (lhs, rhs) if c not in frontier),
+                log2_flops=tree.node_log2_flops(node, enumerated),
+                **kwargs,  # type: ignore[arg-type]
+            )
+        )
+
+    root = tree.root
+    root_order = orders[root]
+    root_perm: Optional[Tuple[int, ...]] = None
+    out_order_final = root_order
+    if batch_index is not None and has_batch.get(root, False):
+        if root_order and root_order[0] != batch_index:
+            pos = root_order.index(batch_index)
+            perm = (pos, *[i for i in range(len(root_order)) if i != pos])
+            root_perm = perm
+            out_order_final = tuple(root_order[i] for i in perm)
+    out_sizes = {ix: tree.index_size(ix) for ix in out_order_final}
+
+    return CompiledPlan(
+        tree=tree,
+        enumerated=tuple(sorted(enumerated)),
+        batch_index=batch_index,
+        dtype=np.dtype(dtype) if dtype is not None else None,
+        leaf_steps=tuple(leaf_steps),
+        steps=tuple(steps),
+        frontier=frozenset(frontier),
+        dependent=dependent,
+        out_indices=out_order_final,
+        out_sizes=out_sizes,
+        root_perm=root_perm,
+    )
+

@@ -126,6 +126,14 @@ class CorrelatedSampler:
         Memory target for process-level slicing.
     max_trials, seed:
         Path-search configuration.
+    executor_mode:
+        ``"compiled"`` (default) contracts batches through the compiled
+        plan with slice-invariant caching; ``"reference"`` uses the einsum
+        walker (useful for cross-checking).
+    max_workers:
+        Optional thread-pool width for sliced batch execution.  Only
+        applies when the planner derives a non-empty slicing set; an
+        unsliced batch is a single contraction and runs on one thread.
     """
 
     def __init__(
@@ -135,6 +143,8 @@ class CorrelatedSampler:
         target_rank: Optional[int] = None,
         max_trials: int = 8,
         seed: Optional[int] = None,
+        executor_mode: str = "compiled",
+        max_workers: Optional[int] = None,
     ) -> None:
         self.circuit = circuit
         self.open_qubits = tuple(sorted(set(int(q) for q in open_qubits)))
@@ -146,6 +156,12 @@ class CorrelatedSampler:
         self.target_rank = target_rank
         self.max_trials = int(max_trials)
         self.seed = seed
+        if executor_mode not in ("compiled", "reference"):
+            raise ValueError(f"unknown executor mode {executor_mode!r}")
+        if max_workers and executor_mode == "reference":
+            raise ValueError("max_workers requires the compiled executor mode")
+        self.executor_mode = executor_mode
+        self.max_workers = max_workers
 
     # ------------------------------------------------------------------
     def build_network(
@@ -225,10 +241,18 @@ class CorrelatedSampler:
             slicing = frozenset()
 
         if slicing:
-            executor = SlicedExecutor(network, tree, slicing)
+            executor = SlicedExecutor(
+                network,
+                tree,
+                slicing,
+                mode=self.executor_mode,
+                max_workers=self.max_workers,
+            )
             tensor = executor.run()
         else:
-            tensor = TreeExecutor().execute(network, tree)
+            tensor = TreeExecutor(
+                compiled=self.executor_mode == "compiled"
+            ).execute(network, tree)
 
         order = tuple(open_index_of_qubit[q] for q in self.open_qubits)
         tensor = tensor.transposed(order)

@@ -2,12 +2,22 @@
 
 The process-level strategy of the paper: after choosing a slicing set ``S``,
 the ``prod w(e)`` independent subtasks are executed (in parallel across
-nodes on the real machine, sequentially here) and their results are summed.
-Each subtask fixes every sliced index to one value and contracts the whole
-network with the same contraction tree; because the sliced indices are
-inner (summed) indices, the sum of the subtask results equals the unsliced
-contraction exactly — a property the test suite checks both exhaustively
-and with hypothesis.
+nodes on the real machine; here sequentially, or across a thread pool) and
+their results are summed.  Each subtask fixes every sliced index to one
+value and contracts the whole network with the same contraction tree;
+because the sliced indices are inner (summed) indices, the sum of the
+subtask results equals the unsliced contraction exactly — a property the
+test suite checks both exhaustively and with hypothesis.
+
+:class:`SlicedExecutor` executes the subtasks through a
+:class:`~repro.execution.plan.CompiledPlan` by default (``mode="compiled"``):
+the tree is compiled once into ``tensordot`` axis pairs, slice-invariant
+intermediates — subtrees no sliced edge's lifetime reaches — are contracted
+once and shared across every subtask, and optionally one sliced index is
+kept as a leading batch axis so that all of its values are swept in a
+single batched contraction (``batch_index=``).  ``mode="reference"``
+selects the seed einsum walker, which re-plans and re-contracts everything
+per subtask; it is the path everything else is cross-checked against.
 
 :class:`SlicedExecutor` also supports partial execution (a subset of the
 subtasks), which is what the sampling workflows use, and reports per-subtask
@@ -17,9 +27,17 @@ statistics that the process-level scheduler consumes.
 from __future__ import annotations
 
 import itertools
-import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -27,6 +45,7 @@ from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
 from .contract import TreeExecutor
+from .plan import CompiledPlan, PlanStats, compile_plan
 
 __all__ = ["SlicedExecutor", "SubtaskResult"]
 
@@ -62,6 +81,26 @@ class SlicedExecutor:
         decomposing the sum, which is not what the paper's scheme does).
     dtype:
         Optional dtype override for intermediates.
+    mode:
+        ``"compiled"`` (default) executes through a compiled plan;
+        ``"reference"`` uses the seed einsum walker.
+    cache_invariant:
+        Compute slice-invariant intermediates once and reuse them across
+        all subtasks (compiled mode only).  Replacing a network tensor via
+        ``replace_tensor`` between runs is detected and invalidates the
+        cache; mutating a tensor's numpy buffer *in place* is not — treat
+        tensor data as immutable (as the rest of the codebase does) or
+        construct a fresh executor after such a mutation.
+    batch_index:
+        Keep one sliced index as a live batch axis so :meth:`run` sweeps
+        all of its values in a single batched contraction per remaining
+        assignment.  ``"auto"`` picks the largest sliced index; ``None``
+        disables batching.  Compiled mode only.
+    max_workers:
+        When > 1, :meth:`run` distributes subtask chunks over a
+        ``concurrent.futures`` thread pool (numpy releases the GIL inside
+        the contraction kernels) and merges the partial accumulators.
+        Compiled mode only.
     """
 
     def __init__(
@@ -70,6 +109,10 @@ class SlicedExecutor:
         tree: ContractionTree,
         sliced: AbstractSet[str],
         dtype: Optional[np.dtype] = None,
+        mode: str = "compiled",
+        cache_invariant: bool = True,
+        batch_index: Optional[str] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.network = network
         self.tree = tree
@@ -78,10 +121,55 @@ class SlicedExecutor:
         bad = [ix for ix in self.sliced if ix not in inner]
         if bad:
             raise ValueError(f"sliced indices {bad} are not inner indices of the network")
+        if mode not in ("compiled", "reference"):
+            raise ValueError(f"unknown execution mode {mode!r}")
+        self.mode = mode
         self._sizes = {ix: network.size_of(ix) for ix in self.sliced}
-        self._executor = TreeExecutor(dtype=dtype)
+        self._dtype = np.dtype(dtype) if dtype is not None else None
+        self._cache_invariant = bool(cache_invariant)
+        self._max_workers = int(max_workers) if max_workers else None
+        if self._max_workers and mode == "reference":
+            raise ValueError("max_workers requires the compiled mode")
+
+        self.batch_index: Optional[str] = None
+        if batch_index is not None:
+            if mode == "reference":
+                raise ValueError("batched execution requires the compiled mode")
+            if batch_index == "auto":
+                if self.sliced:
+                    self.batch_index = max(
+                        self.sliced, key=lambda ix: (self._sizes[ix], ix)
+                    )
+            elif batch_index in self.sliced:
+                self.batch_index = batch_index
+            else:
+                raise ValueError(f"batch index {batch_index!r} is not in the sliced set")
+
+        #: Per-node execution counters (compiled mode); the cached path must
+        #: keep every slice-invariant node at exactly one execution.
+        self.stats = PlanStats()
+        self._executor = (
+            TreeExecutor(dtype=dtype, compiled=False) if mode == "reference" else None
+        )
+        self._plan: Optional[CompiledPlan] = None
+        self._batched_plan: Optional[CompiledPlan] = None
+        self._cache: Optional[Dict[int, np.ndarray]] = None
+        self._batched_cache: Optional[Dict[int, np.ndarray]] = None
+        self._leaf_tensors: Tuple = ()
+        if mode == "compiled":
+            self._compile_plans()
 
     # ------------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[CompiledPlan]:
+        """The compiled per-subtask plan (``None`` in reference mode)."""
+        return self._plan
+
+    @property
+    def batched_plan(self) -> Optional[CompiledPlan]:
+        """The compiled batched-sweep plan, when batching is enabled."""
+        return self._batched_plan
+
     @property
     def num_subtasks(self) -> int:
         """Total number of independent subtasks ``prod w(e)``."""
@@ -89,6 +177,13 @@ class SlicedExecutor:
         for ix in self.sliced:
             out *= self._sizes[ix]
         return out
+
+    @property
+    def num_batched_sweeps(self) -> int:
+        """Number of batched executions covering all subtasks."""
+        if self.batch_index is None:
+            return self.num_subtasks
+        return self.num_subtasks // self._sizes[self.batch_index]
 
     def assignments(self) -> Iterator[Dict[str, int]]:
         """Iterate over every slicing assignment in lexicographic order."""
@@ -108,11 +203,82 @@ class SlicedExecutor:
             remaining //= size
         return {ix: values[ix] for ix in self.sliced}
 
+    def batched_assignments(self) -> Iterator[Dict[str, int]]:
+        """Assignments of the enumerated (non-batch) indices, in order."""
+        enumerated = [ix for ix in self.sliced if ix != self.batch_index]
+        ranges = [range(self._sizes[ix]) for ix in enumerated]
+        for values in itertools.product(*ranges):
+            yield dict(zip(enumerated, values))
+
     # ------------------------------------------------------------------
+    def _ensure_cache(self, plan: CompiledPlan, cache: Optional[Dict[int, np.ndarray]]) -> None:
+        if cache is not None and not plan.cache_is_warm(cache):
+            plan.warm_cache(self.network, cache, self.stats)
+
+    def _compile_plans(self) -> None:
+        """(Re)compile the execution plans and reset caches and snapshot."""
+        self._plan = compile_plan(
+            self.network, self.tree, frozenset(self.sliced), dtype=self._dtype
+        )
+        self._cache = self._plan.new_cache() if self._cache_invariant else None
+        self._batched_plan = None
+        self._batched_cache = None
+        if self.batch_index is not None:
+            self._batched_plan = compile_plan(
+                self.network,
+                self.tree,
+                frozenset(self.sliced),
+                batch_index=self.batch_index,
+                dtype=self._dtype,
+            )
+            self._batched_cache = (
+                self._batched_plan.new_cache() if self._cache_invariant else None
+            )
+        self._snapshot_leaves()
+
+    def _snapshot_leaves(self) -> None:
+        # Tensor objects are immutable, so identity comparison of the
+        # snapshot detects any replace_tensor on a leaf
+        self._leaf_tensors = tuple(
+            self.network.tensor(tid) for tid in self.tree.leaf_tids
+        )
+
+    def _refresh_stale_plans(self) -> None:
+        """React to network mutations since the plans were compiled.
+
+        An axis-order change invalidates the baked take/tensordot axes and
+        forces a recompile; a data-only change (same index structure)
+        keeps the plans but must drop the warmed invariant caches, which
+        hold intermediates contracted from the old data.
+        """
+        if self._plan is None:
+            return
+        if not self._plan.matches_network(self.network):
+            self._compile_plans()
+            return
+        current = tuple(self.network.tensor(tid) for tid in self.tree.leaf_tids)
+        if current != self._leaf_tensors:
+            if self._cache is not None:
+                self._cache.clear()
+            if self._batched_cache is not None:
+                self._batched_cache.clear()
+            self._leaf_tensors = current
+
     def run_subtask(self, subtask_id: int) -> SubtaskResult:
         """Execute a single subtask."""
+        self._refresh_stale_plans()
+        return self._subtask_result(subtask_id)
+
+    def _subtask_result(self, subtask_id: int) -> SubtaskResult:
+        """One subtask without the staleness check (hot-loop internal)."""
         assignment = self.assignment(subtask_id)
-        tensor = self._executor.execute(self.network, self.tree, assignment)
+        if self._plan is not None:
+            tensor = self._plan.execute(
+                self.network, assignment, cache=self._cache, stats=self.stats
+            )
+        else:
+            assert self._executor is not None
+            tensor = self._executor.execute(self.network, self.tree, assignment)
         return SubtaskResult(assignment=assignment, tensor=tensor)
 
     def run(self, subtask_ids: Optional[Sequence[int]] = None) -> Tensor:
@@ -123,27 +289,128 @@ class SlicedExecutor:
         subtask_ids:
             Which subtasks to run; ``None`` runs them all (yielding the
             exact contraction value).  Running a subset gives a partial sum,
-            which is only meaningful for diagnostics.
+            which is only meaningful for diagnostics.  Batched sweeps only
+            apply to full runs; a subset always executes subtask-by-subtask.
         """
-        ids: Iterable[int] = (
+        self._refresh_stale_plans()
+        if subtask_ids is None and self._batched_plan is not None:
+            return self._run_batched()
+        ids: List[int] = list(
             range(self.num_subtasks) if subtask_ids is None else subtask_ids
         )
+        if not ids:
+            raise ValueError("no subtasks were executed")
+        if self._plan is not None and self._max_workers and len(ids) > 1:
+            return self._run_pooled(ids)
         accumulated: Optional[np.ndarray] = None
         result_indices: Optional[Tuple[str, ...]] = None
         result_sizes: Optional[Dict[str, int]] = None
         for subtask_id in ids:
-            result = self.run_subtask(subtask_id)
+            result = self._subtask_result(subtask_id)
             data = result.tensor.require_data()
             if accumulated is None:
+                # copy once: the first subtask's buffer may be shared with
+                # the invariant cache, which later subtasks still read;
+                # subsequent subtasks accumulate in place
                 accumulated = np.array(data, copy=True)
                 result_indices = result.tensor.indices
                 result_sizes = result.tensor.sizes()
             else:
-                accumulated = accumulated + data
-        if accumulated is None:
-            raise ValueError("no subtasks were executed")
+                accumulated += data
+        assert accumulated is not None
         assert result_indices is not None and result_sizes is not None
         return Tensor(result_indices, data=accumulated, sizes=result_sizes)
+
+    def _accumulate_parallel(self, items: List, partial_fn) -> Tuple[np.ndarray, Tensor]:
+        """Run ``partial_fn`` over chunks of ``items`` and merge the sums.
+
+        ``partial_fn`` maps a chunk to ``(partial_sum, sample_tensor,
+        stats)``; chunks run on the thread pool when one is configured.
+        """
+        if self._max_workers and len(items) > 1:
+            chunks = _chunk(items, self._max_workers)
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                partials = [p for p in pool.map(partial_fn, chunks) if p]
+        else:
+            partials = [p for p in [partial_fn(items)] if p]
+        accumulated, result = partials[0][:2]
+        for other, _, _ in partials[1:]:
+            accumulated += other
+        for _, _, stats in partials:
+            self.stats.merge(stats)
+        return accumulated, result
+
+    def _run_batched(self) -> Tensor:
+        """Sweep the batch index in bulk, enumerating the remaining indices."""
+        plan = self._batched_plan
+        assert plan is not None
+        self._ensure_cache(plan, self._batched_cache)
+        accumulated, result = self._accumulate_parallel(
+            list(self.batched_assignments()), self._batched_partial
+        )
+        out_indices = result.indices[1:]  # drop the leading batch axis
+        sizes = {ix: result.size_of(ix) for ix in out_indices}
+        return Tensor(out_indices, data=accumulated, sizes=sizes)
+
+    def _partial_sum(
+        self,
+        plan: CompiledPlan,
+        cache: Optional[Dict[int, np.ndarray]],
+        assignments: Sequence[Dict[str, int]],
+        sum_batch_axis: bool,
+    ) -> Optional[Tuple[np.ndarray, Tensor, PlanStats]]:
+        """Accumulate plan executions over ``assignments`` with local stats.
+
+        ``sum_batch_axis`` collapses the leading batch axis of every
+        execution (batched sweeps); otherwise results are summed as-is.
+        """
+        stats = PlanStats()
+        accumulated: Optional[np.ndarray] = None
+        result: Optional[Tensor] = None
+        for assignment in assignments:
+            tensor = plan.execute(self.network, assignment, cache=cache, stats=stats)
+            data = tensor.require_data()
+            contribution = data.sum(axis=0) if sum_batch_axis else data
+            if accumulated is None:
+                # copy unless the sum already allocated a fresh buffer: the
+                # first execution may share storage with the invariant cache
+                accumulated = (
+                    contribution if sum_batch_axis else np.array(contribution, copy=True)
+                )
+                result = tensor
+            else:
+                accumulated += contribution
+        if accumulated is None or result is None:
+            return None
+        return accumulated, result, stats
+
+    def _batched_partial(
+        self, assignments: Sequence[Dict[str, int]]
+    ) -> Optional[Tuple[np.ndarray, Tensor, PlanStats]]:
+        assert self._batched_plan is not None
+        return self._partial_sum(
+            self._batched_plan, self._batched_cache, assignments, sum_batch_axis=True
+        )
+
+    def _run_pooled(self, ids: Sequence[int]) -> Tensor:
+        """Distribute subtask chunks over a thread pool and merge the sums."""
+        plan = self._plan
+        assert plan is not None
+        # warm the cache once up front so workers share it read-only
+        self._ensure_cache(plan, self._cache)
+        accumulated, result = self._accumulate_parallel(list(ids), self._chunk_partial)
+        return Tensor(result.indices, data=accumulated, sizes=result.sizes())
+
+    def _chunk_partial(
+        self, ids: Sequence[int]
+    ) -> Optional[Tuple[np.ndarray, Tensor, PlanStats]]:
+        assert self._plan is not None
+        return self._partial_sum(
+            self._plan,
+            self._cache,
+            [self.assignment(subtask_id) for subtask_id in ids],
+            sum_batch_axis=False,
+        )
 
     def amplitude(self, subtask_ids: Optional[Sequence[int]] = None) -> complex:
         """Accumulated scalar value (requires a closed network)."""
@@ -161,3 +428,16 @@ class SlicedExecutor:
     def total_cost_estimate(self) -> float:
         """Planned flops over all subtasks (Eq. 4)."""
         return self.tree.total_cost(frozenset(self.sliced))
+
+
+def _chunk(items: List, num_chunks: int) -> List[List]:
+    """Split ``items`` into at most ``num_chunks`` contiguous chunks."""
+    num_chunks = max(1, min(num_chunks, len(items)))
+    size, extra = divmod(len(items), num_chunks)
+    out: List[List] = []
+    start = 0
+    for i in range(num_chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out

@@ -187,6 +187,12 @@ class ContractionTree:
         self._ssa_path: Tuple[Tuple[int, int], ...] = tuple(
             (int(a), int(b)) for a, b in ssa_path
         )
+        # the tree is immutable, so derived lookup structures are built
+        # lazily once and never invalidated
+        self._parent_map: Optional[Dict[int, int]] = None
+        self._leaf_of_tid: Dict[int, int] = {}
+        for pos, tid in enumerate(self._leaf_tids):
+            self._leaf_of_tid.setdefault(tid, pos)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -239,8 +245,8 @@ class ContractionTree:
     def leaf_of_tid(self, tid: int) -> int:
         """Leaf position corresponding to a network tensor id."""
         try:
-            return self._leaf_tids.index(tid)
-        except ValueError as exc:
+            return self._leaf_of_tid[tid]
+        except KeyError as exc:
             raise ContractionTreeError(f"tensor id {tid} not a leaf") from exc
 
     def is_leaf(self, node: int) -> bool:
@@ -268,13 +274,19 @@ class ContractionTree:
         return tuple(range(self._num_leaves, self._root + 1))
 
     def parent_map(self) -> Dict[int, int]:
-        """Mapping from node id to its parent (root excluded)."""
-        parents: Dict[int, int] = {}
-        for node in self.internal_nodes():
-            a, b = self._nodes[node].children  # type: ignore[misc]
-            parents[a] = node
-            parents[b] = node
-        return parents
+        """Mapping from node id to its parent (root excluded).
+
+        The tree is immutable, so the map is built once and cached; treat
+        the returned dict as read-only.
+        """
+        if self._parent_map is None:
+            parents: Dict[int, int] = {}
+            for node in self.internal_nodes():
+                a, b = self._nodes[node].children  # type: ignore[misc]
+                parents[a] = node
+                parents[b] = node
+            self._parent_map = parents
+        return self._parent_map
 
     def _record(self, node: int) -> _NodeRecord:
         try:

@@ -167,6 +167,16 @@ class TestNavigation:
         with pytest.raises(ContractionTreeError):
             tree.leaf_of_tid(99)
 
+    def test_parent_map_is_cached(self):
+        # the tree is immutable: repeated queries must reuse the same map
+        tree = _chain_tree()
+        assert tree.parent_map() is tree.parent_map()
+
+    def test_leaf_of_tid_matches_leaf_tids_order(self):
+        tree = _chain_tree()
+        for pos, tid in enumerate(tree.leaf_tids):
+            assert tree.leaf_of_tid(tid) == pos
+
     def test_unknown_node_raises(self):
         tree = _chain_tree()
         with pytest.raises(ContractionTreeError):

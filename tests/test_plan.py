@@ -1,0 +1,353 @@
+"""Equivalence tests of the compiled contraction plans.
+
+The compiled, cached, batched and pooled executors must all agree — bit for
+close — with the reference einsum walker (and, transitively, with the dense
+state-vector simulator) for any network, tree and slicing set.  These tests
+check that exhaustively on small circuits and with hypothesis over random
+ones, including the two structural edge cases: the empty slicing set
+(everything slice-invariant) and a slicing set touching every leaf (nothing
+slice-invariant).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import amplitude, random_brickwork_circuit
+from repro.core import slice_dependent_nodes
+from repro.execution import (
+    PlanError,
+    PlanStats,
+    SlicedExecutor,
+    TreeExecutor,
+    compile_plan,
+)
+from repro.paths import GreedyOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _case(num_qubits=6, depth=4, seed=13, bits=None):
+    circ = random_brickwork_circuit(num_qubits, depth, seed=seed)
+    if bits is None:
+        bits = tuple(int(b) for b in np.random.default_rng(seed).integers(0, 2, num_qubits))
+    tn = amplitude_network(circ, list(bits))
+    simplify_network(tn)
+    tree = GreedyOptimizer(seed=1).tree(tn)
+    return tn, tree, amplitude(circ, bits)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return _case()
+
+
+def _leaf_cover_slicing(tn, tree):
+    """A slicing set of inner indices touching every leaf (greedy cover)."""
+    inner = sorted(tn.inner_indices())
+    uncovered = set(range(tree.num_leaves))
+    cover = []
+    while uncovered and inner:
+        best = max(
+            inner,
+            key=lambda ix: len(
+                {tree.leaf_of_tid(t) for t in tn.index_owners(ix)} & uncovered
+            ),
+        )
+        covered = {tree.leaf_of_tid(t) for t in tn.index_owners(best)} & uncovered
+        if not covered:
+            break
+        cover.append(best)
+        inner.remove(best)
+        uncovered -= covered
+    return cover, uncovered
+
+
+class TestCompiledPlanEquivalence:
+    def test_all_modes_match_reference_and_statevector(self, case):
+        tn, tree, reference = case
+        sliced = sorted(tn.inner_indices())[:3]
+        ref = SlicedExecutor(tn, tree, sliced, mode="reference").amplitude()
+        assert ref == pytest.approx(reference, abs=1e-9)
+        for kwargs in (
+            dict(),
+            dict(cache_invariant=False),
+            dict(batch_index="auto"),
+            dict(batch_index=sliced[0]),
+            dict(max_workers=2),
+            dict(batch_index="auto", max_workers=2),
+        ):
+            executor = SlicedExecutor(tn, tree, sliced, **kwargs)
+            assert executor.amplitude() == pytest.approx(reference, abs=1e-9), kwargs
+
+    def test_exhaustive_small_slicing_sets(self, case):
+        tn, tree, reference = case
+        inner = sorted(tn.inner_indices())[:4]
+        for r in range(len(inner) + 1):
+            for combo in itertools.combinations(inner, r):
+                executor = SlicedExecutor(tn, tree, combo)
+                assert executor.amplitude() == pytest.approx(reference, abs=1e-9), combo
+
+    def test_empty_slicing_set(self, case):
+        tn, tree, reference = case
+        executor = SlicedExecutor(tn, tree, ())
+        assert executor.num_subtasks == 1
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-9)
+        # with nothing sliced, everything is invariant and cached whole
+        assert executor.plan.dependent_nodes == frozenset()
+        assert executor.plan.frontier == frozenset({tree.root})
+
+    def test_all_leaves_sliced(self, case):
+        tn, tree, reference = case
+        cover, uncovered = _leaf_cover_slicing(tn, tree)
+        assert not uncovered, "workload must admit a leaf-covering slicing set"
+        executor = SlicedExecutor(tn, tree, cover)
+        # nothing is slice-invariant: the cache can hold nothing
+        assert executor.plan.invariant_nodes == frozenset()
+        assert executor.plan.frontier == frozenset()
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-8)
+
+    def test_tree_executor_compiled_matches_reference(self, case):
+        tn, tree, reference = case
+        compiled = TreeExecutor().amplitude(tn, tree)
+        walker = TreeExecutor(compiled=False).amplitude(tn, tree)
+        assert compiled == pytest.approx(walker, abs=1e-12)
+        assert compiled == pytest.approx(reference, abs=1e-9)
+
+    def test_fixed_indices_match_reference(self, case):
+        tn, tree, _ = case
+        fixed = {ix: 1 for ix in sorted(tn.inner_indices())[:2]}
+        compiled = TreeExecutor().execute(tn, tree, fixed)
+        walker = TreeExecutor(compiled=False).execute(tn, tree, fixed)
+        np.testing.assert_allclose(
+            compiled.require_data(),
+            walker.transposed(compiled.indices).require_data(),
+            atol=1e-12,
+        )
+
+    @SETTINGS
+    @given(
+        params=st.tuples(
+            st.integers(min_value=3, max_value=6),
+            st.integers(min_value=2, max_value=4),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        num_sliced=st.integers(min_value=0, max_value=3),
+        batched=st.booleans(),
+    )
+    def test_random_networks_and_slicings(self, params, num_sliced, batched):
+        qubits, depth, seed = params
+        circ = random_brickwork_circuit(qubits, depth, seed=seed)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=qubits).tolist()
+        tn = amplitude_network(circ, bits)
+        simplify_network(tn)
+        if tn.num_tensors < 2:
+            return
+        tree = GreedyOptimizer(seed=seed).tree(tn)
+        inner = sorted(tn.inner_indices())
+        picks = rng.choice(len(inner), size=min(num_sliced, len(inner)), replace=False)
+        sliced = [inner[i] for i in picks]
+        reference = SlicedExecutor(tn, tree, sliced, mode="reference").amplitude()
+        kwargs = dict(batch_index="auto") if batched else {}
+        executor = SlicedExecutor(tn, tree, sliced, **kwargs)
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-9)
+        assert reference == pytest.approx(amplitude(circ, bits), abs=1e-8)
+
+
+class TestInvariantCaching:
+    def test_invariant_steps_run_exactly_once(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:3]
+        executor = SlicedExecutor(tn, tree, sliced)
+        executor.run()
+        counts = executor.stats.node_counts
+        for node in executor.plan.invariant_nodes:
+            assert counts.get(node, 0) == 1, f"invariant node {node} ran {counts.get(node, 0)}x"
+        for node in executor.plan.dependent_nodes:
+            if node >= tree.num_leaves:
+                assert counts.get(node, 0) == executor.num_subtasks
+
+    def test_uncached_runs_everything_every_subtask(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:2]
+        executor = SlicedExecutor(tn, tree, sliced, cache_invariant=False)
+        executor.run()
+        for count in executor.stats.node_counts.values():
+            assert count == executor.num_subtasks
+
+    def test_dependent_set_matches_lifetimes(self, case):
+        tn, tree, _ = case
+        sliced = frozenset(sorted(tn.inner_indices())[:3])
+        dependent = slice_dependent_nodes(tree, sliced)
+        # a node is dependent iff one of its leaves carries a sliced edge
+        for node in tree.nodes():
+            touched = any(
+                sliced & set(tn.tensor(tree.leaf_tids[leaf]).indices)
+                for leaf in tree.leaves_under(node)
+            )
+            assert (node in dependent) == touched
+
+    def test_batched_plan_uses_batched_matmul(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:3]
+        executor = SlicedExecutor(tn, tree, sliced, batch_index="auto")
+        kinds = {step.kind for step in executor.batched_plan._steps}
+        assert "bmm" in kinds or "einsum" in kinds
+        # one sweep covers all w(b) values of the batch index
+        batch_size = tn.size_of(executor.batch_index)
+        assert executor.num_batched_sweeps * batch_size == executor.num_subtasks
+        executor.run()
+        assert executor.stats.executions == executor.num_batched_sweeps
+
+    def test_stats_merge(self):
+        a = PlanStats(node_counts={1: 2}, cache_hits=3, executions=1)
+        b = PlanStats(node_counts={1: 1, 2: 5}, cache_hits=1, executions=4)
+        a.merge(b)
+        assert a.node_counts == {1: 3, 2: 5}
+        assert a.cache_hits == 4 and a.executions == 5
+        assert a.steps_executed == 8
+
+
+class TestHyperIndexKernel:
+    def test_kept_shared_hyper_index_uses_einsum_kernel(self):
+        # three tensors share index "h" (a copy-tensor style hyper edge):
+        # the first pair contraction must keep "h" on the output, which the
+        # tensordot kernel cannot express
+        from repro.tensornet import Tensor, TensorNetwork
+        from repro.tensornet.contraction_tree import ContractionTree
+
+        rng = np.random.default_rng(0)
+        t0 = Tensor(("h", "a"), data=rng.normal(size=(2, 3)))
+        t1 = Tensor(("h", "b"), data=rng.normal(size=(2, 4)))
+        t2 = Tensor(("h",), data=rng.normal(size=(2,)))
+        tn = TensorNetwork([t0, t1, t2])
+        tree = ContractionTree.from_network(tn, [(0, 1), (3, 2)])
+        plan = compile_plan(tn, tree)
+        assert any(s.kind == "einsum" for s in plan._steps)
+        result = plan.execute(tn)
+        expected = np.einsum("ha,hb,h->ab", t0.data, t1.data, t2.data)
+        np.testing.assert_allclose(
+            result.transposed(("a", "b")).require_data(), expected, atol=1e-12
+        )
+
+
+class TestPlanValidation:
+    def test_stale_memoized_plan_recompiles_after_mutation(self, case):
+        tn, tree, reference = case
+        mutated = tn.copy()
+        executor = TreeExecutor()
+        first = executor.amplitude(mutated, tree)
+        assert first == pytest.approx(reference, abs=1e-9)
+        # permute a leaf tensor's axes in place: same index set, new order
+        tid = mutated.tensor_ids[0]
+        tensor = mutated.tensor(tid)
+        mutated.replace_tensor(tid, tensor.transposed(tuple(reversed(tensor.indices))))
+        assert executor.amplitude(mutated, tree) == pytest.approx(reference, abs=1e-9)
+
+    def test_batch_index_must_be_sliced(self, case):
+        tn, tree, _ = case
+        with pytest.raises(PlanError):
+            compile_plan(tn, tree, frozenset(), batch_index="nope")
+        with pytest.raises(ValueError):
+            SlicedExecutor(tn, tree, sorted(tn.inner_indices())[:1], batch_index="nope")
+
+    def test_assignment_keys_validated(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:2]
+        plan = compile_plan(tn, tree, frozenset(sliced))
+        with pytest.raises(PlanError):
+            plan.execute(tn, {sliced[0]: 0})
+
+    def test_assignment_values_bounds_checked(self, case):
+        # the reference walker raises for out-of-range slice values; the
+        # compiled path must too (np.take would silently wrap -1)
+        tn, tree, _ = case
+        ix = sorted(tn.inner_indices())[0]
+        for bad in (-1, tn.size_of(ix)):
+            with pytest.raises(ValueError):
+                TreeExecutor(compiled=False).execute(tn, tree, {ix: bad})
+            with pytest.raises(PlanError):
+                TreeExecutor().execute(tn, tree, {ix: bad})
+
+    def test_reference_mode_rejects_batching(self, case):
+        tn, tree, _ = case
+        with pytest.raises(ValueError):
+            SlicedExecutor(
+                tn, tree, sorted(tn.inner_indices())[:1], mode="reference", batch_index="auto"
+            )
+
+    def test_reference_mode_rejects_thread_pool(self, case):
+        tn, tree, _ = case
+        with pytest.raises(ValueError):
+            SlicedExecutor(
+                tn, tree, sorted(tn.inner_indices())[:1], mode="reference", max_workers=2
+            )
+
+    def test_sliced_executor_drops_cache_on_data_only_mutation(self, case):
+        tn, tree, _ = case
+        mutated = tn.copy()
+        sliced = sorted(mutated.inner_indices())[:2]
+        executor = SlicedExecutor(mutated, tree, sliced)
+        executor.run()  # warms the invariant cache
+        # replace a slice-invariant leaf's data, keeping the index order
+        invariant_leaves = [
+            leaf for leaf in range(tree.num_leaves) if leaf not in executor.plan.dependent_nodes
+        ]
+        assert invariant_leaves, "workload must have a slice-invariant leaf"
+        tid = tree.leaf_tids[invariant_leaves[0]]
+        tensor = mutated.tensor(tid)
+        mutated.replace_tensor(tid, tensor.with_data(tensor.require_data() * 2.0))
+        oracle = SlicedExecutor(mutated, tree, sliced, mode="reference").amplitude()
+        assert executor.amplitude() == pytest.approx(oracle, abs=1e-9)
+
+    def test_sliced_executor_recompiles_after_mutation(self, case):
+        tn, tree, reference = case
+        mutated = tn.copy()
+        sliced = sorted(mutated.inner_indices())[:2]
+        executor = SlicedExecutor(mutated, tree, sliced)
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-9)
+        tid = mutated.tensor_ids[0]
+        tensor = mutated.tensor(tid)
+        mutated.replace_tensor(tid, tensor.transposed(tuple(reversed(tensor.indices))))
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-9)
+
+    def test_run_subtask_result_does_not_alias_cache(self, case):
+        tn, tree, reference = case
+        executor = SlicedExecutor(tn, tree, ())  # nothing sliced: root is cached
+        first = executor.run_subtask(0)
+        first.tensor.require_data()[...] = 1234.5  # caller scribbles on it
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-9)
+
+    def test_stale_leaf_structure_rejected(self, case):
+        tn, tree, _ = case
+        mutated = tn.copy()
+        tid = mutated.tensor_ids[0]
+        tensor = mutated.tensor(tid)
+        renamed = tensor.reindexed({tensor.indices[0]: "__stale__"})
+        mutated.replace_tensor(tid, renamed)
+        with pytest.raises(PlanError):
+            compile_plan(mutated, tree)
+
+    def test_unknown_mode_rejected(self, case):
+        tn, tree, _ = case
+        with pytest.raises(ValueError):
+            SlicedExecutor(tn, tree, (), mode="fast")
+
+    def test_sampler_rejects_pool_in_reference_mode(self):
+        from repro.circuits import random_brickwork_circuit
+        from repro.execution import CorrelatedSampler
+
+        circ = random_brickwork_circuit(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            CorrelatedSampler(circ, [0], executor_mode="reference", max_workers=4)
