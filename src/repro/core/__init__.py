@@ -11,7 +11,7 @@ from .lifetime import (
     slice_dependent_nodes,
     verify_halving_property,
 )
-from .stem import Stem, StemStep, extract_stem, stem_profile
+from .stem import Stem, StemStep, extract_stem, stem_profile, stem_slot_schedule
 from .slicing import SlicingCostModel, SlicingError, SlicingResult
 from .slice_finder import LifetimeSliceFinder, find_slices
 from .slice_refiner import (
@@ -44,6 +44,7 @@ __all__ = [
     "StemStep",
     "extract_stem",
     "stem_profile",
+    "stem_slot_schedule",
     "SlicingCostModel",
     "SlicingError",
     "SlicingResult",

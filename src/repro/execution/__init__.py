@@ -13,25 +13,72 @@ other (and, for small circuits, against the dense state-vector simulator):
 * **Compiled path** (default) — :mod:`repro.execution.plan` compiles a
   contraction tree once into a :class:`CompiledPlan` of per-step
   ``tensordot`` axis pairs (with a precompiled einsum fallback for hyper
-  indices), per-leaf slicing instructions and a lifetime-derived free/reuse
-  schedule.  On top of the plan, :class:`SlicedExecutor` adds
+  indices), per-leaf slicing instructions, a lifetime-derived free/reuse
+  schedule and a stem slot schedule (the stem's running tensor alternates
+  between the two preallocated buffers of a :class:`StemSlots` arena).
+  On top of the plan, :class:`SlicedExecutor` adds
 
   - *slice-invariant caching*: intermediates whose subtree no sliced
     edge's lifetime reaches are contracted once and shared across all
     ``prod w(e)`` subtasks,
-  - *batched sweeps* (``batch_index=``): one sliced index is kept as a
-    leading batch axis and all of its values execute in a single batched
-    (BLAS ``matmul``) contraction,
-  - an optional ``concurrent.futures`` thread pool over subtask chunks
-    (``max_workers=``).
+  - *batched sweeps* (``batch_indices=``): a group of sliced indices is
+    kept as leading batch axes and all of their value combinations execute
+    in a single batched (BLAS ``matmul``) contraction, with the
+    per-subtask plan compiled lazily so pure batched workloads skip it,
+  - *pluggable scheduling* (``backend=``): the subtasks run through an
+    :class:`ExecutionBackend` (see the guide below).
+
+Backend selection guide
+-----------------------
+*What* to contract (the compiled plan) is separate from *how* the subtasks
+are scheduled (the backend).  All backends accumulate subtask results in
+the same order and are **bit-identical** to each other; pick by workload
+shape:
+
+=============================== =====================================================
+Backend                         Use when
+=============================== =====================================================
+``SerialBackend`` (default)     Few subtasks, or anything latency-sensitive: zero
+                                scheduling overhead.
+``ThreadPoolBackend``           Few *large* subtasks: numpy releases the GIL inside
+                                the contraction kernels, so threads share the
+                                invariant cache for free and scale with GEMM time.
+``SharedMemoryProcessPool-``    Many *small* subtasks: the per-subtask Python
+``Backend``                     overhead (leaf slicing, step dispatch) serializes a
+                                thread pool; workers receive the warm invariant
+                                cache and the leaf buffers once via
+                                ``multiprocessing.shared_memory`` and then stream
+                                chunks with no interpreter contention.
+=============================== =====================================================
+
+The legacy ``max_workers=N`` argument survives as a deprecated shim for
+``backend=ThreadPoolBackend(max_workers=N)``.  ``mode="reference"``
+(and ``executor_mode="reference"`` on :class:`CorrelatedSampler`) rejects
+both ``backend=`` and ``max_workers=`` with the same ``ValueError``.
 
 ``PlanStats`` instruments both cached and uncached execution with per-node
-step counters so tests and benchmarks can assert how often each contraction
-actually ran.
+step counters (plus slot-write counters) so tests and benchmarks can
+assert how often each contraction actually ran.
 """
 
+from .backend import (
+    ExecutionBackend,
+    SerialBackend,
+    SharedMemoryProcessPoolBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+    validate_execution_args,
+)
 from .contract import TreeExecutor, contract_tree
-from .plan import CompiledPlan, ContractStep, LeafStep, PlanError, PlanStats, compile_plan
+from .plan import (
+    CompiledPlan,
+    ContractStep,
+    LeafStep,
+    PlanError,
+    PlanStats,
+    StemSlots,
+    compile_plan,
+)
 from .sliced import SlicedExecutor, SubtaskResult
 from .fused import ThreadLevelSimulator, ThreadTiming
 from .sampling import CorrelatedSampleBatch, CorrelatedSampler, linear_xeb_fidelity
@@ -45,6 +92,12 @@ from .scaling import (
 )
 
 __all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "SharedMemoryProcessPoolBackend",
+    "ThreadPoolBackend",
+    "resolve_backend",
+    "validate_execution_args",
     "TreeExecutor",
     "contract_tree",
     "CompiledPlan",
@@ -52,6 +105,7 @@ __all__ = [
     "LeafStep",
     "PlanError",
     "PlanStats",
+    "StemSlots",
     "compile_plan",
     "SlicedExecutor",
     "SubtaskResult",

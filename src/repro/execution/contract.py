@@ -23,6 +23,7 @@ import numpy as np
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .backend import ExecutionBackend, validate_execution_args
 from .plan import CompiledPlan, compile_plan
 
 __all__ = ["TreeExecutor", "contract_tree"]
@@ -40,14 +41,27 @@ class TreeExecutor:
         Use the compiled ``tensordot`` plan (default).  ``False`` selects
         the reference einsum walker that everything is cross-checked
         against.
+    backend:
+        Optional :class:`~repro.execution.backend.ExecutionBackend` the
+        single contraction is routed through (a one-assignment subtask
+        run); ``None`` executes the plan inline.  Compiled mode only.
     """
 
     #: Maximum number of compiled plans memoized per executor instance.
     _PLAN_MEMO_SIZE = 8
 
-    def __init__(self, dtype: Optional[np.dtype] = None, compiled: bool = True) -> None:
+    def __init__(
+        self,
+        dtype: Optional[np.dtype] = None,
+        compiled: bool = True,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
         self._dtype = np.dtype(dtype) if dtype is not None else None
         self._compiled = bool(compiled)
+        validate_execution_args(
+            "compiled" if self._compiled else "reference", backend=backend
+        )
+        self._backend = backend
         # memo keyed on object ids; the network is held through a weakref
         # with an eviction callback, so a dropped network's (potentially
         # huge) tensor data is not pinned and a recycled id cannot collide
@@ -81,6 +95,10 @@ class TreeExecutor:
         fixed_indices = fixed_indices or {}
         if self._compiled:
             plan = self._plan_for(network, tree, frozenset(fixed_indices))
+            if self._backend is not None:
+                result = self._backend.run_subtasks(plan, network, [fixed_indices])
+                assert result is not None
+                return result
             return plan.execute(network, fixed_indices)
         return self._execute_reference(network, tree, fixed_indices)
 
@@ -182,6 +200,7 @@ def contract_tree(
     network: TensorNetwork,
     tree: ContractionTree,
     fixed_indices: Optional[Dict[str, int]] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> Tensor:
     """One-shot helper around :class:`TreeExecutor` (compiled path)."""
-    return TreeExecutor().execute(network, tree, fixed_indices)
+    return TreeExecutor(backend=backend).execute(network, tree, fixed_indices)

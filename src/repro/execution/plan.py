@@ -22,11 +22,21 @@ can be hoisted out of the subtask loop.  This module performs that hoisting:
   intermediates are freed as soon as their parent consumes them, while the
   maximal invariant subtrees (the *frontier*) are computed once by
   :meth:`CompiledPlan.warm_cache` and reused across all subtasks.
-* An optional *batched* mode keeps one sliced index alive as a leading
-  batch axis instead of enumerating it: steps where the batch axis appears
-  on both operands compile to a BLAS batched matmul
-  (``transpose → reshape → matmul → reshape``), so all ``w(e)`` values of
-  that index are swept in a single batched contraction.
+* An optional *batched* mode keeps a group of sliced indices alive as
+  leading batch axes instead of enumerating them: steps where every live
+  batch axis appears on both operands compile to a BLAS batched matmul
+  (``transpose → reshape → matmul → reshape``) whose single leading batch
+  axis has size ``prod w(e)`` over the group, so all of the group's value
+  combinations are swept in one batched contraction.
+* The compiler derives a *slot schedule* from the stem (the most expensive
+  root-to-leaf chain, :func:`repro.core.stem.extract_stem`): the stem's
+  running tensor alternates between the two preallocated buffers of a
+  :class:`StemSlots` arena instead of allocating a fresh output per step.
+  Because each stem intermediate is consumed by exactly the next stem step,
+  two slots suffice, and the free/reuse schedule guarantees a slot is never
+  overwritten while its previous content is still live.  Slot execution is
+  bit-identical to the allocating path (same transpose/reshape/GEMM, just
+  written into a caller-owned buffer).
 
 :class:`PlanStats` instruments execution with per-node step counters; the
 benchmark and the equivalence tests use it to assert that the cached path
@@ -44,6 +54,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -51,6 +62,7 @@ from typing import (
 import numpy as np
 
 from ..core.lifetime import slice_dependent_nodes
+from ..core.stem import stem_slot_schedule
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
@@ -61,6 +73,7 @@ __all__ = [
     "LeafStep",
     "PlanError",
     "PlanStats",
+    "StemSlots",
     "compile_plan",
 ]
 
@@ -83,11 +96,15 @@ class PlanStats:
         Number of operand fetches served from the invariant cache.
     executions:
         Number of ``execute`` calls (subtasks, or batched sweeps).
+    slot_writes:
+        Number of step outputs written into a reused stem slot instead of a
+        freshly allocated buffer.
     """
 
     node_counts: Dict[int, int] = field(default_factory=dict)
     cache_hits: int = 0
     executions: int = 0
+    slot_writes: int = 0
 
     def record_step(self, node: int) -> None:
         self.node_counts[node] = self.node_counts.get(node, 0) + 1
@@ -103,6 +120,45 @@ class PlanStats:
             self.node_counts[node] = self.node_counts.get(node, 0) + count
         self.cache_hits += other.cache_hits
         self.executions += other.executions
+        self.slot_writes += other.slot_writes
+
+
+class StemSlots:
+    """Two reusable output buffers for the stem's running tensor.
+
+    The stem is a chain of contractions in which each intermediate is
+    consumed by exactly the next step, so its running tensor only ever
+    needs two buffers: step ``k`` writes slot ``k % 2`` while reading the
+    previous stem tensor out of slot ``(k - 1) % 2``.  An arena instance
+    is *not* thread-safe — every executor thread / pool worker owns its
+    own (the backends arrange this).
+
+    Buffers are grown (never shrunk) on demand and re-typed when the
+    requested dtype changes, so one arena serves plans of any size.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: List[Optional[np.ndarray]] = [None, None]
+
+    def out_for(
+        self, slot: int, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """A C-contiguous array view of ``shape``/``dtype`` backed by ``slot``."""
+        size = 1
+        for dim in shape:
+            size *= dim
+        buffer = self._buffers[slot]
+        if buffer is None or buffer.size < size or buffer.dtype != dtype:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[slot] = buffer
+        return buffer[:size].reshape(shape)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held by the two slots."""
+        return sum(b.nbytes for b in self._buffers if b is not None)
 
 
 @dataclass(frozen=True)
@@ -137,6 +193,12 @@ class ContractStep:
     * ``"einsum"`` — precompiled integer-sublist einsum (no symbol-table
       size limit, unlike spec strings); fallback for hyper indices kept on
       the output and for axes summed out of a single operand.
+
+    Steps lying on the stem additionally carry ``slot`` (0 or 1, the
+    :class:`StemSlots` buffer their output alternates into) and, for the
+    tensordot kind, the explicit ``transpose → reshape → dot`` layout
+    (``td_perm_*`` / ``td_mkn``) that reproduces ``np.tensordot`` bit for
+    bit while writing into the slot.
     """
 
     node: int
@@ -157,6 +219,11 @@ class ContractStep:
     bmm_lhs_shape: Optional[Tuple[int, int, int]] = None
     bmm_rhs_shape: Optional[Tuple[int, int, int]] = None
     bmm_out_shape: Optional[Tuple[int, ...]] = None
+    slot: Optional[int] = None
+    out_shape: Optional[Tuple[int, ...]] = None
+    td_perm_lhs: Optional[Tuple[int, ...]] = None
+    td_perm_rhs: Optional[Tuple[int, ...]] = None
+    td_mkn: Optional[Tuple[int, int, int]] = None
 
 
 class CompiledPlan:
@@ -170,7 +237,7 @@ class CompiledPlan:
         self,
         tree: ContractionTree,
         enumerated: Tuple[str, ...],
-        batch_index: Optional[str],
+        batch_indices: Tuple[str, ...],
         dtype: Optional[np.dtype],
         leaf_steps: Tuple[LeafStep, ...],
         steps: Tuple[ContractStep, ...],
@@ -190,7 +257,7 @@ class CompiledPlan:
                 # index unknown to the tree: fixing it is a no-op (matches
                 # the reference walker), so no range to enforce
                 pass
-        self._batch_index = batch_index
+        self._batch_indices = batch_indices
         self._dtype = dtype
         self._leaf_steps = leaf_steps
         self._steps = steps
@@ -217,14 +284,42 @@ class CompiledPlan:
         return self._enumerated
 
     @property
+    def batch_indices(self) -> Tuple[str, ...]:
+        """The sliced indices kept as live batch axes, in canonical order."""
+        return self._batch_indices
+
+    @property
     def batch_index(self) -> Optional[str]:
-        """The sliced index kept as a batch axis, if any."""
-        return self._batch_index
+        """The single batch index when exactly one is live, else ``None``."""
+        if len(self._batch_indices) == 1:
+            return self._batch_indices[0]
+        return None
+
+    @property
+    def num_batch_axes(self) -> int:
+        """Number of leading batch axes on the result tensor."""
+        count = 0
+        for ix in self._out_indices:
+            if ix in self._batch_indices:
+                count += 1
+            else:
+                break
+        return count
 
     @property
     def out_indices(self) -> Tuple[str, ...]:
-        """Index order of the result (batch index leading when batched)."""
+        """Index order of the result (batch indices leading when batched)."""
         return self._out_indices
+
+    @property
+    def out_sizes(self) -> Dict[str, int]:
+        """Copy of the result's index → size mapping."""
+        return dict(self._out_sizes)
+
+    @property
+    def leaf_steps(self) -> Tuple[LeafStep, ...]:
+        """The per-leaf load/slice instructions (backends ship these)."""
+        return self._leaf_steps
 
     @property
     def num_steps(self) -> int:
@@ -308,6 +403,7 @@ class CompiledPlan:
         assignment: Optional[Mapping[str, int]] = None,
         cache: Optional[Dict[int, np.ndarray]] = None,
         stats: Optional[PlanStats] = None,
+        slots: Optional[StemSlots] = None,
     ) -> Tensor:
         """Contract the network for one slice assignment.
 
@@ -323,6 +419,12 @@ class CompiledPlan:
             cache is warmed on first use.
         stats:
             Optional instrumentation counters.
+        slots:
+            Optional :class:`StemSlots` arena.  Stem-chain steps then write
+            their outputs into the arena's two alternating buffers instead
+            of allocating — the returned tensor may alias the arena, so it
+            is only valid until the next ``execute`` with the same arena
+            (the execution backends accumulate it immediately).
         """
         assignment = dict(assignment or {})
         if set(assignment) != set(self._enumerated):
@@ -344,7 +446,7 @@ class CompiledPlan:
             for ls in self._leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
             for step in self._steps:
-                self._run_step(step, live)
+                self._run_step(step, live, slots, stats)
                 if stats is not None:
                     stats.record_step(step.node)
                 for child in step.free_full:
@@ -358,7 +460,7 @@ class CompiledPlan:
             for ls in self._variant_leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
             for step in self._variant_steps:
-                self._run_step(step, live)
+                self._run_step(step, live, slots, stats)
                 if stats is not None:
                     stats.record_step(step.node)
                 for child in step.free_cached:
@@ -395,24 +497,54 @@ class CompiledPlan:
         return data
 
     @staticmethod
-    def _run_step(step: ContractStep, live: Dict[int, np.ndarray]) -> None:
+    def _run_step(
+        step: ContractStep,
+        live: Dict[int, np.ndarray],
+        slots: Optional[StemSlots] = None,
+        stats: Optional[PlanStats] = None,
+    ) -> None:
         a = live[step.lhs]
         b = live[step.rhs]
+        use_slot = slots is not None and step.slot is not None
         if step.kind == "tensordot":
-            out = np.tensordot(a, b, axes=step.axes)
+            if use_slot:
+                # the explicit transpose → reshape → dot sequence below is
+                # exactly what np.tensordot performs, so writing the GEMM
+                # into the slot buffer is bit-identical to the allocating
+                # path
+                m, k, n = step.td_mkn  # type: ignore[misc]
+                a2 = np.transpose(a, step.td_perm_lhs).reshape(m, k)
+                b2 = np.transpose(b, step.td_perm_rhs).reshape(k, n)
+                out2 = slots.out_for(step.slot, (m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                np.dot(a2, b2, out=out2)
+                out = out2.reshape(step.out_shape)
+            else:
+                out = np.tensordot(a, b, axes=step.axes)
         elif step.kind == "bmm":
             a3 = np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
             b3 = np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
-            out = np.matmul(a3, b3).reshape(step.bmm_out_shape)
+            if use_slot:
+                shape3 = (step.bmm_lhs_shape[0], step.bmm_lhs_shape[1], step.bmm_rhs_shape[2])  # type: ignore[index]
+                out3 = slots.out_for(step.slot, shape3, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                np.matmul(a3, b3, out=out3)
+                out = out3.reshape(step.bmm_out_shape)
+            else:
+                out = np.matmul(a3, b3).reshape(step.bmm_out_shape)
         else:
-            out = np.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out)
+            if use_slot:
+                out = slots.out_for(step.slot, step.out_shape, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                np.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out, out=out)
+            else:
+                out = np.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out)
+        if use_slot and stats is not None:
+            stats.slot_writes += 1
         live[step.node] = out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CompiledPlan(steps={len(self._steps)}, "
             f"invariant={len(self._invariant_steps)}, "
-            f"sliced={list(self._enumerated)}, batch={self._batch_index!r})"
+            f"sliced={list(self._enumerated)}, batch={list(self._batch_indices)})"
         )
 
 
@@ -425,6 +557,7 @@ def compile_plan(
     sliced: AbstractSet[str] = frozenset(),
     batch_index: Optional[str] = None,
     dtype: Optional[np.dtype] = None,
+    batch_indices: Optional[Sequence[str]] = None,
 ) -> CompiledPlan:
     """Compile ``tree`` over ``network`` for a fixed slicing set.
 
@@ -440,21 +573,42 @@ def compile_plan(
         The slicing set.  Every index in it is removed from the leaves; at
         execution time an assignment supplies the value of each one.
     batch_index:
-        Optional member of ``sliced`` to keep as a live batch axis instead
-        of enumerating it: the compiled steps carry it through to the root
-        (leading axis), so a single execution sweeps all of its values.
+        Optional single member of ``sliced`` to keep as a live batch axis —
+        shorthand for ``batch_indices=(batch_index,)``.
     dtype:
         Optional dtype override applied to every leaf at load time.
+    batch_indices:
+        Optional group of members of ``sliced`` kept as live batch axes
+        instead of being enumerated: the compiled steps carry them through
+        to the root (leading axes, in the order given), so a single
+        execution sweeps all ``prod w(e)`` value combinations of the group.
+        Steps where every live batch axis sits on both operands compile to
+        one BLAS batched matmul whose leading batch axis has size
+        ``prod w(e)``.
     """
     sliced = frozenset(sliced)
-    if batch_index is not None and batch_index not in sliced:
-        raise PlanError(f"batch index {batch_index!r} is not in the sliced set")
-    enumerated = frozenset(ix for ix in sliced if ix != batch_index)
+    if batch_index is not None and batch_indices is not None:
+        raise PlanError("pass either batch_index or batch_indices, not both")
+    batch: Tuple[str, ...] = (
+        tuple(batch_indices) if batch_indices else ((batch_index,) if batch_index else ())
+    )
+    if len(set(batch)) != len(batch):
+        raise PlanError(f"repeated batch indices in {batch}")
+    for ix in batch:
+        if ix not in sliced:
+            raise PlanError(f"batch index {ix!r} is not in the sliced set")
+    batch_set = frozenset(batch)
+    enumerated = sliced - batch_set
 
     dependent = slice_dependent_nodes(tree, enumerated)
 
+    # the stem (most expensive root-to-leaf chain) drives the slot
+    # schedule: its running tensor alternates between the two StemSlots
+    # buffers, step k writing slot k % 2
+    slot_of = stem_slot_schedule(tree)
+
     orders: Dict[int, Tuple[str, ...]] = {}
-    has_batch: Dict[int, bool] = {}
+    has_batch: Dict[int, FrozenSet[str]] = {}
     leaf_steps: List[LeafStep] = []
     for leaf, tid in enumerate(tree.leaf_tids):
         tensor = network.tensor(tid)
@@ -472,7 +626,7 @@ def compile_plan(
                 takes.append((ix, working.index(ix)))
                 working.remove(ix)
         orders[leaf] = tuple(working)
-        has_batch[leaf] = batch_index is not None and batch_index in working
+        has_batch[leaf] = batch_set & frozenset(working)
         leaf_steps.append(
             LeafStep(
                 node=leaf,
@@ -496,16 +650,16 @@ def compile_plan(
         # retains the root itself
         frontier.add(tree.root)
 
+    size = tree.index_size
     steps: List[ContractStep] = []
     for node in tree.internal_nodes():
         lhs, rhs = tree.children(node)  # type: ignore[misc]
         a_ixs, b_ixs = orders[lhs], orders[rhs]
         a_set, b_set = set(a_ixs), set(b_ixs)
         out_set = {ix for ix in tree.node_indices(node) if ix not in enumerated}
-        node_batch = has_batch[lhs] or has_batch[rhs]
+        node_batch = has_batch[lhs] | has_batch[rhs]
         has_batch[node] = node_batch
-        if node_batch:
-            out_set.add(batch_index)  # never sum the batch axis
+        out_set.update(node_batch)  # never sum the batch axes
 
         shared = a_set & b_set
         contracted = [ix for ix in a_ixs if ix in shared and ix not in out_set]
@@ -526,31 +680,50 @@ def compile_plan(
                 tuple(a_ixs.index(ix) for ix in contracted),
                 tuple(b_ixs.index(ix) for ix in contracted),
             )
+            if node in slot_of:
+                # explicit transpose → reshape → dot layout mirroring
+                # np.tensordot, so the step can write into a stem slot
+                kept_a = [ix for ix in a_ixs if ix in out_set]
+                kept_b = [ix for ix in b_ixs if ix in out_set]
+                kwargs["td_perm_lhs"] = tuple(
+                    a_ixs.index(ix) for ix in (*kept_a, *contracted)
+                )
+                kwargs["td_perm_rhs"] = tuple(
+                    b_ixs.index(ix) for ix in (*contracted, *kept_b)
+                )
+                kwargs["td_mkn"] = (
+                    math.prod(size(ix) for ix in kept_a),
+                    math.prod(size(ix) for ix in contracted),
+                    math.prod(size(ix) for ix in kept_b),
+                )
         elif (
-            batch_index is not None
-            and kept_shared == [batch_index]
+            node_batch
             and not solo_summed
+            and set(kept_shared) == node_batch
+            and has_batch[lhs] == node_batch
+            and has_batch[rhs] == node_batch
         ):
             kind = "bmm"
-            size = tree.index_size
-            m_ixs = [ix for ix in a_ixs if ix in out_set and ix != batch_index]
-            n_ixs = [ix for ix in b_ixs if ix in out_set and ix != batch_index]
-            w_b = size(batch_index)
+            # canonical batch-axis order: as given in the batch group
+            b_order = [ix for ix in batch if ix in node_batch]
+            m_ixs = [ix for ix in a_ixs if ix in out_set and ix not in node_batch]
+            n_ixs = [ix for ix in b_ixs if ix in out_set and ix not in node_batch]
+            w_b = math.prod(size(ix) for ix in b_order)
             m = math.prod(size(ix) for ix in m_ixs)
             k = math.prod(size(ix) for ix in contracted)
             n = math.prod(size(ix) for ix in n_ixs)
             kwargs["bmm_perm_lhs"] = tuple(
-                a_ixs.index(ix) for ix in (batch_index, *m_ixs, *contracted)
+                a_ixs.index(ix) for ix in (*b_order, *m_ixs, *contracted)
             )
             kwargs["bmm_perm_rhs"] = tuple(
-                b_ixs.index(ix) for ix in (batch_index, *contracted, *n_ixs)
+                b_ixs.index(ix) for ix in (*b_order, *contracted, *n_ixs)
             )
             kwargs["bmm_lhs_shape"] = (w_b, m, k)
             kwargs["bmm_rhs_shape"] = (w_b, k, n)
             kwargs["bmm_out_shape"] = tuple(
-                size(ix) for ix in (batch_index, *m_ixs, *n_ixs)
+                size(ix) for ix in (*b_order, *m_ixs, *n_ixs)
             )
-            out_order = [batch_index, *m_ixs, *n_ixs]
+            out_order = [*b_order, *m_ixs, *n_ixs]
         else:
             kind = "einsum"
             # integer axis labels (einsum's interleaved form): unlike spec
@@ -576,6 +749,8 @@ def compile_plan(
                 free_full=(lhs, rhs),
                 free_cached=tuple(c for c in (lhs, rhs) if c not in frontier),
                 log2_flops=tree.node_log2_flops(node, enumerated),
+                slot=slot_of.get(node),
+                out_shape=tuple(size(ix) for ix in out_order),
                 **kwargs,  # type: ignore[arg-type]
             )
         )
@@ -584,10 +759,14 @@ def compile_plan(
     root_order = orders[root]
     root_perm: Optional[Tuple[int, ...]] = None
     out_order_final = root_order
-    if batch_index is not None and has_batch.get(root, False):
-        if root_order and root_order[0] != batch_index:
-            pos = root_order.index(batch_index)
-            perm = (pos, *[i for i in range(len(root_order)) if i != pos])
+    root_batch = has_batch.get(root, frozenset())
+    if root_batch:
+        # batch axes lead on the result, in the canonical group order
+        prefix = [ix for ix in batch if ix in root_batch]
+        if list(root_order[: len(prefix)]) != prefix:
+            positions = [root_order.index(ix) for ix in prefix]
+            rest = [i for i in range(len(root_order)) if i not in positions]
+            perm = (*positions, *rest)
             root_perm = perm
             out_order_final = tuple(root_order[i] for i in perm)
     out_sizes = {ix: tree.index_size(ix) for ix in out_order_final}
@@ -595,7 +774,7 @@ def compile_plan(
     return CompiledPlan(
         tree=tree,
         enumerated=tuple(sorted(enumerated)),
-        batch_index=batch_index,
+        batch_indices=batch,
         dtype=np.dtype(dtype) if dtype is not None else None,
         leaf_steps=tuple(leaf_steps),
         steps=tuple(steps),

@@ -33,6 +33,7 @@ from ..tensornet.circuit_to_tn import CircuitToTensorNetwork
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.simplify import simplify_network
+from .backend import ExecutionBackend, validate_execution_args
 from .contract import TreeExecutor
 from .sliced import SlicedExecutor
 
@@ -131,9 +132,14 @@ class CorrelatedSampler:
         plan with slice-invariant caching; ``"reference"`` uses the einsum
         walker (useful for cross-checking).
     max_workers:
-        Optional thread-pool width for sliced batch execution.  Only
-        applies when the planner derives a non-empty slicing set; an
-        unsliced batch is a single contraction and runs on one thread.
+        Deprecated shim: equivalent to
+        ``backend=ThreadPoolBackend(max_workers=...)``.
+    backend:
+        Optional :class:`~repro.execution.backend.ExecutionBackend` for
+        sliced batch execution.  Only applies when the planner derives a
+        non-empty slicing set; an unsliced batch is a single contraction.
+        Compiled mode only (the same rule :class:`SlicedExecutor`
+        enforces).
     """
 
     def __init__(
@@ -145,6 +151,7 @@ class CorrelatedSampler:
         seed: Optional[int] = None,
         executor_mode: str = "compiled",
         max_workers: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.circuit = circuit
         self.open_qubits = tuple(sorted(set(int(q) for q in open_qubits)))
@@ -156,12 +163,10 @@ class CorrelatedSampler:
         self.target_rank = target_rank
         self.max_trials = int(max_trials)
         self.seed = seed
-        if executor_mode not in ("compiled", "reference"):
-            raise ValueError(f"unknown executor mode {executor_mode!r}")
-        if max_workers and executor_mode == "reference":
-            raise ValueError("max_workers requires the compiled executor mode")
+        validate_execution_args(executor_mode, backend=backend, max_workers=max_workers)
         self.executor_mode = executor_mode
         self.max_workers = max_workers
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def build_network(
@@ -247,11 +252,13 @@ class CorrelatedSampler:
                 slicing,
                 mode=self.executor_mode,
                 max_workers=self.max_workers,
+                backend=self.backend,
             )
             tensor = executor.run()
         else:
             tensor = TreeExecutor(
-                compiled=self.executor_mode == "compiled"
+                compiled=self.executor_mode == "compiled",
+                backend=self.backend,
             ).execute(network, tree)
 
         order = tuple(open_index_of_qubit[q] for q in self.open_qubits)

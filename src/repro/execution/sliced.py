@@ -2,22 +2,30 @@
 
 The process-level strategy of the paper: after choosing a slicing set ``S``,
 the ``prod w(e)`` independent subtasks are executed (in parallel across
-nodes on the real machine; here sequentially, or across a thread pool) and
-their results are summed.  Each subtask fixes every sliced index to one
-value and contracts the whole network with the same contraction tree;
-because the sliced indices are inner (summed) indices, the sum of the
-subtask results equals the unsliced contraction exactly — a property the
-test suite checks both exhaustively and with hypothesis.
+nodes on the real machine; here through a pluggable
+:class:`~repro.execution.backend.ExecutionBackend`) and their results are
+summed.  Each subtask fixes every sliced index to one value and contracts
+the whole network with the same contraction tree; because the sliced
+indices are inner (summed) indices, the sum of the subtask results equals
+the unsliced contraction exactly — a property the test suite checks both
+exhaustively and with hypothesis.
 
 :class:`SlicedExecutor` executes the subtasks through a
 :class:`~repro.execution.plan.CompiledPlan` by default (``mode="compiled"``):
 the tree is compiled once into ``tensordot`` axis pairs, slice-invariant
 intermediates — subtrees no sliced edge's lifetime reaches — are contracted
-once and shared across every subtask, and optionally one sliced index is
-kept as a leading batch axis so that all of its values are swept in a
-single batched contraction (``batch_index=``).  ``mode="reference"``
-selects the seed einsum walker, which re-plans and re-contracts everything
-per subtask; it is the path everything else is cross-checked against.
+once and shared across every subtask, the stem's running tensor alternates
+between two preallocated slots, and optionally a group of sliced indices is
+kept as leading batch axes so that all of their value combinations are
+swept in a single batched contraction (``batch_indices=``).
+``mode="reference"`` selects the seed einsum walker, which re-plans and
+re-contracts everything per subtask; it is the path everything else is
+cross-checked against.
+
+*How* the subtasks run — serial, thread pool, shared-memory process pool —
+is the backend's concern (``backend=``); see
+:mod:`repro.execution.backend` for the selection guide.  All backends sum
+contributions in the same order and are bit-identical to each other.
 
 :class:`SlicedExecutor` also supports partial execution (a subset of the
 subtasks), which is what the sampling workflows use, and reports per-subtask
@@ -27,7 +35,7 @@ statistics that the process-level scheduler consumes.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+import math
 from dataclasses import dataclass
 from typing import (
     AbstractSet,
@@ -37,6 +45,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
@@ -44,6 +53,7 @@ import numpy as np
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .backend import ExecutionBackend, resolve_backend, validate_execution_args
 from .contract import TreeExecutor
 from .plan import CompiledPlan, PlanStats, compile_plan
 
@@ -92,15 +102,25 @@ class SlicedExecutor:
         tensor data as immutable (as the rest of the codebase does) or
         construct a fresh executor after such a mutation.
     batch_index:
-        Keep one sliced index as a live batch axis so :meth:`run` sweeps
-        all of its values in a single batched contraction per remaining
-        assignment.  ``"auto"`` picks the largest sliced index; ``None``
-        disables batching.  Compiled mode only.
+        Keep one sliced index as a live batch axis — shorthand for a
+        one-element ``batch_indices`` group.  ``"auto"`` picks the largest
+        sliced index; ``None`` disables batching.  Compiled mode only.
+    batch_indices:
+        Keep a *group* of sliced indices as live batch axes so :meth:`run`
+        sweeps all ``prod w(e)`` of their value combinations in a single
+        batched contraction per remaining assignment (rank permitting: each
+        live batch axis raises the intermediate rank by one).  ``"auto"``
+        picks the single largest sliced index.  When batching is enabled
+        the per-subtask (non-batched) plan and its invariant cache are
+        compiled lazily, on first :meth:`run_subtask` or subset
+        :meth:`run` — pure batched workloads never pay for them.
     max_workers:
-        When > 1, :meth:`run` distributes subtask chunks over a
-        ``concurrent.futures`` thread pool (numpy releases the GIL inside
-        the contraction kernels) and merges the partial accumulators.
-        Compiled mode only.
+        Deprecated shim: ``max_workers=N`` (N > 1) is equivalent to
+        ``backend=ThreadPoolBackend(max_workers=N)``.
+    backend:
+        The :class:`~repro.execution.backend.ExecutionBackend` that
+        schedules the subtasks (default :class:`SerialBackend`).  Compiled
+        mode only.
     """
 
     def __init__(
@@ -113,6 +133,8 @@ class SlicedExecutor:
         cache_invariant: bool = True,
         batch_index: Optional[str] = None,
         max_workers: Optional[int] = None,
+        batch_indices: Union[str, Sequence[str], None] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.network = network
         self.tree = tree
@@ -121,29 +143,16 @@ class SlicedExecutor:
         bad = [ix for ix in self.sliced if ix not in inner]
         if bad:
             raise ValueError(f"sliced indices {bad} are not inner indices of the network")
-        if mode not in ("compiled", "reference"):
-            raise ValueError(f"unknown execution mode {mode!r}")
+        validate_execution_args(mode, backend=backend, max_workers=max_workers)
         self.mode = mode
         self._sizes = {ix: network.size_of(ix) for ix in self.sliced}
         self._dtype = np.dtype(dtype) if dtype is not None else None
         self._cache_invariant = bool(cache_invariant)
-        self._max_workers = int(max_workers) if max_workers else None
-        if self._max_workers and mode == "reference":
-            raise ValueError("max_workers requires the compiled mode")
+        self._backend = resolve_backend(backend, max_workers) if mode == "compiled" else None
 
-        self.batch_index: Optional[str] = None
-        if batch_index is not None:
-            if mode == "reference":
-                raise ValueError("batched execution requires the compiled mode")
-            if batch_index == "auto":
-                if self.sliced:
-                    self.batch_index = max(
-                        self.sliced, key=lambda ix: (self._sizes[ix], ix)
-                    )
-            elif batch_index in self.sliced:
-                self.batch_index = batch_index
-            else:
-                raise ValueError(f"batch index {batch_index!r} is not in the sliced set")
+        self.batch_indices: Tuple[str, ...] = self._normalize_batch(
+            batch_index, batch_indices, mode
+        )
 
         #: Per-node execution counters (compiled mode); the cached path must
         #: keep every slice-invariant node at exactly one execution.
@@ -157,13 +166,63 @@ class SlicedExecutor:
         self._batched_cache: Optional[Dict[int, np.ndarray]] = None
         self._leaf_tensors: Tuple = ()
         if mode == "compiled":
-            self._compile_plans()
+            # with batching, only the batched plan is compiled eagerly;
+            # the per-subtask plan (and its invariant cache) waits for the
+            # first run_subtask / subset run, halving the cached footprint
+            # of pure batched workloads
+            if self.batch_indices:
+                self._compile_batched_plan()
+            else:
+                self._compile_plain_plan()
+
+    def _normalize_batch(
+        self,
+        batch_index: Optional[str],
+        batch_indices: Union[str, Sequence[str], None],
+        mode: str,
+    ) -> Tuple[str, ...]:
+        if batch_index is not None and batch_indices is not None:
+            raise ValueError("pass either batch_index or batch_indices, not both")
+        spec: Union[str, Sequence[str], None] = (
+            batch_indices if batch_indices is not None else batch_index
+        )
+        if spec is None:
+            return ()
+        if mode == "reference":
+            raise ValueError("batched execution requires the compiled mode")
+        if spec == "auto":
+            if not self.sliced:
+                return ()
+            return (max(self.sliced, key=lambda ix: (self._sizes[ix], ix)),)
+        group: Tuple[str, ...] = (spec,) if isinstance(spec, str) else tuple(spec)
+        if len(set(group)) != len(group):
+            raise ValueError(f"repeated batch indices in {group}")
+        for ix in group:
+            if ix not in self.sliced:
+                raise ValueError(f"batch index {ix!r} is not in the sliced set")
+        return group
 
     # ------------------------------------------------------------------
     @property
+    def batch_index(self) -> Optional[str]:
+        """The single batch index when exactly one is live, else ``None``."""
+        if len(self.batch_indices) == 1:
+            return self.batch_indices[0]
+        return None
+
+    @property
+    def backend(self) -> Optional[ExecutionBackend]:
+        """The execution backend (``None`` in reference mode)."""
+        return self._backend
+
+    @property
     def plan(self) -> Optional[CompiledPlan]:
-        """The compiled per-subtask plan (``None`` in reference mode)."""
-        return self._plan
+        """The compiled per-subtask plan (``None`` in reference mode).
+
+        With batching enabled this plan is compiled lazily; accessing the
+        property forces compilation.
+        """
+        return self._ensure_plan()
 
     @property
     def batched_plan(self) -> Optional[CompiledPlan]:
@@ -181,9 +240,11 @@ class SlicedExecutor:
     @property
     def num_batched_sweeps(self) -> int:
         """Number of batched executions covering all subtasks."""
-        if self.batch_index is None:
+        if not self.batch_indices:
             return self.num_subtasks
-        return self.num_subtasks // self._sizes[self.batch_index]
+        return self.num_subtasks // math.prod(
+            self._sizes[ix] for ix in self.batch_indices
+        )
 
     def assignments(self) -> Iterator[Dict[str, int]]:
         """Iterate over every slicing assignment in lexicographic order."""
@@ -205,36 +266,39 @@ class SlicedExecutor:
 
     def batched_assignments(self) -> Iterator[Dict[str, int]]:
         """Assignments of the enumerated (non-batch) indices, in order."""
-        enumerated = [ix for ix in self.sliced if ix != self.batch_index]
+        enumerated = [ix for ix in self.sliced if ix not in self.batch_indices]
         ranges = [range(self._sizes[ix]) for ix in enumerated]
         for values in itertools.product(*ranges):
             yield dict(zip(enumerated, values))
 
     # ------------------------------------------------------------------
-    def _ensure_cache(self, plan: CompiledPlan, cache: Optional[Dict[int, np.ndarray]]) -> None:
-        if cache is not None and not plan.cache_is_warm(cache):
-            plan.warm_cache(self.network, cache, self.stats)
-
-    def _compile_plans(self) -> None:
-        """(Re)compile the execution plans and reset caches and snapshot."""
+    def _compile_plain_plan(self) -> None:
+        """Compile the per-subtask plan and reset its cache."""
         self._plan = compile_plan(
             self.network, self.tree, frozenset(self.sliced), dtype=self._dtype
         )
         self._cache = self._plan.new_cache() if self._cache_invariant else None
-        self._batched_plan = None
-        self._batched_cache = None
-        if self.batch_index is not None:
-            self._batched_plan = compile_plan(
-                self.network,
-                self.tree,
-                frozenset(self.sliced),
-                batch_index=self.batch_index,
-                dtype=self._dtype,
-            )
-            self._batched_cache = (
-                self._batched_plan.new_cache() if self._cache_invariant else None
-            )
         self._snapshot_leaves()
+
+    def _compile_batched_plan(self) -> None:
+        """Compile the batched-sweep plan and reset its cache."""
+        self._batched_plan = compile_plan(
+            self.network,
+            self.tree,
+            frozenset(self.sliced),
+            batch_indices=self.batch_indices,
+            dtype=self._dtype,
+        )
+        self._batched_cache = (
+            self._batched_plan.new_cache() if self._cache_invariant else None
+        )
+        self._snapshot_leaves()
+
+    def _ensure_plan(self) -> Optional[CompiledPlan]:
+        """The per-subtask plan, compiling it on first use (lazy path)."""
+        if self._plan is None and self.mode == "compiled":
+            self._compile_plain_plan()
+        return self._plan
 
     def _snapshot_leaves(self) -> None:
         # Tensor objects are immutable, so identity comparison of the
@@ -251,10 +315,15 @@ class SlicedExecutor:
         keeps the plans but must drop the warmed invariant caches, which
         hold intermediates contracted from the old data.
         """
-        if self._plan is None:
+        primary = self._batched_plan if self._batched_plan is not None else self._plan
+        if primary is None:
             return
-        if not self._plan.matches_network(self.network):
-            self._compile_plans()
+        if not primary.matches_network(self.network):
+            # recompile whatever was compiled; a still-lazy plan stays lazy
+            if self._batched_plan is not None:
+                self._compile_batched_plan()
+            if self._plan is not None:
+                self._compile_plain_plan()
             return
         current = tuple(self.network.tensor(tid) for tid in self.tree.leaf_tids)
         if current != self._leaf_tensors:
@@ -272,8 +341,9 @@ class SlicedExecutor:
     def _subtask_result(self, subtask_id: int) -> SubtaskResult:
         """One subtask without the staleness check (hot-loop internal)."""
         assignment = self.assignment(subtask_id)
-        if self._plan is not None:
-            tensor = self._plan.execute(
+        plan = self._ensure_plan()
+        if plan is not None:
+            tensor = plan.execute(
                 self.network, assignment, cache=self._cache, stats=self.stats
             )
         else:
@@ -300,8 +370,22 @@ class SlicedExecutor:
         )
         if not ids:
             raise ValueError("no subtasks were executed")
-        if self._plan is not None and self._max_workers and len(ids) > 1:
-            return self._run_pooled(ids)
+        plan = self._ensure_plan()
+        if plan is not None:
+            assert self._backend is not None
+            result = self._backend.run_subtasks(
+                plan,
+                self.network,
+                [self.assignment(subtask_id) for subtask_id in ids],
+                cache=self._cache,
+                stats=self.stats,
+            )
+            assert result is not None
+            return result
+        return self._run_reference(ids)
+
+    def _run_reference(self, ids: Sequence[int]) -> Tensor:
+        """Accumulate subtasks through the reference einsum walker."""
         accumulated: Optional[np.ndarray] = None
         result_indices: Optional[Tuple[str, ...]] = None
         result_sizes: Optional[Dict[str, int]] = None
@@ -309,9 +393,6 @@ class SlicedExecutor:
             result = self._subtask_result(subtask_id)
             data = result.tensor.require_data()
             if accumulated is None:
-                # copy once: the first subtask's buffer may be shared with
-                # the invariant cache, which later subtasks still read;
-                # subsequent subtasks accumulate in place
                 accumulated = np.array(data, copy=True)
                 result_indices = result.tensor.indices
                 result_sizes = result.tensor.sizes()
@@ -321,96 +402,20 @@ class SlicedExecutor:
         assert result_indices is not None and result_sizes is not None
         return Tensor(result_indices, data=accumulated, sizes=result_sizes)
 
-    def _accumulate_parallel(self, items: List, partial_fn) -> Tuple[np.ndarray, Tensor]:
-        """Run ``partial_fn`` over chunks of ``items`` and merge the sums.
-
-        ``partial_fn`` maps a chunk to ``(partial_sum, sample_tensor,
-        stats)``; chunks run on the thread pool when one is configured.
-        """
-        if self._max_workers and len(items) > 1:
-            chunks = _chunk(items, self._max_workers)
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                partials = [p for p in pool.map(partial_fn, chunks) if p]
-        else:
-            partials = [p for p in [partial_fn(items)] if p]
-        accumulated, result = partials[0][:2]
-        for other, _, _ in partials[1:]:
-            accumulated += other
-        for _, _, stats in partials:
-            self.stats.merge(stats)
-        return accumulated, result
-
     def _run_batched(self) -> Tensor:
-        """Sweep the batch index in bulk, enumerating the remaining indices."""
+        """Sweep the batch group in bulk, enumerating the remaining indices."""
         plan = self._batched_plan
-        assert plan is not None
-        self._ensure_cache(plan, self._batched_cache)
-        accumulated, result = self._accumulate_parallel(
-            list(self.batched_assignments()), self._batched_partial
+        assert plan is not None and self._backend is not None
+        result = self._backend.run_subtasks(
+            plan,
+            self.network,
+            list(self.batched_assignments()),
+            cache=self._batched_cache,
+            sum_batch_axes=plan.num_batch_axes,
+            stats=self.stats,
         )
-        out_indices = result.indices[1:]  # drop the leading batch axis
-        sizes = {ix: result.size_of(ix) for ix in out_indices}
-        return Tensor(out_indices, data=accumulated, sizes=sizes)
-
-    def _partial_sum(
-        self,
-        plan: CompiledPlan,
-        cache: Optional[Dict[int, np.ndarray]],
-        assignments: Sequence[Dict[str, int]],
-        sum_batch_axis: bool,
-    ) -> Optional[Tuple[np.ndarray, Tensor, PlanStats]]:
-        """Accumulate plan executions over ``assignments`` with local stats.
-
-        ``sum_batch_axis`` collapses the leading batch axis of every
-        execution (batched sweeps); otherwise results are summed as-is.
-        """
-        stats = PlanStats()
-        accumulated: Optional[np.ndarray] = None
-        result: Optional[Tensor] = None
-        for assignment in assignments:
-            tensor = plan.execute(self.network, assignment, cache=cache, stats=stats)
-            data = tensor.require_data()
-            contribution = data.sum(axis=0) if sum_batch_axis else data
-            if accumulated is None:
-                # copy unless the sum already allocated a fresh buffer: the
-                # first execution may share storage with the invariant cache
-                accumulated = (
-                    contribution if sum_batch_axis else np.array(contribution, copy=True)
-                )
-                result = tensor
-            else:
-                accumulated += contribution
-        if accumulated is None or result is None:
-            return None
-        return accumulated, result, stats
-
-    def _batched_partial(
-        self, assignments: Sequence[Dict[str, int]]
-    ) -> Optional[Tuple[np.ndarray, Tensor, PlanStats]]:
-        assert self._batched_plan is not None
-        return self._partial_sum(
-            self._batched_plan, self._batched_cache, assignments, sum_batch_axis=True
-        )
-
-    def _run_pooled(self, ids: Sequence[int]) -> Tensor:
-        """Distribute subtask chunks over a thread pool and merge the sums."""
-        plan = self._plan
-        assert plan is not None
-        # warm the cache once up front so workers share it read-only
-        self._ensure_cache(plan, self._cache)
-        accumulated, result = self._accumulate_parallel(list(ids), self._chunk_partial)
-        return Tensor(result.indices, data=accumulated, sizes=result.sizes())
-
-    def _chunk_partial(
-        self, ids: Sequence[int]
-    ) -> Optional[Tuple[np.ndarray, Tensor, PlanStats]]:
-        assert self._plan is not None
-        return self._partial_sum(
-            self._plan,
-            self._cache,
-            [self.assignment(subtask_id) for subtask_id in ids],
-            sum_batch_axis=False,
-        )
+        assert result is not None
+        return result
 
     def amplitude(self, subtask_ids: Optional[Sequence[int]] = None) -> complex:
         """Accumulated scalar value (requires a closed network)."""
@@ -428,16 +433,3 @@ class SlicedExecutor:
     def total_cost_estimate(self) -> float:
         """Planned flops over all subtasks (Eq. 4)."""
         return self.tree.total_cost(frozenset(self.sliced))
-
-
-def _chunk(items: List, num_chunks: int) -> List[List]:
-    """Split ``items`` into at most ``num_chunks`` contiguous chunks."""
-    num_chunks = max(1, min(num_chunks, len(items)))
-    size, extra = divmod(len(items), num_chunks)
-    out: List[List] = []
-    start = 0
-    for i in range(num_chunks):
-        end = start + size + (1 if i < extra else 0)
-        out.append(items[start:end])
-        start = end
-    return out

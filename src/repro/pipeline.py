@@ -32,6 +32,7 @@ from .core.slice_finder import LifetimeSliceFinder
 from .core.slice_refiner import SimulatedAnnealingSliceRefiner
 from .core.slicing import SlicingCostModel, SlicingResult
 from .core.stem import Stem, extract_stem
+from .execution.backend import ExecutionBackend
 from .execution.fused import ThreadLevelSimulator, ThreadTiming
 from .execution.scaling import HeadlineProjection, ProcessScheduler
 from .execution.sliced import SlicedExecutor
@@ -164,6 +165,10 @@ class SimulationPlanner:
         Machine description.
     seed:
         Master PRNG seed for all stochastic components.
+    backend:
+        Optional :class:`~repro.execution.backend.ExecutionBackend` used by
+        :meth:`execute_plan` to schedule the slicing subtasks (default
+        serial).
     """
 
     def __init__(
@@ -174,6 +179,7 @@ class SimulationPlanner:
         refine_slices: bool = True,
         spec: SunwaySpec = SW26010PRO,
         seed: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.spec = spec
         self.hierarchy: MemoryHierarchy = sunway_hierarchy(spec)
@@ -184,6 +190,7 @@ class SimulationPlanner:
         self.max_trials = int(max_trials)
         self.refine_slices = bool(refine_slices)
         self.seed = seed
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def plan_circuit(
@@ -256,11 +263,19 @@ class SimulationPlanner:
         )
 
     # ------------------------------------------------------------------
-    def execute_plan(self, plan: SimulationPlan) -> complex:
+    def execute_plan(
+        self, plan: SimulationPlan, backend: Optional[ExecutionBackend] = None
+    ) -> complex:
         """Numerically execute a plan on a concrete network (small circuits).
 
-        Runs every slicing subtask and accumulates the results; returns the
-        amplitude including the simplifier's scalar prefactor.
+        Runs every slicing subtask through ``backend`` (defaulting to the
+        planner's backend, then serial) and accumulates the results;
+        returns the amplitude including the simplifier's scalar prefactor.
         """
-        executor = SlicedExecutor(plan.network, plan.tree, plan.slicing.sliced)
+        executor = SlicedExecutor(
+            plan.network,
+            plan.tree,
+            plan.slicing.sliced,
+            backend=backend if backend is not None else self.backend,
+        )
         return executor.amplitude() * plan.scalar_prefactor

@@ -84,6 +84,8 @@ class TestCompiledPlanEquivalence:
             dict(cache_invariant=False),
             dict(batch_index="auto"),
             dict(batch_index=sliced[0]),
+            dict(batch_indices=sliced[:2]),
+            dict(batch_indices=tuple(sliced)),
             dict(max_workers=2),
             dict(batch_index="auto", max_workers=2),
         ):
@@ -211,12 +213,63 @@ class TestInvariantCaching:
         assert executor.stats.executions == executor.num_batched_sweeps
 
     def test_stats_merge(self):
-        a = PlanStats(node_counts={1: 2}, cache_hits=3, executions=1)
-        b = PlanStats(node_counts={1: 1, 2: 5}, cache_hits=1, executions=4)
+        a = PlanStats(node_counts={1: 2}, cache_hits=3, executions=1, slot_writes=2)
+        b = PlanStats(node_counts={1: 1, 2: 5}, cache_hits=1, executions=4, slot_writes=1)
         a.merge(b)
         assert a.node_counts == {1: 3, 2: 5}
         assert a.cache_hits == 4 and a.executions == 5
+        assert a.slot_writes == 3
         assert a.steps_executed == 8
+
+
+class TestStemSlots:
+    def test_slot_execution_bit_identical_to_allocating_path(self, case):
+        from repro.execution import StemSlots
+
+        tn, tree, _ = case
+        sliced = frozenset(sorted(tn.inner_indices())[:2])
+        plan = compile_plan(tn, tree, sliced)
+        slots = StemSlots()
+        assignment = {ix: 0 for ix in sliced}
+        stats = PlanStats()
+        with_slots = plan.execute(tn, assignment, stats=stats, slots=slots)
+        without = plan.execute(tn, assignment)
+        assert stats.slot_writes > 0
+        np.testing.assert_array_equal(
+            with_slots.require_data(), without.require_data()
+        )
+
+    def test_slots_alternate_along_the_stem(self, case):
+        tn, tree, _ = case
+        plan = compile_plan(tn, tree)
+        chain = [s for s in plan._steps if s.slot is not None]
+        assert chain, "every nontrivial tree has a stem"
+        # the stem is a chain: each slotted step consumes the previous one
+        # and the slots alternate, so two buffers always suffice
+        for prev, step in zip(chain, chain[1:]):
+            assert prev.node in (step.lhs, step.rhs)
+            assert step.slot != prev.slot
+
+    def test_slot_buffers_are_reused_across_executions(self, case):
+        from repro.execution import StemSlots
+
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:2]
+        plan = compile_plan(tn, tree, frozenset(sliced))
+        slots = StemSlots()
+        for value in range(2):
+            plan.execute(tn, {ix: value for ix in sliced}, slots=slots)
+        first = slots.allocated_bytes
+        for value in range(2):
+            plan.execute(tn, {ix: value for ix in sliced}, slots=slots)
+        assert slots.allocated_bytes == first  # grown once, then stable
+
+    def test_serial_backend_run_uses_slots(self, case):
+        tn, tree, reference = case
+        sliced = sorted(tn.inner_indices())[:3]
+        executor = SlicedExecutor(tn, tree, sliced)
+        assert executor.amplitude() == pytest.approx(reference, abs=1e-9)
+        assert executor.stats.slot_writes > 0
 
 
 class TestHyperIndexKernel:
