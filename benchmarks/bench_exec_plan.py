@@ -26,6 +26,13 @@ cache is warmed in the parent), and all backends produce bit-identical
 values.  Emits a ``BENCH_exec_plan.json`` trajectory point next to the
 text table in ``benchmarks/results/``.
 
+A second test times session reuse on the process-pool backend: the same
+``run_subtasks`` workload cold (session spawn: pool start-up + segment
+publication) and warm (pool and segments resident), asserting the warm
+call is strictly faster and that the pool/segments were built exactly
+once.  The cold/warm rows are appended to the table file and merged into
+the JSON point.
+
 Set ``REPRO_BENCH_QUICK=1`` (the CI default) for a smaller workload and a
 single repeat.
 """
@@ -208,3 +215,67 @@ def test_exec_plan_speedup(exec_workload, record_result):
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_exec_plan.json").write_text(json.dumps(point, indent=2) + "\n")
+
+
+def test_exec_session_reuse(exec_workload, record_result):
+    """Cold vs warm ``run_subtasks`` through a persistent pool session."""
+    network, tree, sliced = exec_workload
+    serial_value = SlicedExecutor(network, tree, sliced).amplitude()
+
+    # at least two workers so the pool path (not the single-worker serial
+    # shortcut) is what cold/warm timing measures, even on a 1-CPU box
+    session_workers = max(2, EXEC_WORKERS)
+    backend = SharedMemoryProcessPoolBackend(max_workers=session_workers)
+    executor = SlicedExecutor(network, tree, sliced, backend=backend)
+    with executor.session() as session:
+        start = time.perf_counter()
+        cold_value = executor.amplitude()
+        cold_seconds = time.perf_counter() - start
+
+        warm_seconds = float("inf")
+        warm_values = []
+        for _ in range(max(EXEC_REPEATS, 2)):
+            start = time.perf_counter()
+            warm_values.append(executor.amplitude())
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+        # one pool, one publication, across >= 3 runs — and every run
+        # bit-identical to the serial backend
+        assert session.pool_launches == 1
+        assert session.publications == 1
+        assert cold_value == serial_value
+        assert all(value == serial_value for value in warm_values)
+    assert session.closed
+
+    assert warm_seconds < cold_seconds, (
+        f"warm run ({warm_seconds:.4f}s) should beat the cold run "
+        f"({cold_seconds:.4f}s) that pays pool spawn + segment publication"
+    )
+
+    rows = [
+        {"run_subtasks": "cold (spawn+publish)", "seconds": cold_seconds},
+        {"run_subtasks": "warm (session reuse)", "seconds": warm_seconds},
+        {"run_subtasks": "cold/warm ratio", "seconds": cold_seconds / warm_seconds},
+    ]
+    text = format_table(
+        rows,
+        title=(
+            f"EXEC_SESSION: persistent pool session, {session_workers} workers "
+            "(paper: one resident pool serves every sliced batch)"
+        ),
+        precision=4,
+    )
+    record_result("exec_plan_session", text)
+
+    results_path = RESULTS_DIR / "BENCH_exec_plan.json"
+    point = json.loads(results_path.read_text()) if results_path.exists() else {}
+    point["session"] = {
+        "workers": session_workers,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_over_warm": cold_seconds / warm_seconds,
+        "pool_launches": 1,
+        "publications": 1,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    results_path.write_text(json.dumps(point, indent=2) + "\n")

@@ -51,10 +51,46 @@ Backend                         Use when
                                 chunks with no interpreter contention.
 =============================== =====================================================
 
-The legacy ``max_workers=N`` argument survives as a deprecated shim for
-``backend=ThreadPoolBackend(max_workers=N)``.  ``mode="reference"``
-(and ``executor_mode="reference"`` on :class:`CorrelatedSampler`) rejects
-both ``backend=`` and ``max_workers=`` with the same ``ValueError``.
+The legacy ``max_workers=N`` argument survives as a deprecated shim on
+every entry point (``SlicedExecutor``, ``TreeExecutor``,
+``contract_tree``, ``CorrelatedSampler``): any non-``None`` value emits
+one ``DeprecationWarning`` and resolves through ``resolve_backend`` (> 1
+to a thread pool, <= 1 to serial).  ``mode="reference"`` (and
+``executor_mode="reference"`` on :class:`CorrelatedSampler`) rejects both
+``backend=`` and ``max_workers=`` with the same ``ValueError``.
+
+Session lifecycle
+-----------------
+The process-pool backend's start-up cost — spawning workers, pickling the
+plan into them, copying leaf buffers and the warm invariant cache into
+shared-memory segments — is paid per ``run_subtasks`` call *unless* a
+persistent :class:`ExecutionSession` is open.  A session keeps the pool,
+the shipped plan and the published segments resident between runs::
+
+    backend = SharedMemoryProcessPoolBackend(max_workers=8)
+    executor = SlicedExecutor(network, tree, sliced, backend=backend)
+    with executor.session():          # or: with backend.session(plan, network, cache):
+        first = executor.run()        # cold: spawn + publish
+        second = executor.run()       # warm: pool and segments reused
+
+Staleness is tracked with a leaf-data snapshot fingerprint:
+
+* **match** — the steady state: nothing is respawned or recopied;
+* **data-only tensor replacement or plan recompilation** — the segments
+  are *republished* and the workers re-initialize in place (the payload
+  travels generation-tagged with the next chunks); the pool survives,
+  which is what lets :meth:`CorrelatedSampler.session` amortize worker
+  start-up across the per-bitstring networks of a sampling run;
+* **axis-order mutation** — every published buffer layout is invalid, so
+  the session is rebuilt from scratch (``reset_session``).
+
+``close()`` is idempotent and also runs via a finalizer at garbage
+collection, so segments are always unlinked and worker attachments closed
+(workers additionally close their attachments in an exit hook) — the test
+suite escalates ``multiprocessing.resource_tracker`` warnings to errors
+to keep it that way.  Serial and thread backends return a no-op
+:class:`NullExecutionSession`, so session-scoped code is uniform across
+backends, and every path stays bit-identical to :class:`SerialBackend`.
 
 ``PlanStats`` instruments both cached and uncached execution with per-node
 step counters (plus slot-write counters) so tests and benchmarks can
@@ -63,6 +99,8 @@ assert how often each contraction actually ran.
 
 from .backend import (
     ExecutionBackend,
+    ExecutionSession,
+    NullExecutionSession,
     SerialBackend,
     SharedMemoryProcessPoolBackend,
     ThreadPoolBackend,
@@ -93,6 +131,8 @@ from .scaling import (
 
 __all__ = [
     "ExecutionBackend",
+    "ExecutionSession",
+    "NullExecutionSession",
     "SerialBackend",
     "SharedMemoryProcessPoolBackend",
     "ThreadPoolBackend",

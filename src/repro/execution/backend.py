@@ -38,10 +38,14 @@ once per stem step.
 
 from __future__ import annotations
 
+import atexit
 import math
+import os
+import pickle
 import threading
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import shared_memory
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -53,6 +57,8 @@ from .plan import CompiledPlan, PlanStats, StemSlots
 
 __all__ = [
     "ExecutionBackend",
+    "ExecutionSession",
+    "NullExecutionSession",
     "SerialBackend",
     "SharedMemoryProcessPoolBackend",
     "ThreadPoolBackend",
@@ -77,10 +83,10 @@ def validate_execution_args(
     """
     if mode not in ("compiled", "reference"):
         raise ValueError(f"unknown execution mode {mode!r}")
-    if backend is not None and max_workers:
+    if backend is not None and max_workers is not None:
         raise ValueError("pass either backend= or max_workers=, not both")
     if mode == "reference":
-        if max_workers:
+        if max_workers is not None:
             raise ValueError("max_workers requires the compiled mode")
         if backend is not None:
             raise ValueError("backend requires the compiled mode")
@@ -92,21 +98,24 @@ def resolve_backend(
 ) -> "ExecutionBackend":
     """Resolve the ``backend=`` / legacy ``max_workers=`` pair to a backend.
 
-    ``max_workers`` is a deprecated shim kept for the pre-backend API: a
-    value > 1 maps to ``ThreadPoolBackend(max_workers)``.  Passing both is
-    an error.
+    ``max_workers`` is a deprecated shim kept for the pre-backend API:
+    any non-``None`` value warns exactly once, a value > 1 maps to
+    ``ThreadPoolBackend(max_workers)`` and a value <= 1 to
+    ``SerialBackend``.  Passing both arguments is an error regardless of
+    the values (``max_workers=0`` is not a way to sneak past the check).
     """
     if backend is not None:
-        if max_workers:
+        if max_workers is not None:
             raise ValueError("pass either backend= or max_workers=, not both")
         return backend
-    if max_workers and int(max_workers) > 1:
+    if max_workers is not None:
         warnings.warn(
             "max_workers= is deprecated; pass backend=ThreadPoolBackend(max_workers=...)",
             DeprecationWarning,
             stacklevel=3,
         )
-        return ThreadPoolBackend(max_workers=int(max_workers))
+        if int(max_workers) > 1:
+            return ThreadPoolBackend(max_workers=int(max_workers))
     return SerialBackend()
 
 
@@ -174,6 +183,41 @@ def _chunked(items: List, chunk_size: int) -> List[List]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
 
+class NullExecutionSession:
+    """No-op stand-in for :class:`ExecutionSession` on poolless backends.
+
+    In-process backends have no pool or shared-memory segments to keep
+    alive, so their :meth:`ExecutionBackend.session` returns this object:
+    a context manager with the same idempotent :meth:`close` surface,
+    letting callers write one session-scoped loop for every backend.
+    """
+
+    def __init__(self, backend: Optional["ExecutionBackend"] = None) -> None:
+        self._backend = backend
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Idempotent no-op close."""
+        self._closed = True
+
+    def reset(self) -> None:
+        """No resident state to drop."""
+
+    def __enter__(self) -> "NullExecutionSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NullExecutionSession(backend={self._backend!r})"
+
+
 class ExecutionBackend:
     """Protocol for subtask scheduling substrates.
 
@@ -184,11 +228,52 @@ class ExecutionBackend:
     :class:`SerialBackend`.
 
     Backends are reusable across runs and executors but are not safe for
-    *concurrent* ``run_subtasks`` calls on the same instance.
+    *concurrent* ``run_subtasks`` calls on the same instance.  Backends
+    with resident state (today: the shared-memory process pool) expose it
+    through :meth:`session`; the base implementations below make session
+    scoping a no-op everywhere else, so callers can uniformly write::
+
+        with backend.session(plan, network, cache):
+            for batch in batches:
+                backend.run_subtasks(plan, network, batch, cache=cache)
     """
 
     #: Short name used in benchmark tables and reprs.
     name = "base"
+
+    def session(
+        self,
+        plan: Optional[CompiledPlan] = None,
+        network: Optional[TensorNetwork] = None,
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        sum_batch_axes: int = 0,
+        stats: Optional[PlanStats] = None,
+    ):
+        """Open (or reuse) this backend's persistent execution session.
+
+        The in-process backends hold no resident scheduling state, so the
+        base implementation pre-warms the invariant cache (when a plan and
+        network are supplied) and returns a :class:`NullExecutionSession`.
+        :class:`SharedMemoryProcessPoolBackend` overrides this with a real
+        :class:`ExecutionSession` that keeps the process pool and the
+        published shared-memory segments alive across ``run_subtasks``
+        calls.
+        """
+        if plan is not None and network is not None:
+            self.warm(plan, network, cache, stats)
+        return NullExecutionSession(self)
+
+    def close(self) -> None:
+        """Release resident backend state (idempotent; no-op by default)."""
+
+    def reset_session(self) -> None:
+        """Invalidate the active session's resident state, if any."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def run_subtasks(
         self,
@@ -375,10 +460,12 @@ class ThreadPoolBackend(_PooledBackend):
 
 
 # ----------------------------------------------------------------------
-# Shared-memory process pool
+# Shared-memory process pool — worker side
 # ----------------------------------------------------------------------
-#: Per-worker state installed by the pool initializer.
+#: Per-worker state installed by the pool initializer (or a chunk payload).
 _WORKER_STATE: Optional["_WorkerState"] = None
+#: Whether this worker registered its exit-time segment teardown yet.
+_WORKER_TEARDOWN_REGISTERED = False
 
 
 class _LeafStore:
@@ -397,24 +484,43 @@ class _LeafStore:
 
 
 class _WorkerState:
-    """Plan + shared-memory views held for the lifetime of a pool worker."""
+    """Plan + shared-memory views held by a pool worker for one generation."""
 
     def __init__(
         self,
+        generation: int,
         plan: CompiledPlan,
         network: _LeafStore,
         cache: Optional[Dict[int, np.ndarray]],
         sum_batch_axes: int,
         segments: List[shared_memory.SharedMemory],
     ) -> None:
+        self.generation = generation
         self.plan = plan
-        self.network = network
+        self.network: Optional[_LeafStore] = network
         self.cache = cache
         self.sum_batch_axes = sum_batch_axes
         # keep the SharedMemory handles alive: the ndarray views above
         # borrow their buffers
         self.segments = segments
         self.slots = StemSlots()
+
+    def close(self) -> None:
+        """Drop the shared-memory views and close the attachments.
+
+        The ndarray views borrow the segments' buffers, so they must be
+        released first — closing a segment with a live export raises
+        ``BufferError`` (tolerated below: a still-borrowed segment is
+        better leaked than crashed over during teardown).
+        """
+        self.network = None
+        self.cache = None
+        segments, self.segments = self.segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -438,34 +544,95 @@ def _shm_view(meta: Tuple[str, Tuple[int, ...], str], segments: List) -> np.ndar
     return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
 
 
-def _init_worker(
-    plan: CompiledPlan,
-    leaf_meta: Dict[int, Tuple[str, Tuple[int, ...], str, Tuple[str, ...]]],
-    cache_meta: Optional[Dict[int, Tuple[str, Tuple[int, ...], str]]],
-    sum_batch_axes: int,
-) -> None:
-    """Pool initializer: attach the shared buffers once per worker."""
-    global _WORKER_STATE
+def _attach_state(payload: Tuple) -> "_WorkerState":
+    """Build a :class:`_WorkerState` from a session payload, atomically.
+
+    If any attachment fails the already-attached segments are closed
+    before the error propagates, so a half-initialized worker never leaks
+    attachments.
+    """
+    generation, plan, leaf_meta, cache_meta, sum_batch_axes = payload
     segments: List[shared_memory.SharedMemory] = []
-    tensors: Dict[int, Tensor] = {}
-    for tid, (name, shape, dtype, indices) in leaf_meta.items():
-        tensors[tid] = Tensor(indices, data=_shm_view((name, shape, dtype), segments))
-    cache: Optional[Dict[int, np.ndarray]] = None
-    if cache_meta is not None:
-        cache = {
-            node: _shm_view(meta, segments) for node, meta in cache_meta.items()
-        }
-    _WORKER_STATE = _WorkerState(
-        plan, _LeafStore(tensors), cache, sum_batch_axes, segments
+    try:
+        tensors: Dict[int, Tensor] = {}
+        for tid, (name, shape, dtype, indices) in leaf_meta.items():
+            tensors[tid] = Tensor(
+                indices, data=_shm_view((name, shape, dtype), segments)
+            )
+        cache: Optional[Dict[int, np.ndarray]] = None
+        if cache_meta is not None:
+            cache = {
+                node: _shm_view(meta, segments) for node, meta in cache_meta.items()
+            }
+    except BaseException:
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        raise
+    return _WorkerState(
+        generation, plan, _LeafStore(tensors), cache, sum_batch_axes, segments
     )
 
 
+def _install_worker_state(payload: Tuple) -> "_WorkerState":
+    """Replace this worker's state, closing the previous attachments."""
+    global _WORKER_STATE
+    state = _attach_state(payload)
+    old, _WORKER_STATE = _WORKER_STATE, state
+    if old is not None:
+        old.close()
+    return state
+
+
+def _teardown_worker() -> None:
+    """Worker exit hook: close every shared-memory attachment."""
+    global _WORKER_STATE
+    state, _WORKER_STATE = _WORKER_STATE, None
+    if state is not None:
+        state.close()
+
+
+def _init_worker(blob: bytes) -> None:
+    """Pool initializer: install the session's spawn-time state.
+
+    The pickled plan and segment metadata arrive through the initializer
+    once per worker.  A worker spawned lazily *after* the session
+    republished its segments may find the spawn-time segment names already
+    unlinked; that is tolerated here — every post-republish chunk carries
+    the current payload, so the first chunk installs the state instead.
+    """
+    global _WORKER_STATE, _WORKER_TEARDOWN_REGISTERED
+    if not _WORKER_TEARDOWN_REGISTERED:
+        atexit.register(_teardown_worker)
+        _WORKER_TEARDOWN_REGISTERED = True
+    try:
+        _install_worker_state(pickle.loads(blob))
+    except FileNotFoundError:
+        _WORKER_STATE = None
+
+
 def _run_chunk(
-    chunk: List[Tuple[int, Mapping[str, int]]]
-) -> Tuple[int, List[np.ndarray], PlanStats]:
-    """Execute one chunk in a worker; returns (start position, results, stats)."""
+    task: Tuple[int, Optional[bytes], List[Tuple[int, Mapping[str, int]]]]
+) -> Tuple[int, List[np.ndarray], PlanStats, int]:
+    """Execute one chunk in a worker; returns (start, results, stats, pid).
+
+    ``task`` carries the session generation the chunk belongs to and — for
+    post-republish generations — the pickled payload a stale (or freshly
+    spawned) worker needs to re-initialize itself.  The pid lets the
+    parent track which workers hold the current generation, so it can
+    stop attaching the payload once all of them do.
+    """
+    generation, blob, chunk = task
     state = _WORKER_STATE
-    assert state is not None, "worker used before initialization"
+    if state is None or state.generation != generation:
+        if blob is None:
+            raise RuntimeError(
+                f"worker has no shared-memory state for session generation "
+                f"{generation}"
+            )
+        state = _install_worker_state(pickle.loads(blob))
     local_stats = PlanStats()
     results: List[np.ndarray] = []
     for _, assignment in chunk:
@@ -477,7 +644,299 @@ def _run_chunk(
             slots=state.slots,
         )
         results.append(_owned_contribution(tensor, state.sum_batch_axes))
-    return chunk[0][0], results, local_stats
+    return chunk[0][0], results, local_stats, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory process pool — parent side
+# ----------------------------------------------------------------------
+class _SessionResources:
+    """The pool and published segments of one session, released together.
+
+    Kept on a separate object so a ``weakref.finalize`` on the session can
+    release them at garbage collection / interpreter exit without keeping
+    the session itself alive.
+    """
+
+    __slots__ = ("pool", "segments")
+
+    def __init__(self) -> None:
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.segments: List[shared_memory.SharedMemory] = []
+
+
+def _release_session_resources(resources: _SessionResources) -> None:
+    """Shut the pool down, then close and unlink every published segment.
+
+    The pool is drained first so workers run their exit hooks (closing
+    their attachments) before the parent unlinks the names.
+    """
+    pool, resources.pool = resources.pool, None
+    segments, resources.segments = resources.segments, []
+    if pool is not None:
+        pool.shutdown(wait=True)
+    for segment in segments:
+        segment.close()
+        segment.unlink()
+
+
+class ExecutionSession:
+    """Resident process-pool state of a :class:`SharedMemoryProcessPoolBackend`.
+
+    A session keeps three things alive across ``run_subtasks`` calls that
+    the per-call lifecycle used to rebuild every time: the
+    ``ProcessPoolExecutor`` itself, the compiled plan shipped (pickled) to
+    each worker through the pool initializer, and the shared-memory
+    segments holding the leaf buffers and the warm invariant cache.
+
+    Staleness is detected through a leaf-data snapshot fingerprint (the
+    identity of the plan, of every leaf tensor, and of the cache buffers,
+    plus the batch-axis count): a data-only tensor replacement or a plan
+    recompilation *republishes* the segments and re-initializes the
+    workers in place — the pool survives — while an axis-order mutation is
+    recompiled upstream and surfaces here as
+    :meth:`~ExecutionBackend.reset_session`, which rebuilds the session
+    from scratch.  Republished state travels to workers via
+    generation-tagged chunk payloads, so even a worker spawned lazily
+    after a republish initializes correctly.
+
+    Sessions are context managers with an idempotent :meth:`close`; a
+    ``weakref.finalize`` guarantees the pool is drained and the segments
+    unlinked even if ``close`` is never called, so no resource-tracker
+    leak survives the session object.
+    """
+
+    def __init__(self, backend: "SharedMemoryProcessPoolBackend") -> None:
+        self._backend = backend
+        self._resources = _SessionResources()
+        self._finalizer = weakref.finalize(
+            self, _release_session_resources, self._resources
+        )
+        self._generation = 0
+        self._blob: Optional[bytes] = None
+        # worker pids that confirmed holding the current generation; once
+        # all max_workers did, chunks stop carrying the republish payload
+        self._confirmed_pids: set = set()
+        self._plan: Optional[CompiledPlan] = None
+        self._leaf_tensors: Tuple[Tensor, ...] = ()
+        self._cache_token: Optional[Tuple] = None
+        # pinned so ``id``-based tokens cannot collide with recycled buffers
+        self._cache_buffers: Tuple[np.ndarray, ...] = ()
+        self._sum_batch_axes: Optional[int] = None
+        #: How many times this session launched a process pool.
+        self.pool_launches = 0
+        #: How many times segments were (re)published.
+        self.publications = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether the session has been closed."""
+        return not self._finalizer.alive
+
+    @property
+    def pool_is_live(self) -> bool:
+        """Whether a process pool is currently spawned."""
+        return self._resources.pool is not None
+
+    @property
+    def generation(self) -> int:
+        """The current publish generation (0 = spawn-time state)."""
+        return self._generation
+
+    def close(self) -> None:
+        """Drain the pool and unlink every segment; safe to call twice."""
+        self._finalizer()  # runs the release at most once
+        self._drop_fingerprint()
+        backend = self._backend
+        if backend is not None and backend._session is self:
+            backend._session = None
+
+    def reset(self) -> None:
+        """Tear down the pool and segments but keep the session usable.
+
+        The next :meth:`run` spawns a fresh pool with newly published
+        segments — the full-rebuild path for axis-order mutations.
+        """
+        if self.closed:
+            return
+        _release_session_resources(self._resources)
+        self._drop_fingerprint()
+
+    def _drop_fingerprint(self) -> None:
+        self._generation = 0
+        self._blob = None
+        self._confirmed_pids = set()
+        self._plan = None
+        self._leaf_tensors = ()
+        self._cache_token = None
+        self._cache_buffers = ()
+        self._sum_batch_axes = None
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_fingerprint(
+        cache: Optional[Dict[int, np.ndarray]]
+    ) -> Tuple[Optional[Tuple], Tuple[np.ndarray, ...]]:
+        if cache is None:
+            return None, ()
+        items = sorted(cache.items())
+        token = (id(cache), tuple((node, id(buffer)) for node, buffer in items))
+        return token, tuple(buffer for _, buffer in items)
+
+    def ensure(
+        self,
+        plan: CompiledPlan,
+        network: TensorNetwork,
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        sum_batch_axes: int = 0,
+    ) -> None:
+        """Bring the resident state up to date for ``plan``/``network``.
+
+        No-op when the fingerprint matches (the steady state: the pool and
+        every segment are reused as-is).  Otherwise the segments are
+        republished and — if no pool is live yet — the pool is spawned
+        with the new payload as its initializer.
+        """
+        if self.closed:
+            raise RuntimeError("execution session is closed")
+        leaf_tensors = tuple(network.tensor(ls.tid) for ls in plan.leaf_steps)
+        cache_token, cache_buffers = self._cache_fingerprint(cache)
+        if (
+            self._resources.pool is not None
+            and plan is self._plan
+            and leaf_tensors == self._leaf_tensors
+            and cache_token == self._cache_token
+            and sum_batch_axes == self._sum_batch_axes
+        ):
+            return
+
+        # republish: retire the previous generation's segments first
+        old_segments, self._resources.segments = self._resources.segments, []
+        for segment in old_segments:
+            segment.close()
+            segment.unlink()
+        leaf_meta, cache_meta = self._publish(plan, network, cache)
+        self.publications += 1
+
+        self._confirmed_pids = set()
+        if self._resources.pool is None:
+            self._generation = 0
+            self._blob = None
+            blob = pickle.dumps(
+                (0, plan, leaf_meta, cache_meta, sum_batch_axes),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._resources.pool = ProcessPoolExecutor(
+                max_workers=self._backend.max_workers,
+                initializer=_init_worker,
+                initargs=(blob,),
+            )
+            self.pool_launches += 1
+        else:
+            self._generation += 1
+            self._blob = pickle.dumps(
+                (self._generation, plan, leaf_meta, cache_meta, sum_batch_axes),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+
+        self._plan = plan
+        self._leaf_tensors = leaf_tensors
+        self._cache_token = cache_token
+        self._cache_buffers = cache_buffers
+        self._sum_batch_axes = sum_batch_axes
+
+    def _publish(
+        self,
+        plan: CompiledPlan,
+        network: TensorNetwork,
+        cache: Optional[Dict[int, np.ndarray]],
+    ) -> Tuple[Dict, Optional[Dict]]:
+        """Copy the needed buffers into fresh shared-memory segments."""
+        segments = self._resources.segments
+
+        def publish(array: np.ndarray) -> Tuple[str, Tuple[int, ...], str]:
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+            segments.append(segment)
+            np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)[...] = array
+            return segment.name, array.shape, array.dtype.str
+
+        # ship only what the workers will read: the slice-dependent leaves
+        # when the invariant cache covers the rest, every leaf otherwise
+        if cache is not None:
+            needed = [ls for ls in plan.leaf_steps if ls.node in plan.dependent_nodes]
+            cache_meta: Optional[Dict[int, Tuple[str, Tuple[int, ...], str]]] = {
+                node: publish(buffer) for node, buffer in cache.items()
+            }
+        else:
+            needed = list(plan.leaf_steps)
+            cache_meta = None
+        leaf_meta = {}
+        for ls in needed:
+            tensor = network.tensor(ls.tid)
+            name, shape, dtype = publish(tensor.require_data())
+            leaf_meta[ls.tid] = (name, shape, dtype, tensor.indices)
+        return leaf_meta, cache_meta
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: CompiledPlan,
+        network: TensorNetwork,
+        assignments: Sequence[Mapping[str, int]],
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        sum_batch_axes: int = 0,
+        stats: Optional[PlanStats] = None,
+    ) -> List[Optional[np.ndarray]]:
+        """Stream chunks through the resident pool; per-position results.
+
+        The caller (the backend) folds the returned contributions strictly
+        in assignment order, so session reuse cannot perturb the
+        ordered-accumulation contract.
+        """
+        self.ensure(plan, network, cache, sum_batch_axes)
+        pool = self._resources.pool
+        assert pool is not None
+        contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
+        tasks = [
+            (self._generation, self._blob, chunk)
+            for chunk in self._backend._chunks(assignments)
+        ]
+        try:
+            for start, results, local_stats, pid in pool.map(_run_chunk, tasks):
+                for offset, contribution in enumerate(results):
+                    contributions[start + offset] = contribution
+                if stats is not None:
+                    stats.merge(local_stats)
+                self._confirmed_pids.add(pid)
+        except BrokenExecutor:
+            # a dead worker poisons the whole pool: drop it so the next
+            # run (or the retrying caller) starts from a clean session
+            self.reset()
+            raise
+        if (
+            self._blob is not None
+            and len(self._confirmed_pids) >= self._backend.max_workers
+        ):
+            # every worker the pool will ever have (it never respawns dead
+            # ones — it breaks instead) holds this generation: later
+            # chunks no longer need to carry the republish payload
+            self._blob = None
+        return contributions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else ("live" if self.pool_is_live else "idle")
+        return (
+            f"ExecutionSession({state}, generation={self._generation}, "
+            f"pool_launches={self.pool_launches})"
+        )
 
 
 class SharedMemoryProcessPoolBackend(_PooledBackend):
@@ -490,6 +949,14 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
     return per-subtask contributions which the parent folds strictly in
     assignment order, so the result is bit-identical to
     :class:`SerialBackend` for every worker count and chunk size.
+
+    Pool and segment lifetime is governed by an :class:`ExecutionSession`:
+    inside ``with backend.session(plan, network, cache): ...`` (or any
+    session opened through :meth:`session`) consecutive ``run_subtasks``
+    calls reuse the spawned pool and the published segments, republishing
+    only when the leaf-data fingerprint changes.  Without an open session
+    each call runs in an ephemeral session (spawn, run, drain, unlink —
+    the pre-session behaviour).
 
     Wins over threads for many-small-subtask workloads, where per-subtask
     interpreter overhead (plan bookkeeping, leaf slicing) dominates the
@@ -505,6 +972,52 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
 
     name = "process-pool"
 
+    def __init__(self, max_workers: int, chunk_size: Optional[int] = None) -> None:
+        super().__init__(max_workers, chunk_size)
+        self._session: Optional[ExecutionSession] = None
+
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        plan: Optional[CompiledPlan] = None,
+        network: Optional[TensorNetwork] = None,
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        sum_batch_axes: int = 0,
+        stats: Optional[PlanStats] = None,
+    ) -> ExecutionSession:
+        """Open (or reuse) the backend's persistent :class:`ExecutionSession`.
+
+        With ``plan`` and ``network`` supplied the session is eagerly
+        warmed: the invariant cache is computed, the segments published
+        and the pool spawned before the first ``run_subtasks`` call.
+        Without them the session starts idle and materializes on first
+        use — the form long-lived callers whose plan changes per batch
+        (e.g. a sampling run) use.
+        """
+        session = self._session
+        if session is None or session.closed:
+            session = ExecutionSession(self)
+            self._session = session
+        if plan is not None:
+            if network is None:
+                raise ValueError("session(plan=...) also requires network=")
+            self.warm(plan, network, cache, stats)
+            session.ensure(plan, network, cache, sum_batch_axes)
+        return session
+
+    def close(self) -> None:
+        """Close the active session (idempotent)."""
+        session, self._session = self._session, None
+        if session is not None:
+            session.close()
+
+    def reset_session(self) -> None:
+        """Rebuild path for axis-order mutations: drop pool and segments."""
+        session = self._session
+        if session is not None and not session.closed:
+            session.reset()
+
+    # ------------------------------------------------------------------
     def run_subtasks(
         self,
         plan: CompiledPlan,
@@ -521,55 +1034,16 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
             return self._run_serially(
                 plan, network, assignments, cache, sum_batch_axes, stats
             )
-
-        segments: List[shared_memory.SharedMemory] = []
-
-        def publish(array: np.ndarray) -> Tuple[str, Tuple[int, ...], str]:
-            array = np.ascontiguousarray(array)
-            segment = shared_memory.SharedMemory(
-                create=True, size=max(array.nbytes, 1)
+        session = self._session
+        if session is not None and not session.closed:
+            contributions = session.run(
+                plan, network, assignments, cache, sum_batch_axes, stats
             )
-            segments.append(segment)
-            np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)[...] = array
-            return segment.name, array.shape, array.dtype.str
-
-        try:
-            # ship only what the workers will read: the slice-dependent
-            # leaves when the invariant cache covers the rest, every leaf
-            # otherwise
-            if cache is not None:
-                needed = [
-                    ls for ls in plan.leaf_steps if ls.node in plan.dependent_nodes
-                ]
-                cache_meta: Optional[Dict[int, Tuple[str, Tuple[int, ...], str]]] = {
-                    node: publish(buffer) for node, buffer in cache.items()
-                }
-            else:
-                needed = list(plan.leaf_steps)
-                cache_meta = None
-            leaf_meta = {}
-            for ls in needed:
-                tensor = network.tensor(ls.tid)
-                name, shape, dtype = publish(tensor.require_data())
-                leaf_meta[ls.tid] = (name, shape, dtype, tensor.indices)
-
-            contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
-            with ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_init_worker,
-                initargs=(plan, leaf_meta, cache_meta, sum_batch_axes),
-            ) as pool:
-                for start, results, local_stats in pool.map(
-                    _run_chunk, self._chunks(assignments)
-                ):
-                    for offset, contribution in enumerate(results):
-                        contributions[start + offset] = contribution
-                    if stats is not None:
-                        stats.merge(local_stats)
-        finally:
-            for segment in segments:
-                segment.close()
-                segment.unlink()
+        else:
+            with ExecutionSession(self) as scratch:
+                contributions = scratch.run(
+                    plan, network, assignments, cache, sum_batch_axes, stats
+                )
         return self._merge_ordered(plan, contributions, sum_batch_axes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,7 +23,7 @@ import numpy as np
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
-from .backend import ExecutionBackend, validate_execution_args
+from .backend import ExecutionBackend, resolve_backend, validate_execution_args
 from .plan import CompiledPlan, compile_plan
 
 __all__ = ["TreeExecutor", "contract_tree"]
@@ -44,7 +44,16 @@ class TreeExecutor:
     backend:
         Optional :class:`~repro.execution.backend.ExecutionBackend` the
         single contraction is routed through (a one-assignment subtask
-        run); ``None`` executes the plan inline.  Compiled mode only.
+        run); ``None`` executes the plan inline.  Note that one-assignment
+        runs always take every backend's in-process serial path, so a
+        resident pool session brings no benefit here — the parameter
+        exists for API uniformity (one backend object threaded through a
+        mixed pipeline); :meth:`close` releases whatever resident state
+        that backend holds.  Compiled mode only.
+    max_workers:
+        Deprecated shim: any non-``None`` value warns and resolves through
+        :func:`~repro.execution.backend.resolve_backend` (> 1 maps to a
+        thread pool).  Mutually exclusive with ``backend``.
     """
 
     #: Maximum number of compiled plans memoized per executor instance.
@@ -55,12 +64,17 @@ class TreeExecutor:
         dtype: Optional[np.dtype] = None,
         compiled: bool = True,
         backend: Optional[ExecutionBackend] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         self._dtype = np.dtype(dtype) if dtype is not None else None
         self._compiled = bool(compiled)
         validate_execution_args(
-            "compiled" if self._compiled else "reference", backend=backend
+            "compiled" if self._compiled else "reference",
+            backend=backend,
+            max_workers=max_workers,
         )
+        if max_workers is not None:
+            backend = resolve_backend(backend, max_workers)
         self._backend = backend
         # memo keyed on object ids; the network is held through a weakref
         # with an eviction callback, so a dropped network's (potentially
@@ -120,6 +134,18 @@ class TreeExecutor:
         evict = lambda _, plans=self._plans, key=key: plans.pop(key, None)  # noqa: E731
         self._plans[key] = (weakref.ref(network, evict), plan)
         return plan
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend's resident session state, if any (idempotent)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "TreeExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _execute_reference(
@@ -201,6 +227,16 @@ def contract_tree(
     tree: ContractionTree,
     fixed_indices: Optional[Dict[str, int]] = None,
     backend: Optional[ExecutionBackend] = None,
+    max_workers: Optional[int] = None,
 ) -> Tensor:
-    """One-shot helper around :class:`TreeExecutor` (compiled path)."""
-    return TreeExecutor(backend=backend).execute(network, tree, fixed_indices)
+    """One-shot helper around :class:`TreeExecutor` (compiled path).
+
+    The single contraction is a one-assignment run, which every backend
+    executes on its in-process serial path — pass a backend for API
+    uniformity, not for parallelism (that lives in
+    :class:`~repro.execution.sliced.SlicedExecutor`).  ``max_workers`` is
+    the deprecated legacy shim (warns; mutually exclusive with
+    ``backend``).
+    """
+    executor = TreeExecutor(backend=backend, max_workers=max_workers)
+    return executor.execute(network, tree, fixed_indices)

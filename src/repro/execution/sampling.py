@@ -33,7 +33,12 @@ from ..tensornet.circuit_to_tn import CircuitToTensorNetwork
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.simplify import simplify_network
-from .backend import ExecutionBackend, validate_execution_args
+from .backend import (
+    ExecutionBackend,
+    NullExecutionSession,
+    resolve_backend,
+    validate_execution_args,
+)
 from .contract import TreeExecutor
 from .sliced import SlicedExecutor
 
@@ -132,14 +137,19 @@ class CorrelatedSampler:
         plan with slice-invariant caching; ``"reference"`` uses the einsum
         walker (useful for cross-checking).
     max_workers:
-        Deprecated shim: equivalent to
-        ``backend=ThreadPoolBackend(max_workers=...)``.
+        Deprecated shim: any non-``None`` value warns once (at
+        construction) and resolves through
+        :func:`~repro.execution.backend.resolve_backend` (> 1 maps to a
+        thread pool).  Mutually exclusive with ``backend``.
     backend:
         Optional :class:`~repro.execution.backend.ExecutionBackend` for
-        sliced batch execution.  Only applies when the planner derives a
-        non-empty slicing set; an unsliced batch is a single contraction.
-        Compiled mode only (the same rule :class:`SlicedExecutor`
-        enforces).
+        batch execution (sliced runs and the single contraction of an
+        unsliced batch).  Compiled mode only (the same rule
+        :class:`SlicedExecutor` enforces).  A sampling run that computes
+        many batches against one circuit is the prime beneficiary of the
+        backend's persistent session — wrap the loop in
+        ``with sampler.session(): ...`` so the process pool is spawned
+        once and only the per-batch segments are republished.
     """
 
     def __init__(
@@ -166,6 +176,10 @@ class CorrelatedSampler:
         validate_execution_args(executor_mode, backend=backend, max_workers=max_workers)
         self.executor_mode = executor_mode
         self.max_workers = max_workers
+        if max_workers is not None:
+            # resolve the legacy shim eagerly so the DeprecationWarning
+            # fires exactly once, here, instead of once per compute_batch
+            backend = resolve_backend(backend, max_workers)
         self.backend = backend
 
     # ------------------------------------------------------------------
@@ -213,6 +227,36 @@ class CorrelatedSampler:
         return optimizer.search(network)
 
     # ------------------------------------------------------------------
+    def session(self):
+        """Open (or reuse) the backend's persistent execution session.
+
+        Each :meth:`compute_batch` call builds a fresh network and plan
+        for its base bitstring, so what the session amortizes across
+        batches is the expensive part of the pool backend's start-up: the
+        worker processes themselves.  Segments and the pickled plan are
+        republished per batch; the pool is spawned once::
+
+            with sampler.session():
+                batches = [sampler.compute_batch(b) for b in bases]
+
+        Backends without resident state return a no-op session.
+        """
+        if self.backend is None:
+            return NullExecutionSession(None)
+        return self.backend.session()
+
+    def close(self) -> None:
+        """Release the backend's resident session state (idempotent)."""
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "CorrelatedSampler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def compute_batch(
         self,
         base_bitstring: Sequence[int],
@@ -246,12 +290,13 @@ class CorrelatedSampler:
             slicing = frozenset()
 
         if slicing:
+            # max_workers was already resolved into self.backend at
+            # construction, so only the backend is forwarded here
             executor = SlicedExecutor(
                 network,
                 tree,
                 slicing,
                 mode=self.executor_mode,
-                max_workers=self.max_workers,
                 backend=self.backend,
             )
             tensor = executor.run()

@@ -120,7 +120,10 @@ class SlicedExecutor:
     backend:
         The :class:`~repro.execution.backend.ExecutionBackend` that
         schedules the subtasks (default :class:`SerialBackend`).  Compiled
-        mode only.
+        mode only.  Wrap consecutive :meth:`run` calls in
+        ``with executor.session(): ...`` to keep the backend's resident
+        state (the process pool and its shared-memory segments) alive
+        between them.
     """
 
     def __init__(
@@ -319,11 +322,15 @@ class SlicedExecutor:
         if primary is None:
             return
         if not primary.matches_network(self.network):
-            # recompile whatever was compiled; a still-lazy plan stays lazy
+            # recompile whatever was compiled; a still-lazy plan stays lazy.
+            # An axis-order mutation invalidates every buffer a backend
+            # session published, so the session is rebuilt from scratch.
             if self._batched_plan is not None:
                 self._compile_batched_plan()
             if self._plan is not None:
                 self._compile_plain_plan()
+            if self._backend is not None:
+                self._backend.reset_session()
             return
         current = tuple(self.network.tensor(tid) for tid in self.tree.leaf_tids)
         if current != self._leaf_tensors:
@@ -332,6 +339,48 @@ class SlicedExecutor:
             if self._batched_cache is not None:
                 self._batched_cache.clear()
             self._leaf_tensors = current
+
+    def session(self):
+        """Open (or reuse) the backend's persistent execution session.
+
+        Scopes pool/segment reuse across consecutive :meth:`run` calls on
+        this executor::
+
+            with executor.session():
+                first = executor.run()     # spawns the pool, publishes
+                second = executor.run()    # reuses both — warm
+
+        The session is primed with whichever plan :meth:`run` will execute
+        (the batched-sweep plan when batching is enabled, the per-subtask
+        plan otherwise).  In-process backends return a no-op session, so
+        the pattern is uniform across backends; results are bit-identical
+        with and without a session.  Compiled mode only.
+        """
+        if self._backend is None:
+            raise ValueError("session requires the compiled mode")
+        self._refresh_stale_plans()
+        if self._batched_plan is not None:
+            plan: Optional[CompiledPlan] = self._batched_plan
+            cache = self._batched_cache
+            sum_batch_axes = self._batched_plan.num_batch_axes
+            num_assignments = self.num_batched_sweeps
+        else:
+            plan = self._ensure_plan()
+            cache = self._cache
+            sum_batch_axes = 0
+            num_assignments = self.num_subtasks
+        assert plan is not None
+        if num_assignments <= 1:
+            # a one-assignment run always takes the backend's in-process
+            # serial path, so don't eagerly spawn a pool it will never use
+            return self._backend.session()
+        return self._backend.session(
+            plan,
+            self.network,
+            cache,
+            sum_batch_axes=sum_batch_axes,
+            stats=self.stats,
+        )
 
     def run_subtask(self, subtask_id: int) -> SubtaskResult:
         """Execute a single subtask."""

@@ -168,7 +168,12 @@ class SimulationPlanner:
     backend:
         Optional :class:`~repro.execution.backend.ExecutionBackend` used by
         :meth:`execute_plan` to schedule the slicing subtasks (default
-        serial).
+        serial).  Wrap repeated :meth:`execute_plan` calls in
+        ``with planner.session(): ...`` (or use the planner itself as a
+        context manager) to keep the backend's resident state — the
+        process pool of a
+        :class:`~repro.execution.backend.SharedMemoryProcessPoolBackend` —
+        alive across executions.
     """
 
     def __init__(
@@ -191,6 +196,30 @@ class SimulationPlanner:
         self.refine_slices = bool(refine_slices)
         self.seed = seed
         self.backend = backend
+
+    # ------------------------------------------------------------------
+    def session(self):
+        """Open (or reuse) the backend's persistent execution session.
+
+        Returns a no-op session when the planner has no backend (serial
+        execution has no resident state to keep alive).
+        """
+        from .execution.backend import NullExecutionSession
+
+        if self.backend is None:
+            return NullExecutionSession(None)
+        return self.backend.session()
+
+    def close(self) -> None:
+        """Release the backend's resident session state (idempotent)."""
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "SimulationPlanner":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def plan_circuit(

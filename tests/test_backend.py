@@ -360,6 +360,29 @@ class TestValidationSymmetry:
         assert backend.max_workers == 4
         assert isinstance(resolve_backend(), SerialBackend)
 
+    @pytest.mark.parametrize("max_workers", [0, 1])
+    def test_low_max_workers_still_warns_and_maps_to_serial(self, max_workers):
+        # the shim is deprecated for *any* value, including the ones that
+        # resolve to the serial backend
+        with pytest.warns(DeprecationWarning):
+            backend = resolve_backend(max_workers=max_workers)
+        assert isinstance(backend, SerialBackend)
+
+    @pytest.mark.parametrize("max_workers", [0, 1, 2])
+    def test_both_passed_rejected_for_any_value(self, max_workers):
+        # the conflict check is on presence, not truthiness: max_workers=0
+        # must not slip past it
+        with pytest.raises(ValueError):
+            resolve_backend(SerialBackend(), max_workers=max_workers)
+        with pytest.raises(ValueError):
+            validate_execution_args(
+                "compiled", backend=SerialBackend(), max_workers=max_workers
+            )
+
+    def test_reference_mode_rejects_max_workers_zero(self):
+        with pytest.raises(ValueError):
+            validate_execution_args("reference", max_workers=0)
+
     def test_validate_accepts_compiled_combinations(self):
         validate_execution_args("compiled", backend=SerialBackend(), max_workers=None)
         validate_execution_args("compiled", backend=None, max_workers=4)
@@ -370,6 +393,101 @@ class TestValidationSymmetry:
             ThreadPoolBackend(max_workers=0)
         with pytest.raises(ValueError):
             SharedMemoryProcessPoolBackend(max_workers=2, chunk_size=0)
+
+
+class TestMaxWorkersShimWarnsOnce:
+    """Every legacy entry point emits exactly one DeprecationWarning."""
+
+    def _deprecations(self, callable_):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings(record=True) as records:
+            _warnings.simplefilter("always")
+            callable_()
+        return [
+            record
+            for record in records
+            if issubclass(record.category, DeprecationWarning)
+        ]
+
+    def test_sliced_executor(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:2]
+        records = self._deprecations(
+            lambda: SlicedExecutor(tn, tree, sliced, max_workers=2).amplitude()
+        )
+        assert len(records) == 1
+
+    def test_tree_executor(self, case):
+        tn, tree, reference = case
+        records = self._deprecations(
+            lambda: TreeExecutor(max_workers=2).amplitude(tn, tree)
+        )
+        assert len(records) == 1
+        with pytest.warns(DeprecationWarning):
+            assert TreeExecutor(max_workers=2).amplitude(tn, tree) == pytest.approx(
+                reference, abs=1e-9
+            )
+
+    def test_contract_tree(self, case):
+        tn, tree, reference = case
+        records = self._deprecations(lambda: contract_tree(tn, tree, max_workers=2))
+        assert len(records) == 1
+        with pytest.warns(DeprecationWarning):
+            value = complex(contract_tree(tn, tree, max_workers=2).require_data())
+        assert value == pytest.approx(reference, abs=1e-9)
+
+    def test_correlated_sampler(self):
+        circ = random_brickwork_circuit(6, 4, seed=21)
+        kwargs = dict(open_qubits=(1, 4), target_rank=4, max_trials=4, seed=2)
+
+        def build_and_compute():
+            # the warning fires at construction, once — not once per batch
+            sampler = CorrelatedSampler(circ, max_workers=2, **kwargs)
+            sampler.compute_batch((1, 0, 0, 1, 0, 1))
+            sampler.compute_batch((0, 1, 1, 0, 1, 0))
+
+        records = self._deprecations(build_and_compute)
+        assert len(records) == 1
+
+
+class TestAutoBatchPick:
+    """``batch_index="auto"`` must pick deterministically, ties included."""
+
+    def test_auto_tie_break_is_lexicographically_largest(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:4]
+        # every index in these circuits has size 2, so the pick is decided
+        # entirely by the documented tie-break
+        sizes = {ix: tn.size_of(ix) for ix in sliced}
+        assert len(set(sizes.values())) == 1
+        executor = SlicedExecutor(tn, tree, sliced, batch_index="auto")
+        assert executor.batch_indices == (max(sliced),)
+
+    def test_auto_pick_stable_across_constructions_and_orders(self, case):
+        tn, tree, _ = case
+        sliced = sorted(tn.inner_indices())[:4]
+        picks = set()
+        for ordering in (sliced, list(reversed(sliced)), sliced[2:] + sliced[:2]):
+            executor = SlicedExecutor(tn, tree, ordering, batch_index="auto")
+            picks.add(executor.batch_indices)
+        assert len(picks) == 1
+
+    def test_auto_prefers_strictly_larger_index(self):
+        # a hand-built triangle network with genuinely distinct index
+        # sizes: the size key must dominate the lexicographic tie-break
+        # (index "a" sorts last, but "j" is the largest)
+        from repro.tensornet import Tensor, TensorNetwork
+
+        rng = np.random.default_rng(5)
+        sizes = {"j": 4, "k": 3, "a": 2}
+        tn = TensorNetwork()
+        tn.add_tensor(Tensor(("j", "k"), data=rng.normal(size=(4, 3)), sizes=sizes))
+        tn.add_tensor(Tensor(("k", "a"), data=rng.normal(size=(3, 2)), sizes=sizes))
+        tn.add_tensor(Tensor(("a", "j"), data=rng.normal(size=(2, 4)), sizes=sizes))
+        tree = GreedyOptimizer(seed=1).tree(tn)
+        executor = SlicedExecutor(tn, tree, {"j", "k", "a"}, batch_index="auto")
+        assert executor.batch_indices == ("j",)
 
 
 class TestSampler:
