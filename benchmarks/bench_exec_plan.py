@@ -33,6 +33,14 @@ call is strictly faster and that the pool/segments were built exactly
 once.  The cold/warm rows are appended to the table file and merged into
 the JSON point.
 
+The serial/threads/process-pool runs double as the calibration source:
+their per-subtask and per-stage wall times (recorded by ``PlanStats``
+during the timed runs) are emitted under the JSON point's
+``"calibration"`` key and round-tripped through
+``CalibratedCostModel.from_bench_json`` before the file is written, so
+every CI run produces (and validates) a real input for the calibrated
+cost model.
+
 Set ``REPRO_BENCH_QUICK=1`` (the CI default) for a smaller workload and a
 single repeat.
 """
@@ -49,6 +57,7 @@ import pytest
 from repro.analysis import format_table
 from repro.circuits import grid_circuit
 from repro.core import LifetimeSliceFinder
+from repro.costs import CalibratedCostModel, calibration_payload
 from repro.execution import (
     SharedMemoryProcessPoolBackend,
     SlicedExecutor,
@@ -213,6 +222,25 @@ def test_exec_plan_speedup(exec_workload, record_result):
         "slot_writes": cached.stats.slot_writes,
         "invariant_contracted_exactly_once": True,
     }
+
+    # per-backend measured timings → the calibrated cost model's input.
+    # The stats of each executor cover its final (best-timed) full run:
+    # one per-subtask sample per subtask, plus per-stage wall times.
+    point["calibration"] = calibration_payload(
+        {
+            "serial": executors["cached"].stats,
+            "threads": executors["threads"].stats,
+            "process-pool": executors["pooled"].stats,
+        },
+        tree,
+        frozenset(sliced),
+    )
+    model = CalibratedCostModel.from_bench_json(point)
+    assert set(model.backends) == {"serial", "threads", "process-pool"}
+    for backend in model.backends:
+        predicted = model.subtask_seconds(tree, frozenset(sliced), backend=backend)
+        assert predicted > 0, backend
+
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_exec_plan.json").write_text(json.dumps(point, indent=2) + "\n")
 

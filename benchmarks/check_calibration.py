@@ -1,0 +1,86 @@
+"""CI gate: the bench JSON feeds the calibrated model end to end.
+
+Run after the quick exec-plan bench::
+
+    PYTHONPATH=src python benchmarks/check_calibration.py \
+        benchmarks/results/BENCH_exec_plan.json
+
+Loads the emitted ``calibration`` section through
+``CalibratedCostModel.from_bench_json``, rebuilds a scheduler and the
+§6.2 projection surface from the fitted per-backend subtask seconds, and
+asserts the projection API round-trips (scheduler time == model
+prediction, headline summary arithmetic self-consistent, scaling sweep
+monotone).  Exits non-zero on any violation, so a regression in the
+measured-timing plumbing fails the CI job rather than silently emitting
+an unusable calibration file.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+from repro.circuits import grid_circuit
+from repro.core import LifetimeSliceFinder
+from repro.costs import CalibratedCostModel
+from repro.execution import HeadlineProjection, ProcessScheduler, strong_scaling
+from repro.paths import HyperOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+
+def main(path: str) -> int:
+    model = CalibratedCostModel.from_bench_json(path)
+    print(f"fitted backends: {sorted(model.backends)}")
+    assert model.backends, "bench JSON carried no calibration backends"
+
+    # a small planning-only workload to project with
+    circuit = grid_circuit(4, 4, cycles=8, seed=3)
+    network = amplitude_network(circuit, [0] * circuit.num_qubits, concrete=False)
+    simplify_network(network)
+    tree = HyperOptimizer(max_trials=4, seed=1).search(network)
+    sliced = LifetimeSliceFinder(max(tree.max_rank() - 4, 4)).find(tree).sliced
+
+    for backend in model.backends:
+        predicted = model.subtask_seconds(tree, sliced, backend=backend)
+        assert predicted > 0, backend
+        scheduler = ProcessScheduler.from_cost_model(
+            model, tree, sliced, backend=backend
+        )
+        assert math.isclose(scheduler.subtask_seconds, predicted, rel_tol=1e-12)
+
+        points = strong_scaling(
+            cost_model=model,
+            tree=tree,
+            sliced=sliced,
+            backend=backend,
+            num_subtasks=4096,
+            node_counts=[16, 32, 64],
+        )
+        elapsed = [p.elapsed_seconds for p in points]
+        assert elapsed == sorted(elapsed, reverse=True), (backend, elapsed)
+
+        projection = HeadlineProjection.from_cost_model(
+            model, tree, sliced, measured_nodes=64, projected_nodes=1024,
+            backend=backend,
+        )
+        summary = projection.summary()
+        assert math.isclose(
+            summary["projected_seconds"],
+            summary["measured_seconds"] * 64 / 1024,
+            rel_tol=1e-12,
+        )
+        assert summary["sustained_pflops"] > 0
+        print(
+            f"  {backend}: subtask={predicted:.3e}s "
+            f"projected={summary['projected_seconds']:.3e}s "
+            f"sustained={summary['sustained_pflops']:.3e} Pflop/s"
+        )
+
+    print("calibration round-trip OK")
+    return 0
+
+
+if __name__ == "__main__":
+    default = Path(__file__).parent / "results" / "BENCH_exec_plan.json"
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else str(default)))

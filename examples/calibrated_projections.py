@@ -1,0 +1,118 @@
+"""Calibrated projections: measure real runs, fit a cost model, project.
+
+The §6.2 projections need a per-subtask time.  Instead of assuming one,
+this example closes the loop from measurement to projection:
+
+1. plan a laptop-scale sliced contraction,
+2. execute every subtask for real on two execution backends (serial and
+   thread pool), letting ``PlanStats`` stamp per-subtask wall times,
+3. fit a ``CalibratedCostModel`` from those measurements (one coefficient
+   set per backend),
+4. compare its predictions against the analytic roofline model and
+   against the measurements themselves,
+5. rebuild the Fig. 11 strong-scaling sweep and the §6.2 headline
+   projection from the *measured* per-backend subtask seconds.
+
+Run with:  python examples/calibrated_projections.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    cost_model_summary,
+    format_kv,
+    format_table,
+    predicted_vs_measured,
+)
+from repro.circuits import grid_circuit
+from repro.core import LifetimeSliceFinder
+from repro.costs import AnalyticCostModel, CalibratedCostModel
+from repro.execution import (
+    HeadlineProjection,
+    SlicedExecutor,
+    ThreadPoolBackend,
+    strong_scaling,
+)
+from repro.paths import HyperOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. plan a small sliced workload
+    circuit = grid_circuit(rows=3, cols=4, cycles=8, seed=7)
+    network = amplitude_network(circuit, [0] * circuit.num_qubits, concrete=True)
+    simplify_network(network)
+    tree = HyperOptimizer(max_trials=8, seed=1).search(network)
+    target = max(tree.max_rank() - 5, 4)
+    slicing = LifetimeSliceFinder(target).find(tree)
+    inner = network.inner_indices()
+    sliced = frozenset(ix for ix in slicing.sliced if ix in inner)
+    print(f"tree: {tree}")
+    print(f"sliced {len(sliced)} indices -> {2 ** len(sliced)} subtasks")
+
+    # ------------------------------------------------------------------
+    # 2. measure: run the same workload on two backends
+    records = []
+    for backend in (None, ThreadPoolBackend(max_workers=2)):
+        executor = SlicedExecutor(network, tree, sliced, backend=backend)
+        executor.run()
+        records.append(executor.calibration_record())
+        stats = executor.stats
+        print(
+            f"measured {records[-1].backend}: "
+            f"{len(stats.subtask_seconds)} subtasks, "
+            f"mean {stats.mean_subtask_seconds:.3e}s, "
+            f"stages {dict((k, round(v, 4)) for k, v in stats.stage_seconds.items())}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. fit the calibrated model (analytic roofline as fallback)
+    analytic = AnalyticCostModel()
+    model = CalibratedCostModel.fit(records, fallback=analytic)
+    print(f"\nfitted: {model}")
+
+    # 4. predictions per backend, and predicted-vs-measured
+    rows = cost_model_summary(model, tree, sliced, backends=list(model.backends))
+    print(format_table(rows, title="\ncalibrated predictions per backend"))
+    executor = SlicedExecutor(network, tree, sliced)
+    executor.run()
+    print(
+        format_kv(
+            predicted_vs_measured(model, executor.stats, tree, sliced, backend="serial"),
+            title="\npredicted vs measured (serial)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 5. self-calibrating §6.2 projections from measured subtask seconds
+    points = strong_scaling(
+        cost_model=model,
+        tree=tree,
+        sliced=sliced,
+        backend="serial",
+        num_subtasks=2 ** len(sliced),
+        node_counts=[1, 2, 4, 8],
+    )
+    print(
+        format_table(
+            [
+                {
+                    "nodes": p.num_nodes,
+                    "elapsed_s": p.elapsed_seconds,
+                    "speedup": p.speedup,
+                    "efficiency": p.efficiency,
+                }
+                for p in points
+            ],
+            title="\nstrong scaling from measured subtask seconds",
+        )
+    )
+    projection = HeadlineProjection.from_cost_model(
+        model, tree, sliced, measured_nodes=4, projected_nodes=64, backend="serial"
+    )
+    print(format_kv(projection.summary(), title="\nheadline projection (calibrated)"))
+
+
+if __name__ == "__main__":
+    main()

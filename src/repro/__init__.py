@@ -18,7 +18,7 @@ Quick start
 1.03
 """
 
-from . import analysis, circuits, core, execution, hardware, paths, tensornet
+from . import analysis, circuits, core, costs, execution, hardware, paths, tensornet
 from .pipeline import SimulationPlan, SimulationPlanner
 
 __version__ = "1.0.0"
@@ -27,6 +27,7 @@ __all__ = [
     "analysis",
     "circuits",
     "core",
+    "costs",
     "execution",
     "hardware",
     "paths",

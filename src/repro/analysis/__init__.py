@@ -1,10 +1,19 @@
 """Analysis and reporting helpers used by the examples and benchmark harness."""
 
-from .complexity import compare_slicers, slicing_summary, stem_summary, tree_summary
+from .complexity import (
+    compare_slicers,
+    cost_model_summary,
+    predicted_vs_measured,
+    slicing_summary,
+    stem_summary,
+    tree_summary,
+)
 from .report import format_kv, format_series, format_table, summarize_distribution
 
 __all__ = [
     "compare_slicers",
+    "cost_model_summary",
+    "predicted_vs_measured",
     "slicing_summary",
     "stem_summary",
     "tree_summary",

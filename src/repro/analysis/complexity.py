@@ -8,17 +8,23 @@ overhead, subtask counts, stem statistics).
 from __future__ import annotations
 
 import math
-from typing import AbstractSet, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, AbstractSet, Dict, List, Optional, Sequence
 
 from ..core.slicing import SlicingCostModel, SlicingResult
 from ..core.stem import Stem, extract_stem, stem_profile
 from ..tensornet.contraction_tree import ContractionTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..costs.model import CostModel
+    from ..execution.plan import PlanStats
 
 __all__ = [
     "tree_summary",
     "slicing_summary",
     "stem_summary",
     "compare_slicers",
+    "cost_model_summary",
+    "predicted_vs_measured",
 ]
 
 
@@ -69,3 +75,64 @@ def compare_slicers(
         row.update(slicing_summary(result))
         rows.append(row)  # type: ignore[arg-type]
     return rows
+
+
+def cost_model_summary(
+    cost_model: "CostModel",
+    tree: ContractionTree,
+    sliced: AbstractSet[str] = frozenset(),
+    backends: Optional[Sequence[str]] = None,
+) -> List[Dict[str, float]]:
+    """Per-backend predicted subtask/total seconds of one workload.
+
+    One row per backend (default: the single default prediction), the
+    tabular form of the unified cost model's view of a tree + slicing
+    pair.
+    """
+    sliced = frozenset(sliced)
+    names: Sequence[Optional[str]] = list(backends) if backends else [None]
+    rows: List[Dict[str, float]] = []
+    for name in names:
+        subtask = cost_model.subtask_seconds(tree, sliced, backend=name)
+        rows.append(
+            {
+                "backend": name or "default",  # type: ignore[dict-item]
+                "subtask_seconds": subtask,
+                "total_seconds": cost_model.total_seconds(tree, sliced, backend=name),
+                "subtask_flops": cost_model.subtask_work_flops(tree, sliced),
+            }
+        )
+    return rows
+
+
+def predicted_vs_measured(
+    cost_model: "CostModel",
+    stats: "PlanStats",
+    tree: ContractionTree,
+    sliced: AbstractSet[str] = frozenset(),
+    backend: Optional[str] = None,
+) -> Dict[str, float]:
+    """Predicted subtask seconds against a run's measured wall times.
+
+    ``ratio`` is measured over predicted — 1.0 means the model nailed it.
+    Raises ``ValueError`` when the stats carry no timing samples, or when
+    they include batched sweeps (one of those samples covers a whole
+    sweep of subtasks, so comparing it to a per-subtask prediction would
+    inflate the ratio by the batch width).
+    """
+    if not stats.subtask_seconds:
+        raise ValueError("stats carry no subtask timings; run the workload first")
+    if getattr(stats, "batched_executions", 0):
+        raise ValueError(
+            "stats include batched sweeps; compare against non-batched runs"
+        )
+    predicted = cost_model.subtask_seconds(tree, frozenset(sliced), backend=backend)
+    measured = stats.mean_subtask_seconds
+    return {
+        "predicted_subtask_seconds": predicted,
+        "measured_subtask_seconds": measured,
+        "measured_samples": float(
+            getattr(stats, "timed_subtasks", 0) or len(stats.subtask_seconds)
+        ),
+        "ratio": measured / predicted if predicted else math.inf,
+    }

@@ -1,0 +1,93 @@
+"""Lifetime-aware selection of the auto batch group.
+
+Keeping a sliced index live as a batch axis (instead of enumerating its
+values) converts ``w(e)`` subtasks into one BLAS-batched sweep — but the
+axis is then carried from its leaves all the way to the root, raising the
+rank of every intermediate on that path by one.  The group selector below
+closes the loop with the slice finder: it admits the largest group of
+sliced indices (by swept subtask count) whose live axes keep every
+intermediate at or under the memory target, using exactly the lifetime
+machinery (:func:`repro.core.lifetime.slice_dependent_nodes`) the slicer
+used to push those ranks down in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Tuple
+
+from ..core.lifetime import slice_dependent_nodes
+from ..tensornet.contraction_tree import ContractionTree
+
+__all__ = ["batched_peak_rank", "select_batch_group"]
+
+
+def _batch_extra_ranks(
+    tree: ContractionTree,
+    sliced: AbstractSet[str],
+    batch: AbstractSet[str],
+) -> Dict[int, int]:
+    """Per-internal-node count of live batch axes under group ``batch``.
+
+    A batch axis is live at every node whose subtree touches a leaf
+    carrying it — the slice-dependent set of that single index — because
+    batched execution carries the axis through to the root instead of
+    summing it out.
+    """
+    extra = {node: 0 for node in tree.internal_nodes()}
+    for ix in batch:
+        for node in slice_dependent_nodes(tree, {ix}):
+            if node in extra:
+                extra[node] += 1
+    return extra
+
+
+def batched_peak_rank(
+    tree: ContractionTree, sliced: AbstractSet[str], batch: AbstractSet[str]
+) -> int:
+    """Peak intermediate rank when ``batch ⊆ sliced`` stays live as batch axes."""
+    sliced = frozenset(sliced)
+    extra = _batch_extra_ranks(tree, sliced, batch)
+    return max(
+        sum(1 for ix in tree.node_indices(node) if ix not in sliced) + extra[node]
+        for node in tree.internal_nodes()
+    )
+
+
+def select_batch_group(
+    tree: ContractionTree,
+    sliced: AbstractSet[str],
+    memory_target_rank: int,
+) -> Tuple[str, ...]:
+    """The largest batch group that keeps intermediates under the target.
+
+    Greedy by swept width: candidates are considered largest dimension
+    first (ties by name, so the choice is deterministic) and admitted when
+    every intermediate their live axis touches stays at or under
+    ``memory_target_rank`` given the axes already admitted.  Intermediates
+    already above the target with *no* batch axes are the base slicing's
+    doing, not the batcher's; they never block admission of an axis that
+    does not touch them.
+
+    Returns the admitted group in admission order (these become the
+    leading batch axes of the result).  An empty tuple means no index can
+    be kept live within the target — callers should fall back to plain
+    enumeration.
+    """
+    sliced = frozenset(sliced)
+    if not sliced:
+        return ()
+    target = int(memory_target_rank)
+    base_rank = {
+        node: sum(1 for ix in tree.node_indices(node) if ix not in sliced)
+        for node in tree.internal_nodes()
+    }
+    live = {ix: slice_dependent_nodes(tree, {ix}) for ix in sliced}
+    extra = {node: 0 for node in base_rank}
+    group = []
+    for ix in sorted(sliced, key=lambda ix: (-tree.index_size(ix), ix)):
+        touched = [node for node in live[ix] if node in base_rank]
+        if all(base_rank[node] + extra[node] + 1 <= target for node in touched):
+            group.append(ix)
+            for node in touched:
+                extra[node] += 1
+    return tuple(group)

@@ -93,8 +93,16 @@ to keep it that way.  Serial and thread backends return a no-op
 backends, and every path stays bit-identical to :class:`SerialBackend`.
 
 ``PlanStats`` instruments both cached and uncached execution with per-node
-step counters (plus slot-write counters) so tests and benchmarks can
-assert how often each contraction actually ran.
+step counters (plus slot-write and branch-write counters) so tests and
+benchmarks can assert how often each contraction actually ran — and with
+per-subtask / per-stage wall times, which are the measured input of the
+calibrated cost model (:mod:`repro.costs`): fit one with
+``SlicedExecutor.calibration_record()`` →
+``CalibratedCostModel.fit(...)``, or from the bench JSON via
+``CalibratedCostModel.from_bench_json``.  Plans compiled with
+``branch_buffers=True`` additionally recycle freed off-stem intermediates
+through the arena's size-bucketed free list (bit-identical values; the
+flag only changes where output buffers come from).
 """
 
 from .backend import (

@@ -46,6 +46,7 @@ performs each slice-invariant contraction exactly once.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import (
     AbstractSet,
@@ -82,6 +83,12 @@ class PlanError(ValueError):
     """Raised when a plan cannot be compiled or is executed inconsistently."""
 
 
+#: In-memory cap on retained per-subtask timing samples.  Aggregates
+#: (sum, count) stay exact beyond it; only the raw sample list is bounded,
+#: so stats stay O(1) per worker chunk and per long-running session.
+MAX_TIMING_SAMPLES = 256
+
+
 @dataclass
 class PlanStats:
     """Execution counters for a :class:`CompiledPlan`.
@@ -99,20 +106,69 @@ class PlanStats:
     slot_writes:
         Number of step outputs written into a reused stem slot instead of a
         freshly allocated buffer.
+    branch_writes:
+        Number of step outputs written into a recycled branch buffer from
+        the size-bucketed free list.
+    subtask_seconds:
+        Wall-time samples of ``execute`` calls (cache warming excluded) —
+        the measured per-subtask samples the calibrated cost model fits.
+        Bounded at :data:`MAX_TIMING_SAMPLES`; ``subtask_seconds_sum`` /
+        ``timed_subtasks`` keep the exact aggregates beyond the cap.
+        Sample order across pool workers is completion order, which is
+        fine: the fit treats them as an unordered sample.
+    subtask_seconds_sum:
+        Exact total of every timed ``execute`` call (uncapped).
+    timed_subtasks:
+        Exact count of timed ``execute`` calls (uncapped).
+    stage_seconds:
+        Accumulated wall time per execution stage (``"warm_cache"``,
+        ``"execute"``).
     """
 
     node_counts: Dict[int, int] = field(default_factory=dict)
     cache_hits: int = 0
     executions: int = 0
+    #: ``execute`` calls of a *batched* plan — each such timing sample
+    #: covers a whole sweep of subtasks, so stats containing any are
+    #: rejected as per-subtask calibration input.
+    batched_executions: int = 0
     slot_writes: int = 0
+    branch_writes: int = 0
+    subtask_seconds: List[float] = field(default_factory=list)
+    subtask_seconds_sum: float = 0.0
+    timed_subtasks: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def record_step(self, node: int) -> None:
         self.node_counts[node] = self.node_counts.get(node, 0) + 1
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_subtask_time(self, seconds: float) -> None:
+        """Record one ``execute`` wall time (sample list bounded)."""
+        self.subtask_seconds_sum += seconds
+        self.timed_subtasks += 1
+        if len(self.subtask_seconds) < MAX_TIMING_SAMPLES:
+            self.subtask_seconds.append(seconds)
 
     @property
     def steps_executed(self) -> int:
         """Total pair contractions performed."""
         return sum(self.node_counts.values())
+
+    @property
+    def mean_subtask_seconds(self) -> float:
+        """Mean measured wall time per ``execute`` call (NaN when unmeasured).
+
+        Exact over every timed call, including those beyond the retained
+        sample cap.
+        """
+        if self.timed_subtasks:
+            return self.subtask_seconds_sum / self.timed_subtasks
+        if self.subtask_seconds:  # hand-built stats without the aggregates
+            return sum(self.subtask_seconds) / len(self.subtask_seconds)
+        return float("nan")
 
     def merge(self, other: "PlanStats") -> None:
         """Fold another stats object into this one (used by worker pools)."""
@@ -120,11 +176,20 @@ class PlanStats:
             self.node_counts[node] = self.node_counts.get(node, 0) + count
         self.cache_hits += other.cache_hits
         self.executions += other.executions
+        self.batched_executions += other.batched_executions
         self.slot_writes += other.slot_writes
+        self.branch_writes += other.branch_writes
+        room = MAX_TIMING_SAMPLES - len(self.subtask_seconds)
+        if room > 0:
+            self.subtask_seconds.extend(other.subtask_seconds[:room])
+        self.subtask_seconds_sum += other.subtask_seconds_sum
+        self.timed_subtasks += other.timed_subtasks
+        for stage, seconds in other.stage_seconds.items():
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
 
 class StemSlots:
-    """Two reusable output buffers for the stem's running tensor.
+    """Reusable output buffers: two stem slots plus a branch free list.
 
     The stem is a chain of contractions in which each intermediate is
     consumed by exactly the next step, so its running tensor only ever
@@ -133,14 +198,30 @@ class StemSlots:
     is *not* thread-safe — every executor thread / pool worker owns its
     own (the backends arrange this).
 
+    Off-stem (*branch*) intermediates do not follow the alternating
+    pattern, but their lifetimes are just as short — each is freed the
+    moment its parent consumes it — so the arena also keeps a
+    size-bucketed free list: :meth:`take_branch` hands out a buffer from
+    the bucket of the next power-of-two size (allocating one only when
+    the bucket is empty) and :meth:`release_branch` returns it when the
+    plan's free schedule retires the intermediate.  Only buffers the
+    arena itself loaned are ever recycled — leaf slices, cache entries
+    and foreign arrays pass through ``release_branch`` untouched — so
+    enabling the free list cannot corrupt caller-owned data.  The branch
+    path is used only by plans compiled with ``branch_buffers=True``.
+
     Buffers are grown (never shrunk) on demand and re-typed when the
     requested dtype changes, so one arena serves plans of any size.
     """
 
-    __slots__ = ("_buffers",)
+    __slots__ = ("_buffers", "_free", "_loans")
 
     def __init__(self) -> None:
         self._buffers: List[Optional[np.ndarray]] = [None, None]
+        # (dtype str, bucket size) -> stack of flat buffers of that size
+        self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
+        # id of the flat buffer backing each outstanding loan
+        self._loans: Dict[int, np.ndarray] = {}
 
     def out_for(
         self, slot: int, shape: Tuple[int, ...], dtype: np.dtype
@@ -154,6 +235,41 @@ class StemSlots:
             buffer = np.empty(max(size, 1), dtype=dtype)
             self._buffers[slot] = buffer
         return buffer[:size].reshape(shape)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket(size: int) -> int:
+        """Free-list bucket: the next power of two at or above ``size``."""
+        return 1 << max(size - 1, 0).bit_length()
+
+    def take_branch(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """A loaned C-contiguous array of ``shape``/``dtype`` from the free list."""
+        size = 1
+        for dim in shape:
+            size *= dim
+        bucket = self._bucket(size)
+        key = (np.dtype(dtype).str, bucket)
+        stack = self._free.get(key)
+        flat = stack.pop() if stack else np.empty(bucket, dtype=dtype)
+        self._loans[id(flat)] = flat
+        return flat[:size].reshape(shape)
+
+    def release_branch(self, array: np.ndarray) -> None:
+        """Return a loaned buffer to its bucket; ignores foreign arrays."""
+        owner = array
+        # walk to the owning ndarray; stop at non-ndarray bases (e.g. the
+        # mmap behind a shared-memory view) — those are foreign by
+        # definition, loans are always backed by plain ndarrays
+        while isinstance(owner.base, np.ndarray):
+            owner = owner.base
+        flat = self._loans.pop(id(owner), None)
+        if flat is not None:
+            self._free.setdefault((flat.dtype.str, flat.size), []).append(flat)
+
+    @property
+    def free_list_bytes(self) -> int:
+        """Total bytes currently parked in the branch free list."""
+        return sum(b.nbytes for stack in self._free.values() for b in stack)
 
     @property
     def allocated_bytes(self) -> int:
@@ -246,8 +362,10 @@ class CompiledPlan:
         out_indices: Tuple[str, ...],
         out_sizes: Dict[str, int],
         root_perm: Optional[Tuple[int, ...]],
+        branch_buffers: bool = False,
     ) -> None:
         self._tree = tree
+        self._branch_buffers = bool(branch_buffers)
         self._enumerated = enumerated
         self._enumerated_sizes: Dict[str, int] = {}
         for ix in enumerated:
@@ -287,6 +405,11 @@ class CompiledPlan:
     def batch_indices(self) -> Tuple[str, ...]:
         """The sliced indices kept as live batch axes, in canonical order."""
         return self._batch_indices
+
+    @property
+    def branch_buffers(self) -> bool:
+        """Whether branch intermediates draw from the arena's free list."""
+        return self._branch_buffers
 
     @property
     def batch_index(self) -> Optional[str]:
@@ -381,6 +504,7 @@ class CompiledPlan:
         index, hence needs no assignment); interior invariant buffers are
         freed as soon as they are consumed and only the frontier survives.
         """
+        start = time.perf_counter()
         live: Dict[int, np.ndarray] = {}
         for ls in self._leaf_steps:
             if ls.node in self._dependent:
@@ -395,6 +519,8 @@ class CompiledPlan:
                     del live[child]
         for node in self._frontier:
             cache[node] = live[node]
+        if stats is not None:
+            stats.record_stage("warm_cache", time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     def execute(
@@ -440,8 +566,12 @@ class CompiledPlan:
                 )
         if stats is not None:
             stats.executions += 1
+            if self._batch_indices:
+                stats.batched_executions += 1
+        release = self._branch_buffers and slots is not None
 
         if cache is None:
+            start = time.perf_counter()
             live: Dict[int, np.ndarray] = {}
             for ls in self._leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
@@ -450,10 +580,13 @@ class CompiledPlan:
                 if stats is not None:
                     stats.record_step(step.node)
                 for child in step.free_full:
+                    if release:
+                        slots.release_branch(live[child])  # type: ignore[union-attr]
                     del live[child]
         else:
             if not self.cache_is_warm(cache):
                 self.warm_cache(network, cache, stats)
+            start = time.perf_counter()
             live = {node: cache[node] for node in self._frontier}
             if stats is not None:
                 stats.cache_hits += len(self._frontier)
@@ -464,7 +597,14 @@ class CompiledPlan:
                 if stats is not None:
                     stats.record_step(step.node)
                 for child in step.free_cached:
+                    if release:
+                        slots.release_branch(live[child])  # type: ignore[union-attr]
                     del live[child]
+
+        if stats is not None:
+            elapsed = time.perf_counter() - start
+            stats.record_subtask_time(elapsed)
+            stats.record_stage("execute", elapsed)
 
         data = live[self._tree.root]
         if cache is not None and self._tree.root in self._frontier:
@@ -496,8 +636,8 @@ class CompiledPlan:
             data = np.asarray(data, dtype=self._dtype)
         return data
 
-    @staticmethod
     def _run_step(
+        self,
         step: ContractStep,
         live: Dict[int, np.ndarray],
         slots: Optional[StemSlots] = None,
@@ -506,16 +646,31 @@ class CompiledPlan:
         a = live[step.lhs]
         b = live[step.rhs]
         use_slot = slots is not None and step.slot is not None
+        # branch steps draw from the arena's size-bucketed free list; the
+        # root is excluded because its buffer is handed to the caller
+        use_branch = (
+            not use_slot
+            and self._branch_buffers
+            and slots is not None
+            and step.kind == "tensordot"
+            and step.td_mkn is not None
+            and step.node != self._tree.root
+        )
         if step.kind == "tensordot":
-            if use_slot:
+            if use_slot or use_branch:
                 # the explicit transpose → reshape → dot sequence below is
                 # exactly what np.tensordot performs, so writing the GEMM
-                # into the slot buffer is bit-identical to the allocating
-                # path
+                # into a slot or free-list buffer is bit-identical to the
+                # allocating path
                 m, k, n = step.td_mkn  # type: ignore[misc]
                 a2 = np.transpose(a, step.td_perm_lhs).reshape(m, k)
                 b2 = np.transpose(b, step.td_perm_rhs).reshape(k, n)
-                out2 = slots.out_for(step.slot, (m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                if use_slot:
+                    out2 = slots.out_for(step.slot, (m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                else:
+                    out2 = slots.take_branch((m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                    if stats is not None:
+                        stats.branch_writes += 1
                 np.dot(a2, b2, out=out2)
                 out = out2.reshape(step.out_shape)
             else:
@@ -558,6 +713,7 @@ def compile_plan(
     batch_index: Optional[str] = None,
     dtype: Optional[np.dtype] = None,
     batch_indices: Optional[Sequence[str]] = None,
+    branch_buffers: bool = False,
 ) -> CompiledPlan:
     """Compile ``tree`` over ``network`` for a fixed slicing set.
 
@@ -585,6 +741,12 @@ def compile_plan(
         Steps where every live batch axis sits on both operands compile to
         one BLAS batched matmul whose leading batch axis has size
         ``prod w(e)``.
+    branch_buffers:
+        Compile the explicit GEMM layout for *every* tensordot step (not
+        just the stem chain) so that off-stem intermediates can be written
+        into recycled buffers from the arena's size-bucketed free list at
+        execution time.  Values are bit-identical either way; the flag
+        only changes where output buffers come from.
     """
     sliced = frozenset(sliced)
     if batch_index is not None and batch_indices is not None:
@@ -680,9 +842,10 @@ def compile_plan(
                 tuple(a_ixs.index(ix) for ix in contracted),
                 tuple(b_ixs.index(ix) for ix in contracted),
             )
-            if node in slot_of:
+            if node in slot_of or branch_buffers:
                 # explicit transpose → reshape → dot layout mirroring
-                # np.tensordot, so the step can write into a stem slot
+                # np.tensordot, so the step can write into a stem slot or
+                # a recycled branch buffer
                 kept_a = [ix for ix in a_ixs if ix in out_set]
                 kept_b = [ix for ix in b_ixs if ix in out_set]
                 kwargs["td_perm_lhs"] = tuple(
@@ -783,5 +946,6 @@ def compile_plan(
         out_indices=out_order_final,
         out_sizes=out_sizes,
         root_perm=root_perm,
+        branch_buffers=branch_buffers,
     )
 

@@ -14,15 +14,28 @@ execution:
 * :class:`HeadlineProjection` reproduces the §6.2 arithmetic: measured time
   on 1024 nodes, projection to 107 520 nodes, sustained Pflop/s, and the
   comparison against the 2021 Gordon Bell baseline.
+
+The scheduler historically assumed a homogeneous, externally supplied
+``subtask_seconds``.  It now also composes with the unified cost model:
+:meth:`ProcessScheduler.from_cost_model` (and the ``cost_model=`` forms of
+the sweep helpers and :meth:`HeadlineProjection.from_cost_model`) derive
+the per-subtask time from a :class:`~repro.costs.CostModel` — when that
+model is a :class:`~repro.costs.CalibratedCostModel` fitted from real
+runs, the §6.2 projections become self-calibrating, per backend, from
+measured data.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..costs.model import CostModel
+    from ..tensornet.contraction_tree import ContractionTree
 
 __all__ = [
     "ProcessScheduler",
@@ -109,6 +122,39 @@ class ProcessScheduler:
         self.reduce_latency_seconds = float(reduce_latency_seconds)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_cost_model(
+        cls,
+        cost_model: "CostModel",
+        tree: "ContractionTree",
+        sliced: AbstractSet[str] = frozenset(),
+        backend: Optional[str] = None,
+        result_bytes: Optional[float] = None,
+        spec: SunwaySpec = SW26010PRO,
+        reduce_latency_seconds: float = 5e-6,
+    ) -> "ProcessScheduler":
+        """A scheduler whose subtask time comes from a cost model.
+
+        ``backend`` names the execution substrate the prediction is for
+        (meaningful on a :class:`~repro.costs.CalibratedCostModel`, which
+        fitted per-backend coefficients from measured subtask seconds);
+        the analytic model ignores it.  ``subtask_flops`` is the model's
+        :meth:`~repro.costs.CostModel.subtask_work_flops` — the flops of
+        the same work the predicted seconds cover, so the derived
+        sustained rates stay consistent (a calibrated model times only
+        the cache-warm dependent portion of a subtask).
+        """
+        sliced = frozenset(sliced)
+        kwargs = {} if result_bytes is None else {"result_bytes": result_bytes}
+        return cls(
+            subtask_seconds=cost_model.subtask_seconds(tree, sliced, backend=backend),
+            subtask_flops=cost_model.subtask_work_flops(tree, sliced),
+            spec=spec,
+            reduce_latency_seconds=reduce_latency_seconds,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
     def subtasks_on_slowest_node(self, num_subtasks: int, num_nodes: int) -> int:
         """Block distribution: the slowest node runs ``ceil(tasks / nodes)``."""
         if num_nodes <= 0:
@@ -144,12 +190,44 @@ class ProcessScheduler:
         return ideal / actual if actual else 0.0
 
 
+def _resolve_scheduler(
+    scheduler: Optional[ProcessScheduler],
+    cost_model: Optional["CostModel"],
+    tree: Optional["ContractionTree"],
+    sliced: AbstractSet[str],
+    backend: Optional[str],
+    spec: SunwaySpec,
+) -> ProcessScheduler:
+    """Either the given scheduler or one built from a cost model."""
+    if scheduler is not None:
+        if cost_model is not None:
+            raise ValueError("pass either scheduler or cost_model=, not both")
+        return scheduler
+    if cost_model is None or tree is None:
+        raise ValueError("without a scheduler, pass cost_model= and tree=")
+    return ProcessScheduler.from_cost_model(
+        cost_model, tree, sliced, backend=backend, spec=spec
+    )
+
+
 def strong_scaling(
-    scheduler: ProcessScheduler,
+    scheduler: Optional[ProcessScheduler] = None,
     num_subtasks: int = 65536,
     node_counts: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
+    *,
+    cost_model: Optional["CostModel"] = None,
+    tree: Optional["ContractionTree"] = None,
+    sliced: AbstractSet[str] = frozenset(),
+    backend: Optional[str] = None,
+    spec: SunwaySpec = SW26010PRO,
 ) -> List[ScalingPoint]:
-    """Strong-scaling sweep (fixed total work) — the left panel of Fig. 11."""
+    """Strong-scaling sweep (fixed total work) — the left panel of Fig. 11.
+
+    Pass either a ready-made ``scheduler`` or ``cost_model=`` plus
+    ``tree=`` (and optionally ``sliced=``/``backend=``) to derive the
+    per-subtask time from the unified cost model.
+    """
+    scheduler = _resolve_scheduler(scheduler, cost_model, tree, sliced, backend, spec)
     if not node_counts:
         raise ValueError("node_counts must not be empty")
     base_nodes = node_counts[0]
@@ -175,11 +253,22 @@ def strong_scaling(
 
 
 def weak_scaling(
-    scheduler: ProcessScheduler,
+    scheduler: Optional[ProcessScheduler] = None,
     subtasks_per_node: int = 16,
     node_counts: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
+    *,
+    cost_model: Optional["CostModel"] = None,
+    tree: Optional["ContractionTree"] = None,
+    sliced: AbstractSet[str] = frozenset(),
+    backend: Optional[str] = None,
+    spec: SunwaySpec = SW26010PRO,
 ) -> List[ScalingPoint]:
-    """Weak-scaling sweep (fixed work per node) — the right panel of Fig. 11."""
+    """Weak-scaling sweep (fixed work per node) — the right panel of Fig. 11.
+
+    Accepts the same ``cost_model=``/``tree=`` alternative to a
+    ready-made scheduler as :func:`strong_scaling`.
+    """
+    scheduler = _resolve_scheduler(scheduler, cost_model, tree, sliced, backend, spec)
     if not node_counts:
         raise ValueError("node_counts must not be empty")
     base_nodes = node_counts[0]
@@ -227,6 +316,40 @@ class HeadlineProjection:
     projected_nodes: int
     total_flops: float
     spec: SunwaySpec = field(default_factory=lambda: SW26010PRO)
+
+    @classmethod
+    def from_cost_model(
+        cls,
+        cost_model: "CostModel",
+        tree: "ContractionTree",
+        sliced: AbstractSet[str] = frozenset(),
+        num_subtasks: Optional[int] = None,
+        measured_nodes: int = 1024,
+        projected_nodes: int = 107_520,
+        backend: Optional[str] = None,
+        spec: SunwaySpec = SW26010PRO,
+    ) -> "HeadlineProjection":
+        """A §6.2 projection whose base point comes from the cost model.
+
+        The "measured" wall time on ``measured_nodes`` is what a
+        :meth:`ProcessScheduler.from_cost_model` scheduler predicts for
+        this workload on ``backend``; with a calibrated model, that is a
+        projection from real per-backend subtask measurements.
+        ``num_subtasks`` defaults to ``prod w(e)`` over ``sliced``.
+        """
+        sliced = frozenset(sliced)
+        scheduler = ProcessScheduler.from_cost_model(
+            cost_model, tree, sliced, backend=backend, spec=spec
+        )
+        if num_subtasks is None:
+            num_subtasks = int(round(tree.num_subtasks(sliced)))
+        return cls(
+            measured_nodes=measured_nodes,
+            measured_seconds=scheduler.elapsed_seconds(num_subtasks, measured_nodes),
+            projected_nodes=projected_nodes,
+            total_flops=scheduler.subtask_flops * num_subtasks,
+            spec=spec,
+        )
 
     @property
     def projected_seconds(self) -> float:

@@ -38,6 +38,7 @@ import itertools
 import math
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     AbstractSet,
     Dict,
     Iterator,
@@ -47,6 +48,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..costs.model import CostModel
 
 import numpy as np
 
@@ -110,9 +114,13 @@ class SlicedExecutor:
         sweeps all ``prod w(e)`` of their value combinations in a single
         batched contraction per remaining assignment (rank permitting: each
         live batch axis raises the intermediate rank by one).  ``"auto"``
-        picks the single largest sliced index.  When batching is enabled
-        the per-subtask (non-batched) plan and its invariant cache are
-        compiled lazily, on first :meth:`run_subtask` or subset
+        picks the single largest sliced index — unless a memory target is
+        known (via ``memory_target_rank=`` or the cost model), in which
+        case the lifetime-aware selector keeps the largest *group* whose
+        live axes keep every intermediate under the target (an empty
+        selection falls back to plain enumeration).  When batching is
+        enabled the per-subtask (non-batched) plan and its invariant cache
+        are compiled lazily, on first :meth:`run_subtask` or subset
         :meth:`run` — pure batched workloads never pay for them.
     max_workers:
         Deprecated shim: ``max_workers=N`` (N > 1) is equivalent to
@@ -124,6 +132,21 @@ class SlicedExecutor:
         ``with executor.session(): ...`` to keep the backend's resident
         state (the process pool and its shared-memory segments) alive
         between them.
+    cost_model:
+        Optional :class:`~repro.costs.CostModel`.  Supplies the memory
+        target for lifetime-aware ``batch_indices="auto"`` group selection
+        and lets :meth:`calibration_record` package this executor's
+        measured timings for :class:`~repro.costs.CalibratedCostModel`.
+        ``None`` keeps every decision bit-identical to the uncalibrated
+        behaviour.
+    memory_target_rank:
+        Explicit memory target for the auto batch group; overrides the
+        cost model's.
+    branch_buffers:
+        Route freed off-stem intermediates through the arena's
+        size-bucketed free list (see
+        :class:`~repro.execution.plan.StemSlots`).  Values are
+        bit-identical with the flag on or off.
     """
 
     def __init__(
@@ -138,6 +161,9 @@ class SlicedExecutor:
         max_workers: Optional[int] = None,
         batch_indices: Union[str, Sequence[str], None] = None,
         backend: Optional[ExecutionBackend] = None,
+        cost_model: Optional["CostModel"] = None,
+        memory_target_rank: Optional[int] = None,
+        branch_buffers: bool = False,
     ) -> None:
         self.network = network
         self.tree = tree
@@ -152,6 +178,11 @@ class SlicedExecutor:
         self._dtype = np.dtype(dtype) if dtype is not None else None
         self._cache_invariant = bool(cache_invariant)
         self._backend = resolve_backend(backend, max_workers) if mode == "compiled" else None
+        self.cost_model = cost_model
+        self._memory_target_rank = (
+            int(memory_target_rank) if memory_target_rank is not None else None
+        )
+        self._branch_buffers = bool(branch_buffers)
 
         self.batch_indices: Tuple[str, ...] = self._normalize_batch(
             batch_index, batch_indices, mode
@@ -196,6 +227,23 @@ class SlicedExecutor:
         if spec == "auto":
             if not self.sliced:
                 return ()
+            target = self._memory_target_rank
+            if target is None and self.cost_model is not None:
+                target = self.cost_model.memory_target_rank
+            if target is not None:
+                # lifetime-aware: the largest group whose live batch axes
+                # keep every intermediate under the memory target; an
+                # empty group means even one live axis busts the target,
+                # so fall back to plain enumeration.  Dispatch through the
+                # model when one is present so subclasses can override the
+                # admission policy.
+                if self.cost_model is not None:
+                    return self.cost_model.select_batch_group(
+                        self.tree, frozenset(self.sliced), target
+                    )
+                from ..costs.batching import select_batch_group
+
+                return select_batch_group(self.tree, frozenset(self.sliced), target)
             return (max(self.sliced, key=lambda ix: (self._sizes[ix], ix)),)
         group: Tuple[str, ...] = (spec,) if isinstance(spec, str) else tuple(spec)
         if len(set(group)) != len(group):
@@ -278,7 +326,11 @@ class SlicedExecutor:
     def _compile_plain_plan(self) -> None:
         """Compile the per-subtask plan and reset its cache."""
         self._plan = compile_plan(
-            self.network, self.tree, frozenset(self.sliced), dtype=self._dtype
+            self.network,
+            self.tree,
+            frozenset(self.sliced),
+            dtype=self._dtype,
+            branch_buffers=self._branch_buffers,
         )
         self._cache = self._plan.new_cache() if self._cache_invariant else None
         self._snapshot_leaves()
@@ -291,6 +343,7 @@ class SlicedExecutor:
             frozenset(self.sliced),
             batch_indices=self.batch_indices,
             dtype=self._dtype,
+            branch_buffers=self._branch_buffers,
         )
         self._batched_cache = (
             self._batched_plan.new_cache() if self._cache_invariant else None
@@ -475,6 +528,28 @@ class SlicedExecutor:
         return complex(data.reshape(()))
 
     # ------------------------------------------------------------------
+    def calibration_record(self, backend_name: Optional[str] = None):
+        """Package this executor's measured timings for model calibration.
+
+        Returns a :class:`~repro.costs.CalibrationRecord` built from the
+        per-subtask wall times accumulated in :attr:`stats`; feed a list
+        of them to :meth:`~repro.costs.CalibratedCostModel.fit`.  Only
+        meaningful for non-batched runs (a batched sweep's ``execute``
+        covers many subtasks at once, so its samples are not per-subtask).
+        """
+        from ..costs.calibration import CalibrationRecord
+
+        if self.batch_indices:
+            raise ValueError(
+                "calibration records require non-batched execution; "
+                "re-run without batch_indices"
+            )
+        if backend_name is None:
+            backend_name = self._backend.name if self._backend is not None else "serial"
+        return CalibrationRecord.from_stats(
+            self.stats, self.tree, frozenset(self.sliced), backend_name
+        )
+
     def subtask_cost_estimate(self) -> float:
         """Planned flops of one subtask (scalar multiply-adds, Eq. 1 with S removed)."""
         return self.tree.contraction_cost(frozenset(self.sliced))

@@ -13,15 +13,25 @@ workflow on top of the methods in this package:
 Each trial's tree is optionally polished by the simulated-annealing refiner,
 and the winner is chosen by total flops, peak intermediate size, or the
 paper-style combined score (flops subject to a memory bound).
+
+When a :class:`~repro.costs.CostModel` is supplied, trees are ranked by
+its predicted seconds (:meth:`~repro.costs.CostModel.tree_cost`) instead
+of raw flop counts, so a model calibrated from measured backend timings
+steers the search toward trees that are fast *on the measured machine*,
+not merely cheap on paper.  Without a model the scoring is bit-identical
+to the historical flop-count behaviour.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..costs.model import CostModel
 
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
@@ -35,24 +45,34 @@ __all__ = ["HyperOptimizer", "TrialRecord", "find_tree"]
 
 @dataclass
 class TrialRecord:
-    """Bookkeeping for a single optimizer trial."""
+    """Bookkeeping for a single optimizer trial.
+
+    ``cost`` is the cost model's predicted seconds for the trial's tree;
+    it is ``None`` when the search ran without a model, in which case
+    scoring falls back to ``log10_flops`` (the historical behaviour).
+    """
 
     method: str
     log10_flops: float
     max_rank: int
     seed: int
+    cost: Optional[float] = None
+
+    def _time_key(self) -> float:
+        """The time-like criterion: predicted seconds, else log10 flops."""
+        return self.cost if self.cost is not None else self.log10_flops
 
     def score(self, minimize: str, memory_target_rank: Optional[int]) -> Tuple[float, ...]:
         """Sort key for trial comparison under the requested objective."""
         if minimize == "flops":
-            return (self.log10_flops, self.max_rank)
+            return (self._time_key(), self.max_rank)
         if minimize == "size":
-            return (self.max_rank, self.log10_flops)
-        # "combo": respect the memory bound first, then flops
+            return (self.max_rank, self._time_key())
+        # "combo": respect the memory bound first, then time/flops
         over = 0.0
         if memory_target_rank is not None:
             over = max(0, self.max_rank - memory_target_rank)
-        return (over, self.log10_flops, self.max_rank)
+        return (over, self._time_key(), self.max_rank)
 
 
 class HyperOptimizer:
@@ -73,6 +93,11 @@ class HyperOptimizer:
         Whether to run the SA tree refiner on each trial's result.
     seed:
         Master seed; per-trial seeds are derived from it.
+    cost_model:
+        Optional :class:`~repro.costs.CostModel`; when given, trials are
+        ranked by its predicted tree seconds instead of raw flop counts.
+        ``None`` keeps the scoring bit-identical to the flop-count
+        behaviour.
     """
 
     def __init__(
@@ -83,6 +108,7 @@ class HyperOptimizer:
         memory_target_rank: Optional[int] = None,
         refine: bool = True,
         seed: Optional[int] = None,
+        cost_model: Optional["CostModel"] = None,
     ) -> None:
         valid = {"greedy", "partition", "community", "dp"}
         unknown = set(methods) - valid
@@ -95,6 +121,7 @@ class HyperOptimizer:
         self.minimize = minimize
         self.memory_target_rank = memory_target_rank
         self.refine = bool(refine)
+        self.cost_model = cost_model
         self._rng = np.random.default_rng(seed)
         self.trials: List[TrialRecord] = []
 
@@ -119,6 +146,11 @@ class HyperOptimizer:
                 log10_flops=tree.log10_total_cost(),
                 max_rank=tree.max_rank(),
                 seed=seed,
+                cost=(
+                    float(self.cost_model.tree_cost(tree))
+                    if self.cost_model is not None
+                    else None
+                ),
             )
             self.trials.append(record)
             key = record.score(self.minimize, self.memory_target_rank)
@@ -169,12 +201,16 @@ class HyperOptimizer:
         """Per-method aggregate statistics of the last search."""
         summary: Dict[str, Dict[str, float]] = {}
         for method in set(r.method for r in self.trials):
-            costs = [r.log10_flops for r in self.trials if r.method == method]
+            records = [r for r in self.trials if r.method == method]
+            costs = [r.log10_flops for r in records]
             summary[method] = {
                 "trials": float(len(costs)),
                 "best_log10_flops": min(costs),
                 "mean_log10_flops": float(np.mean(costs)),
             }
+            predicted = [r.cost for r in records if r.cost is not None]
+            if predicted:
+                summary[method]["best_predicted_seconds"] = min(predicted)
         return summary
 
 
@@ -184,6 +220,7 @@ def find_tree(
     minimize: str = "flops",
     memory_target_rank: Optional[int] = None,
     seed: Optional[int] = None,
+    cost_model: Optional["CostModel"] = None,
 ) -> ContractionTree:
     """One-shot helper: run a :class:`HyperOptimizer` search and return the tree."""
     optimizer = HyperOptimizer(
@@ -191,5 +228,6 @@ def find_tree(
         minimize=minimize,
         memory_target_rank=memory_target_rank,
         seed=seed,
+        cost_model=cost_model,
     )
     return optimizer.search(network)

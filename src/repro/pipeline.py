@@ -32,8 +32,10 @@ from .core.slice_finder import LifetimeSliceFinder
 from .core.slice_refiner import SimulatedAnnealingSliceRefiner
 from .core.slicing import SlicingCostModel, SlicingResult
 from .core.stem import Stem, extract_stem
+from .costs.model import CostModel
 from .execution.backend import ExecutionBackend
 from .execution.fused import ThreadLevelSimulator, ThreadTiming
+from .execution.plan import PlanStats
 from .execution.scaling import HeadlineProjection, ProcessScheduler
 from .execution.sliced import SlicedExecutor
 from .hardware.memory import MemoryHierarchy, sunway_hierarchy
@@ -70,6 +72,14 @@ class SimulationPlan:
     scalar_prefactor:
         Scalar factor pulled out by the simplifier (multiply the contraction
         value by it).
+    cost_model:
+        The planner's :class:`~repro.costs.CostModel`, when one was
+        supplied; :meth:`scheduler` and the summary's predicted-cost keys
+        derive from it.
+    measured_stats:
+        Execution counters and wall timings of the last
+        :meth:`SimulationPlanner.execute_plan` run of this plan (``None``
+        until the plan is executed numerically).
     """
 
     network: TensorNetwork
@@ -80,6 +90,8 @@ class SimulationPlan:
     timings: Dict[str, ThreadTiming]
     subtask_seconds: float
     scalar_prefactor: complex = 1.0 + 0.0j
+    cost_model: Optional[CostModel] = None
+    measured_stats: Optional[PlanStats] = None
 
     @property
     def num_subtasks(self) -> float:
@@ -91,20 +103,68 @@ class SimulationPlan:
         """Total useful flops of the sliced contraction (all subtasks)."""
         return 8.0 * self.tree.total_cost(self.slicing.sliced)
 
+    def predicted_subtask_seconds(self, backend: Optional[str] = None) -> float:
+        """The cost model's per-subtask prediction for this plan's slicing."""
+        if self.cost_model is None:
+            raise ValueError("this plan was made without a cost model")
+        return self.cost_model.subtask_seconds(
+            self.tree, self.slicing.sliced, backend=backend
+        )
+
     def scheduler(
-        self, spec: SunwaySpec = SW26010PRO, result_bytes: Optional[float] = None
+        self,
+        spec: SunwaySpec = SW26010PRO,
+        result_bytes: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> ProcessScheduler:
-        """A process-level scheduler parameterised by this plan."""
-        subtask_flops = self.total_flops / max(self.num_subtasks, 1.0)
+        """A process-level scheduler parameterised by this plan.
+
+        With a cost model attached, the per-subtask time comes from the
+        model (per ``backend`` when the model is calibrated); otherwise
+        from the thread-level simulator's fused-schedule estimate.
+        """
         kwargs = {}
         if result_bytes is not None:
             kwargs["result_bytes"] = result_bytes
+        if self.cost_model is not None:
+            return ProcessScheduler.from_cost_model(
+                self.cost_model,
+                self.tree,
+                self.slicing.sliced,
+                backend=backend,
+                spec=spec,
+                **kwargs,
+            )
+        subtask_flops = self.total_flops / max(self.num_subtasks, 1.0)
         return ProcessScheduler(
             subtask_seconds=self.subtask_seconds,
             subtask_flops=subtask_flops,
             spec=spec,
             **kwargs,
         )
+
+    def stage_costs(self, backend: Optional[str] = None) -> List[Dict[str, float]]:
+        """Predicted-vs-measured cost rows, one per execution stage.
+
+        ``predicted_seconds`` comes from the cost model (per-subtask
+        prediction for the ``"execute"`` stage), ``measured_seconds`` from
+        the wall timings of the last numerical execution.  Either column
+        is omitted when its source is missing.
+        """
+        rows: List[Dict[str, float]] = []
+        measured = self.measured_stats
+        for stage in ("warm_cache", "execute"):
+            row: Dict[str, float] = {"stage": stage}  # type: ignore[dict-item]
+            if self.cost_model is not None and stage == "execute":
+                row["predicted_subtask_seconds"] = self.predicted_subtask_seconds(
+                    backend
+                )
+            if measured is not None and stage in measured.stage_seconds:
+                row["measured_seconds"] = measured.stage_seconds[stage]
+                if stage == "execute" and measured.subtask_seconds:
+                    row["measured_subtask_seconds"] = measured.mean_subtask_seconds
+            rows.append(row)
+        return rows
 
     def estimated_seconds(self, num_nodes: int, spec: SunwaySpec = SW26010PRO) -> float:
         """Modelled wall time of the whole contraction on ``num_nodes`` nodes."""
@@ -126,10 +186,15 @@ class SimulationPlan:
         )
 
     def summary(self) -> Dict[str, float]:
-        """Headline planning metrics as a flat dict."""
+        """Headline planning metrics as a flat dict.
+
+        Predicted-vs-measured keys appear only when their source exists
+        (a cost model / an executed plan), so plans made without either
+        keep the historical key set.
+        """
         fused = self.timings["fused"]
         step = self.timings["step-by-step"]
-        return {
+        summary = {
             "num_tensors": float(self.network.num_tensors),
             "log10_total_cost": self.tree.log10_total_cost(self.slicing.sliced),
             "max_rank": float(self.slicing.max_rank),
@@ -145,6 +210,13 @@ class SimulationPlan:
             if fused.total_seconds
             else math.inf,
         }
+        if self.cost_model is not None:
+            summary["predicted_subtask_seconds"] = self.predicted_subtask_seconds()
+        if self.measured_stats is not None and self.measured_stats.subtask_seconds:
+            summary["measured_subtask_seconds"] = (
+                self.measured_stats.mean_subtask_seconds
+            )
+        return summary
 
 
 class SimulationPlanner:
@@ -174,6 +246,13 @@ class SimulationPlanner:
         process pool of a
         :class:`~repro.execution.backend.SharedMemoryProcessPoolBackend` —
         alive across executions.
+    cost_model:
+        Optional :class:`~repro.costs.CostModel` threaded through every
+        planning stage: the tree search ranks candidates by its predicted
+        seconds, :meth:`SimulationPlan.scheduler` derives the §6.2
+        projections from it, and :meth:`SimulationPlan.summary` reports
+        predicted-vs-measured cost.  ``None`` keeps every stage
+        bit-identical to the uncalibrated behaviour.
     """
 
     def __init__(
@@ -185,6 +264,7 @@ class SimulationPlanner:
         spec: SunwaySpec = SW26010PRO,
         seed: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.spec = spec
         self.hierarchy: MemoryHierarchy = sunway_hierarchy(spec)
@@ -196,6 +276,7 @@ class SimulationPlanner:
         self.refine_slices = bool(refine_slices)
         self.seed = seed
         self.backend = backend
+        self.cost_model = cost_model
 
     # ------------------------------------------------------------------
     def session(self):
@@ -244,6 +325,7 @@ class SimulationPlanner:
             minimize="combo",
             memory_target_rank=self.target_rank,
             seed=self.seed,
+            cost_model=self.cost_model,
         )
         tree = optimizer.search(network)
         return self.plan_tree(network, tree, scalar_prefactor=scalar_prefactor)
@@ -289,6 +371,7 @@ class SimulationPlanner:
             timings=timings,
             subtask_seconds=subtask_seconds,
             scalar_prefactor=scalar_prefactor,
+            cost_model=self.cost_model,
         )
 
     # ------------------------------------------------------------------
@@ -300,11 +383,17 @@ class SimulationPlanner:
         Runs every slicing subtask through ``backend`` (defaulting to the
         planner's backend, then serial) and accumulates the results;
         returns the amplitude including the simplifier's scalar prefactor.
+        The run's counters and wall timings land on
+        ``plan.measured_stats``, feeding the predicted-vs-measured stage
+        report and :class:`~repro.costs.CalibratedCostModel` calibration.
         """
         executor = SlicedExecutor(
             plan.network,
             plan.tree,
             plan.slicing.sliced,
             backend=backend if backend is not None else self.backend,
+            cost_model=self.cost_model,
         )
-        return executor.amplitude() * plan.scalar_prefactor
+        amplitude = executor.amplitude() * plan.scalar_prefactor
+        plan.measured_stats = executor.stats
+        return amplitude

@@ -351,12 +351,16 @@ class ContractionTree:
             2.0 ** self.node_log2_flops(node, sliced) for node in self.internal_nodes()
         )
 
-    def total_cost(self, sliced: AbstractSet[str] = frozenset()) -> float:
-        """Total cost over all ``prod w(e), e in S`` subtasks (Eq. 4)."""
+    def num_subtasks(self, sliced: AbstractSet[str] = frozenset()) -> float:
+        """``prod_{e in S} w(e)`` — independent subtasks under ``sliced``."""
         multiplier = 1.0
         for ix in sliced:
             multiplier *= self.index_size(ix)
-        return multiplier * self.contraction_cost(sliced)
+        return multiplier
+
+    def total_cost(self, sliced: AbstractSet[str] = frozenset()) -> float:
+        """Total cost over all ``prod w(e), e in S`` subtasks (Eq. 4)."""
+        return self.num_subtasks(sliced) * self.contraction_cost(sliced)
 
     def log10_total_cost(self, sliced: AbstractSet[str] = frozenset()) -> float:
         """``log10`` of :meth:`total_cost` (the unit used in the paper's plots)."""

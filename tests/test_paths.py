@@ -166,3 +166,38 @@ class TestHyperOptimizer:
         assert summary
         for stats in summary.values():
             assert stats["best_log10_flops"] <= stats["mean_log10_flops"] + 1e-9
+
+    def test_fixed_seed_is_deterministic(self, grid_network):
+        first = HyperOptimizer(max_trials=8, seed=42)
+        first_tree = first.search(grid_network)
+        second = HyperOptimizer(max_trials=8, seed=42)
+        second_tree = second.search(grid_network)
+        assert [
+            (r.method, r.log10_flops, r.max_rank, r.seed) for r in first.trials
+        ] == [(r.method, r.log10_flops, r.max_rank, r.seed) for r in second.trials]
+        assert first_tree.log10_total_cost() == second_tree.log10_total_cost()
+        assert first_tree.max_rank() == second_tree.max_rank()
+        # a different seed explores different trials
+        other = HyperOptimizer(max_trials=8, seed=43)
+        other.search(grid_network)
+        assert [r.seed for r in other.trials] != [r.seed for r in first.trials]
+
+    @pytest.mark.parametrize("minimize", ["flops", "size", "combo"])
+    def test_trial_summary_consistent_with_best_record(self, grid_network, minimize):
+        opt = HyperOptimizer(
+            max_trials=8, minimize=minimize, memory_target_rank=30, seed=7
+        )
+        opt.search(grid_network)
+        best = opt.best_record()
+        assert best is not None
+        # the winner carries the minimal score over all recorded trials
+        scores = [r.score(minimize, opt.memory_target_rank) for r in opt.trials]
+        assert best.score(minimize, opt.memory_target_rank) == min(scores)
+        # per-method summary agrees with the raw records, and the global
+        # best flops is attained within the winning method's bucket
+        summary = opt.trial_summary()
+        for method, stats in summary.items():
+            method_costs = [r.log10_flops for r in opt.trials if r.method == method]
+            assert stats["trials"] == float(len(method_costs))
+            assert stats["best_log10_flops"] == min(method_costs)
+        assert summary[best.method]["best_log10_flops"] <= best.log10_flops + 1e-12

@@ -272,6 +272,73 @@ class TestStemSlots:
         assert executor.stats.slot_writes > 0
 
 
+class TestBranchFreeList:
+    def test_bucket_is_next_power_of_two(self):
+        from repro.execution import StemSlots
+
+        assert StemSlots._bucket(1) == 1
+        assert StemSlots._bucket(5) == 8
+        assert StemSlots._bucket(8) == 8
+
+    def test_take_release_recycles_the_same_buffer(self):
+        from repro.execution import StemSlots
+
+        slots = StemSlots()
+        loaned = slots.take_branch((2, 3), np.dtype(np.complex64))
+        owner = loaned
+        while owner.base is not None:
+            owner = owner.base
+        # release through a *different* view of the loan — the free list
+        # must still find the owning buffer
+        slots.release_branch(loaned.reshape(6))
+        assert slots.free_list_bytes == owner.nbytes
+        again = slots.take_branch((3, 2), np.dtype(np.complex64))  # same bucket
+        owner_again = again
+        while owner_again.base is not None:
+            owner_again = owner_again.base
+        assert owner_again is owner
+        assert slots.free_list_bytes == 0
+
+    def test_foreign_arrays_pass_through_release(self):
+        from repro.execution import StemSlots
+
+        slots = StemSlots()
+        foreign = np.zeros(4)
+        slots.release_branch(foreign)  # no-op, never recycled
+        assert slots.free_list_bytes == 0
+
+    def test_branch_path_bit_identical_to_allocating_path(self, case):
+        tn, tree, reference = case
+        sliced = sorted(tn.inner_indices())[:3]
+        baseline = SlicedExecutor(tn, tree, sliced, cache_invariant=False)
+        expected = baseline.run().require_data().copy()
+        flagged = SlicedExecutor(
+            tn, tree, sliced, cache_invariant=False, branch_buffers=True
+        )
+        np.testing.assert_array_equal(flagged.run().require_data(), expected)
+        assert baseline.stats.branch_writes == 0
+        assert flagged.stats.branch_writes > 0
+        # every subtask recycles the same branch buffers
+        assert flagged.stats.branch_writes % flagged.stats.executions == 0
+
+    def test_recycled_buffers_do_not_corrupt_results(self, case):
+        tn, tree, _ = case
+        from repro.execution import StemSlots
+
+        plan = compile_plan(
+            tn, tree, frozenset(sorted(tn.inner_indices())[:2]), branch_buffers=True
+        )
+        slots = StemSlots()
+        assignment = {ix: 0 for ix in plan.sliced}
+        first = plan.execute(tn, assignment, slots=slots).require_data().copy()
+        # interleave a different assignment so every branch buffer is
+        # recycled with other contents, then re-check determinism
+        other = {ix: 1 if tn.size_of(ix) > 1 else 0 for ix in plan.sliced}
+        plan.execute(tn, other, slots=slots)
+        again = plan.execute(tn, assignment, slots=slots).require_data()
+        np.testing.assert_array_equal(first, again)
+
+
 class TestHyperIndexKernel:
     def test_kept_shared_hyper_index_uses_einsum_kernel(self):
         # three tensors share index "h" (a copy-tensor style hyper edge):
