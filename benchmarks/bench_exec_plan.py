@@ -52,6 +52,7 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.analysis import format_table
@@ -80,6 +81,10 @@ EXEC_RANK_DROP = int(os.environ.get("REPRO_BENCH_EXEC_RANK_DROP", "5" if QUICK e
 EXEC_REPEATS = int(os.environ.get("REPRO_BENCH_EXEC_REPEATS", "1" if QUICK else "3"))
 EXEC_WORKERS = int(os.environ.get("REPRO_BENCH_EXEC_WORKERS", str(min(4, os.cpu_count() or 1))))
 EXEC_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_EXEC_MIN_SPEEDUP", "2.0" if QUICK else "5.0"))
+#: Interleaved best-of-N repeats of the steady-state fused-vs-stepwise pair.
+FUSED_REPEATS = int(os.environ.get("REPRO_BENCH_FUSED_REPEATS", "9"))
+#: The fused regression guard: steady-state fused must beat stepwise by this.
+FUSED_MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_FUSED_MIN_SPEEDUP", "1.0"))
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +127,7 @@ def test_exec_plan_speedup(exec_workload, record_result):
         "reference": lambda: SlicedExecutor(network, tree, sliced, mode="reference"),
         "compiled": lambda: SlicedExecutor(network, tree, sliced, cache_invariant=False),
         "cached": lambda: SlicedExecutor(network, tree, sliced),
+        "fused": lambda: SlicedExecutor(network, tree, sliced, fused=True),
         "batched": lambda: SlicedExecutor(network, tree, sliced, batch_index="auto"),
         "threads": lambda: SlicedExecutor(
             network, tree, sliced, backend=ThreadPoolBackend(max_workers=EXEC_WORKERS)
@@ -147,6 +153,9 @@ def test_exec_plan_speedup(exec_workload, record_result):
     # every backend follows the ordered-accumulation contract
     assert values["threads"] == values["cached"]
     assert values["pooled"] == values["cached"]
+    # fused execution is bit-identical to the step-by-step path
+    assert values["fused"] == values["cached"]
+    assert executors["fused"].stats.fused_steps > 0, "fusion must engage"
 
     num_subtasks = executors["reference"].num_subtasks
     assert num_subtasks >= 16, "workload must have at least 16 subtasks"
@@ -223,9 +232,74 @@ def test_exec_plan_speedup(exec_workload, record_result):
         "invariant_contracted_exactly_once": True,
     }
 
+    # steady-state fused-vs-stepwise: the amortized regime of the paper —
+    # one compiled plan serves every subtask sweep, so compile cost is out
+    # of the picture and the fused kernels' per-step savings are what is
+    # measured.  Interleaved best-of-N so machine drift hits both sides
+    # equally; this ratio is what the CI regression guard gates.
+    stepwise_executor = executors["cached"]
+    fused_executor = executors["fused"]
+
+    def measure_steady(repeats):
+        best = {"stepwise": float("inf"), "fused": float("inf")}
+        for _ in range(repeats):
+            for name, executor in (
+                ("stepwise", stepwise_executor),
+                ("fused", fused_executor),
+            ):
+                start = time.perf_counter()
+                executor.run()
+                best[name] = min(best[name], time.perf_counter() - start)
+        return best
+
+    steady = measure_steady(FUSED_REPEATS)
+    if steady["stepwise"] / steady["fused"] <= FUSED_MIN_SPEEDUP:
+        # a noise spike can dent one interleaved best-of-N pass; give the
+        # guard one deeper re-measurement before declaring a regression
+        steady = measure_steady(2 * FUSED_REPEATS)
+    fused_vs_stepwise = steady["stepwise"] / steady["fused"]
+    fused_plan = fused_executor.plan
+    fused_runs = fused_plan.fused_runs_cached or fused_plan.fused_runs
+    point["fused"] = {
+        "build_included_seconds": seconds["fused"],
+        "steady_state_stepwise_seconds": steady["stepwise"],
+        "steady_state_fused_seconds": steady["fused"],
+        "fused_vs_stepwise": fused_vs_stepwise,
+        "min_speedup": FUSED_MIN_SPEEDUP,
+        "runs": [
+            {
+                "steps": run.num_steps,
+                "kept_rank": run.kept_rank,
+                "gathers_skipped": run.gathers_skipped,
+            }
+            for run in fused_runs
+        ],
+        "fused_kernel_seconds": fused_executor.stats.stage_seconds.get(
+            "fused_kernel", 0.0
+        ),
+        "bit_identical": True,
+    }
+    fused_rows = [
+        {"schedule": "stepwise (steady state)", "seconds": steady["stepwise"]},
+        {"schedule": "fused (steady state)", "seconds": steady["fused"]},
+        {"schedule": "fused-vs-stepwise speedup", "seconds": fused_vs_stepwise},
+    ]
+    record_result(
+        "exec_plan_fused",
+        format_table(
+            fused_rows,
+            title=(
+                f"EXEC_FUSED: §5 fused sub-paths vs step-by-step, "
+                f"{sum(r.num_steps for r in fused_runs)} fused GEMMs/subtask "
+                "(paper: no per-step main-memory round-trip)"
+            ),
+            precision=4,
+        ),
+    )
     # per-backend measured timings → the calibrated cost model's input.
-    # The stats of each executor cover its final (best-timed) full run:
-    # one per-subtask sample per subtask, plus per-stage wall times.
+    # The stats of each executor cover its best-timed full run plus the
+    # steady-state sweeps above — all cache-warm per-subtask samples of
+    # the same workload, plus per-stage wall times.
     point["calibration"] = calibration_payload(
         {
             "serial": executors["cached"].stats,
@@ -243,6 +317,13 @@ def test_exec_plan_speedup(exec_workload, record_result):
 
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_exec_plan.json").write_text(json.dumps(point, indent=2) + "\n")
+
+    # gate last, *after* the JSON landed: a noise flake then fails with
+    # the real message and the measured data intact for the CI guards
+    assert fused_vs_stepwise > FUSED_MIN_SPEEDUP, (
+        f"fused execution is {fused_vs_stepwise:.3f}x the step-by-step path "
+        f"(regression guard requires > {FUSED_MIN_SPEEDUP})"
+    )
 
 
 def test_exec_session_reuse(exec_workload, record_result):
@@ -304,6 +385,98 @@ def test_exec_session_reuse(exec_workload, record_result):
         "cold_over_warm": cold_seconds / warm_seconds,
         "pool_launches": 1,
         "publications": 1,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    results_path.write_text(json.dumps(point, indent=2) + "\n")
+
+#: Multi-workload calibration sweep sizes: (rows, cols, cycles, rank drop).
+#: Distinct sizes give distinct (flops, steps) regressor rows, which is
+#: what makes the two-term fit's per-step overhead coefficient
+#: identifiable (a single workload degenerates to a pure throughput fit).
+SWEEP_WORKLOADS = (
+    [(3, 3, 6, 4), (3, 4, 6, 4), (4, 4, 8, 5)]
+    if QUICK
+    else [(3, 4, 8, 4), (4, 4, 10, 5), (4, 5, 10, 5)]
+)
+
+
+def test_calibration_sweep(record_result):
+    """Fit the calibrated model across several workload sizes.
+
+    One workload makes the ``seconds ≈ a·flops + b·steps`` regressors
+    collinear, so the per-step overhead term degenerates; this sweep
+    times every size in ``SWEEP_WORKLOADS`` on the serial backend, checks
+    the fit sees distinct regressor rows, and lands the fitted
+    coefficients in ``BENCH_exec_plan.json["calibration_sweep"]``.
+    """
+    from repro.costs import CalibratedCostModel
+
+    records = []
+    workload_rows = []
+    for rows, cols, cycles, rank_drop in SWEEP_WORKLOADS:
+        circuit = grid_circuit(rows, cols, cycles=cycles, seed=EXEC_SEED)
+        network = amplitude_network(
+            circuit, [0] * circuit.num_qubits, concrete=True
+        )
+        simplify_network(network)
+        tree = HyperOptimizer(max_trials=4, seed=1).search(network)
+        target = max(tree.max_rank() - rank_drop, 4)
+        slicing = LifetimeSliceFinder(target).find(tree)
+        inner = network.inner_indices()
+        sliced = tuple(ix for ix in slicing.sliced if ix in inner)
+        executor = SlicedExecutor(network, tree, sliced)
+        start = time.perf_counter()
+        executor.run()
+        elapsed = time.perf_counter() - start
+        record = executor.calibration_record()
+        records.append(record)
+        workload_rows.append(
+            {
+                "workload": f"{rows}x{cols} m={cycles}",
+                "subtasks": executor.num_subtasks,
+                "log2_flops": float(np.log2(record.subtask_flops)),
+                "steps": record.num_steps,
+                "seconds": elapsed,
+            }
+        )
+
+    # distinct regressor rows -> the least-squares branch (not the
+    # degenerate through-origin throughput fallback) fits the sweep
+    regressors = {(record.subtask_flops, record.num_steps) for record in records}
+    assert len(regressors) >= 2, "sweep workloads must differ in flops/steps"
+
+    model = CalibratedCostModel.fit(records)
+    fitted = model.coefficients["serial"]
+    assert fitted.seconds_per_flop >= 0
+    assert fitted.seconds_per_step >= 0
+    assert fitted.seconds_per_flop > 0 or fitted.seconds_per_step > 0
+    for record in records:
+        predicted = fitted.predict(record.subtask_flops, record.num_steps)
+        assert predicted > 0
+
+    record_result(
+        "exec_plan_calibration_sweep",
+        format_table(
+            workload_rows,
+            title=(
+                "EXEC_CALIBRATION_SWEEP: serial backend across "
+                f"{len(SWEEP_WORKLOADS)} workload sizes "
+                "(two-term fit: both coefficients identifiable)"
+            ),
+            precision=4,
+        ),
+    )
+
+    results_path = RESULTS_DIR / "BENCH_exec_plan.json"
+    point = json.loads(results_path.read_text()) if results_path.exists() else {}
+    point["calibration_sweep"] = {
+        "workloads": workload_rows,
+        "distinct_regressors": len(regressors),
+        "serial": {
+            "seconds_per_flop": fitted.seconds_per_flop,
+            "seconds_per_step": fitted.seconds_per_step,
+            "samples": fitted.samples,
+        },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     results_path.write_text(json.dumps(point, indent=2) + "\n")

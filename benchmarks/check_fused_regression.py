@@ -1,0 +1,78 @@
+"""CI gate: fused execution must not lose to the step-by-step path.
+
+Run after the quick exec-plan bench::
+
+    PYTHONPATH=src python benchmarks/check_fused_regression.py \
+        benchmarks/results/BENCH_exec_plan.json
+
+Validates the ``fused`` section the bench emitted: the steady-state
+fused-vs-stepwise speedup (interleaved best-of-N on the branch-heavy
+quick workload) must exceed the guard threshold, the run must have been
+bit-identical to the step-by-step path, and fusion must actually have
+engaged (at least one multi-step fused run).  Exits non-zero on any
+violation, so a regression that makes the fused executor slower — or
+silently disables it — fails the CI job instead of shipping.  Checks
+raise explicitly (no ``assert``), so the gate also holds under
+``python -O``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+class RegressionError(RuntimeError):
+    """A fused-execution regression (or a silently disabled fused path)."""
+
+
+def _threshold(fused: dict) -> float:
+    """The guard threshold: the one the bench recorded, env-overridable.
+
+    The bench stamps its ``REPRO_BENCH_FUSED_MIN_SPEEDUP`` into
+    ``fused["min_speedup"]``, so a standalone checker run enforces the
+    same contract the bench measured against; setting the env var here
+    explicitly overrides it.
+    """
+    override = os.environ.get("REPRO_BENCH_FUSED_MIN_SPEEDUP")
+    if override is not None:
+        return float(override)
+    return float(fused.get("min_speedup", 1.0))
+
+
+def main(path: str) -> int:
+    point = json.loads(Path(path).read_text())
+    fused = point.get("fused")
+    if not fused:
+        raise RegressionError(
+            "bench JSON has no 'fused' section; the fused row did not run"
+        )
+    min_speedup = _threshold(fused)
+    speedup = float(fused["fused_vs_stepwise"])
+    stepwise = float(fused["steady_state_stepwise_seconds"])
+    fused_seconds = float(fused["steady_state_fused_seconds"])
+    print(
+        f"steady state: stepwise {stepwise * 1000:.2f} ms, "
+        f"fused {fused_seconds * 1000:.2f} ms -> {speedup:.3f}x "
+        f"(guard: > {min_speedup})"
+    )
+
+    if fused.get("bit_identical") is not True:
+        raise RegressionError("fused run was not bit-identical")
+    runs = fused.get("runs", [])
+    if not runs:
+        raise RegressionError("fusion pass produced no runs on the quick workload")
+    if any(run["steps"] < 2 for run in runs):
+        raise RegressionError("a fused run shorter than 2 steps was emitted")
+    if speedup <= min_speedup:
+        raise RegressionError(
+            f"fused execution regressed: {speedup:.3f}x <= {min_speedup} "
+            "vs the step-by-step path on the branch-heavy quick workload"
+        )
+    print("fused regression guard OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results/BENCH_exec_plan.json"))

@@ -17,7 +17,10 @@ position, so the map is periodic in those blocks and only ``N / 2^m``
 entries need to be stored; the remaining addresses follow from the
 recursion ``map[i + k] = map[i] + k * offset`` for ``k < stride``.
 :class:`ReducedPermutationMap` implements exactly that reduction and is
-verified against ``numpy.transpose`` in the tests.
+verified against ``numpy.transpose`` in the tests.  The real fused
+executor (:mod:`repro.execution.fusion`) consumes these specs at plan
+compile time: identity permutations compile to reshape views and every
+other one to a reduced-map gather into reusable scratch.
 """
 
 from __future__ import annotations
@@ -114,6 +117,27 @@ def _source_strides(shape: Sequence[int]) -> List[int]:
     return strides
 
 
+def _source_index_table(spec: PermutationSpec) -> np.ndarray:
+    """The full target→source address map, built axis-wise (vectorised).
+
+    Identical values to iterating :meth:`InSituPermutation.source_index`
+    over every target address, but the mixed-radix decomposition runs as
+    ``O(rank)`` whole-array operations instead of ``O(N · rank)`` Python
+    steps — the map build this way is cheap enough to run inside plan
+    compilation (the fused executor builds one reduced map per non-identity
+    operand permutation).
+    """
+    source_strides = _source_strides(spec.shape)
+    target_shape = spec.target_shape
+    remaining = np.arange(spec.size, dtype=np.int64)
+    source = np.zeros(spec.size, dtype=np.int64)
+    for pos in range(spec.ndim - 1, -1, -1):
+        extent = target_shape[pos]
+        source += (remaining % extent) * source_strides[spec.perm[pos]]
+        remaining //= extent
+    return source
+
+
 class InSituPermutation:
     """Address computation on the fly: O(1) space, O(rank) work per element."""
 
@@ -152,12 +176,7 @@ class PrecalculatedPermutation:
 
     def __init__(self, spec: PermutationSpec) -> None:
         self.spec = spec
-        in_situ = InSituPermutation(spec)
-        self._map = np.fromiter(
-            (in_situ.source_index(t) for t in range(spec.size)),
-            dtype=np.int64,
-            count=spec.size,
-        )
+        self._map = _source_index_table(spec)
 
     @property
     def map(self) -> np.ndarray:
@@ -195,9 +214,9 @@ class ReducedPermutationMap:
         self.suffix_axes = spec.fixed_suffix
 
         shape = spec.shape
-        self.prefix_size = int(np.prod(shape[: self.prefix_axes])) if self.prefix_axes else 1
+        self.prefix_size = math.prod(shape[: self.prefix_axes]) if self.prefix_axes else 1
         self.suffix_size = (
-            int(np.prod(shape[spec.ndim - self.suffix_axes :])) if self.suffix_axes else 1
+            math.prod(shape[spec.ndim - self.suffix_axes :]) if self.suffix_axes else 1
         )
         self.core_size = spec.size // (self.prefix_size * self.suffix_size)
 
@@ -210,16 +229,22 @@ class ReducedPermutationMap:
         )
         if core_shape:
             core_spec = PermutationSpec(perm=core_perm, shape=core_shape)
-            in_situ = InSituPermutation(core_spec)
-            self._core_map = np.fromiter(
-                (in_situ.source_index(t) for t in range(core_spec.size)),
-                dtype=np.int64,
-                count=core_spec.size,
-            )
+            self._core_map = _source_index_table(core_spec)
         else:
             self._core_map = np.zeros(1, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    @property
+    def core_map(self) -> np.ndarray:
+        """The stored middle-block map (target → source core positions).
+
+        This is the only table the recursion formula needs; the fused
+        executor (:mod:`repro.execution.fusion`) bakes it into its
+        precompiled permutation kernels and applies it as a single
+        vectorised gather along the core axis.
+        """
+        return self._core_map
+
     @property
     def stored_entries(self) -> int:
         """Map entries actually stored (``N / 2^m`` in the paper's notation)."""

@@ -17,18 +17,39 @@ keeps the size fixed and performs *edge replacement* moves:
 A pre-pass (and a post-pass) removes *redundant* sliced edges — edges whose
 lifetime contains no critical tensor contribute nothing to memory reduction
 and only add overhead (§4.3).
+
+By default candidate sets are scored with the raw Eq. 2/4 sliced flop
+count.  Passing ``cost_model=`` (a :class:`~repro.costs.model.CostModel`)
+switches the objective to predicted wall seconds over all subtasks, so a
+calibrated model's measured throughput and per-step overhead steer the
+memory/recomputation trade-off; omitting it keeps the refinement
+trajectory bit-identical to the flop-scored behaviour.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from ..tensornet.contraction_tree import ContractionTree
 from .slicing import SlicingCostModel, SlicingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..costs.model import CostModel
 
 __all__ = ["SimulatedAnnealingSliceRefiner", "RefinementTrace", "remove_redundant_edges"]
 
@@ -95,6 +116,18 @@ class SimulatedAnnealingSliceRefiner:
         uniformly when more are available).
     seed:
         PRNG seed.
+    cost_model:
+        Optional :class:`~repro.costs.model.CostModel`.  When supplied,
+        candidate slicing sets are scored with the model's predicted
+        *seconds* over all subtasks
+        (:meth:`~repro.costs.model.CostModel.total_seconds` on
+        ``cost_backend``) instead of the raw Eq. 2/4 flop count — a
+        calibrated model thereby steers the memory/recomputation
+        trade-off with measured per-backend throughput and dispatch
+        overhead.  ``None`` (default) keeps the flop scoring and the
+        refinement trajectory bit-identical to the pre-model behaviour.
+    cost_backend:
+        Backend name passed to the cost model's predictions.
     """
 
     def __init__(
@@ -105,6 +138,8 @@ class SimulatedAnnealingSliceRefiner:
         moves_per_temperature: int = 8,
         max_candidates: int = 16,
         seed: Optional[int] = None,
+        cost_model: Optional["CostModel"] = None,
+        cost_backend: Optional[str] = None,
     ) -> None:
         if not 0 < cooling < 1:
             raise ValueError("cooling must be in (0, 1)")
@@ -116,7 +151,23 @@ class SimulatedAnnealingSliceRefiner:
         self.moves_per_temperature = int(moves_per_temperature)
         self.max_candidates = int(max_candidates)
         self._rng = np.random.default_rng(seed)
+        self.cost_model = cost_model
+        self.cost_backend = cost_backend
         self.last_trace: Optional[RefinementTrace] = None
+
+    def _scorer(
+        self, tree: ContractionTree, model: SlicingCostModel
+    ) -> Callable[[AbstractSet[str]], float]:
+        """The candidate-set objective: Eq. 2/4 flops, or predicted seconds."""
+        if self.cost_model is None:
+            return model.total_cost
+
+        def predicted_seconds(sliced: AbstractSet[str]) -> float:
+            return self.cost_model.total_seconds(  # type: ignore[union-attr]
+                tree, frozenset(sliced), backend=self.cost_backend
+            )
+
+        return predicted_seconds
 
     # ------------------------------------------------------------------
     def refine(
@@ -145,7 +196,8 @@ class SimulatedAnnealingSliceRefiner:
         trace.removed_redundant = len(current) - len(pruned)
         current = set(pruned)
 
-        current_cost = model.total_cost(current)
+        score = self._scorer(tree, model)
+        current_cost = score(current)
         best: Set[str] = set(current)
         best_cost = current_cost
 
@@ -153,7 +205,7 @@ class SimulatedAnnealingSliceRefiner:
         while temperature >= self.final_temperature and current:
             for _ in range(self.moves_per_temperature):
                 edge = self._pick(sorted(current))
-                swap = self._propose_swap(model, current, edge, target_rank)
+                swap = self._propose_swap(model, current, edge, target_rank, score)
                 if swap is None:
                     continue
                 candidate_edge, new_cost = swap
@@ -191,6 +243,7 @@ class SimulatedAnnealingSliceRefiner:
         current: Set[str],
         edge: str,
         target_rank: int,
+        score: Callable[[AbstractSet[str]], float],
     ) -> Optional[Tuple[str, float]]:
         """Find the best admissible replacement for ``edge`` among sampled candidates."""
         critical = set(model.critical_nodes(current, target_rank))
@@ -212,7 +265,7 @@ class SimulatedAnnealingSliceRefiner:
             trial = (current - {edge}) | {candidate}
             if not model.satisfies_target(trial, target_rank):
                 continue
-            cost = model.total_cost(trial)
+            cost = score(trial)
             if cost < best_cost:
                 best_cost = cost
                 best_edge = candidate

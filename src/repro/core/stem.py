@@ -173,8 +173,14 @@ def extract_stem(tree: ContractionTree) -> Stem:
 
     The path is chosen by dynamic programming: the weight of a node is the
     cost of its own contraction (Eq. 1) and the stem is the root-to-leaf
-    path of maximum total weight.
+    path of maximum total weight.  The result is memoized on the tree
+    (trees are immutable, like their lazily built ``parent_map``): plan
+    compilation, the slot schedule, the fusion pass and the cost-model cap
+    ranking all ask for the same stem, often within one compile.
     """
+    cached = getattr(tree, "_cached_stem", None)
+    if cached is not None:
+        return cached
     best_cost: Dict[int, float] = {}
     best_child: Dict[int, Optional[int]] = {}
 
@@ -216,7 +222,9 @@ def extract_stem(tree: ContractionTree) -> Stem:
                 log2_flops=tree.node_log2_flops(node),
             )
         )
-    return Stem(tree=tree, steps=tuple(steps), start_node=int(start_node))
+    stem = Stem(tree=tree, steps=tuple(steps), start_node=int(start_node))
+    tree._cached_stem = stem  # type: ignore[attr-defined]
+    return stem
 
 
 def stem_slot_schedule(tree: ContractionTree) -> Dict[int, int]:

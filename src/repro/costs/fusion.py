@@ -1,0 +1,179 @@
+"""Cost-model-ranked fusion-group selection for the fused executor.
+
+The fused execution mode (:mod:`repro.execution.fusion`) partitions the
+stem into groups bounded by a working-set rank cap — the CPU analogue of
+the paper's LDM budget.  The cap fixes the group boundaries and therefore
+the trade the §5 design makes: a larger cap fuses longer sub-paths (fewer
+stem-tensor round-trips, fewer per-group dispatch events) at the price of
+a larger resident working set.
+
+This module ranks candidate caps with the unified cost model:
+
+* :func:`predicted_fused_seconds` prices one cap with the roofline
+  machinery of :class:`~repro.costs.model.AnalyticCostModel` — interior
+  steps of a fused group drop the stem tensor's load *and* store from
+  their memory traffic (only the absorbed branch still moves), which is
+  exactly the §5.2 arithmetic-intensity gain;
+* :func:`rank_fusion_caps` scores a candidate set and, when a
+  :class:`~repro.costs.calibration.CalibratedCostModel` is supplied, adds
+  its fitted per-step overhead once per *group* (the measured dispatch
+  cost of each boundary) so a calibrated model can veto configurations
+  whose groups are too short to amortize;
+* :func:`select_fusion_cap` returns the best cap — what
+  ``SlicedExecutor(..., fused="auto")`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Optional, Sequence, Tuple
+
+from ..core.secondary import SecondarySlicer
+from ..core.stem import extract_stem
+from ..hardware.spec import SW26010PRO
+from ..tensornet.contraction_tree import ContractionTree
+from .model import AnalyticCostModel, CostModel
+
+__all__ = ["predicted_fused_seconds", "rank_fusion_caps", "select_fusion_cap"]
+
+
+def predicted_fused_seconds(
+    tree: ContractionTree,
+    sliced: AbstractSet[str] = frozenset(),
+    cap: Optional[int] = None,
+    analytic: Optional[AnalyticCostModel] = None,
+    per_group_overhead: float = 0.0,
+) -> float:
+    """Roofline seconds of one subtask's stem under a fusion cap.
+
+    Each stem step's compute time comes from the analytic model's
+    roofline; its memory traffic counts the absorbed branch always, but
+    the running stem tensor only at group boundaries (loaded by the first
+    step of a group, stored by the last) — interior steps keep it in
+    scratch.  ``per_group_overhead`` seconds are added per fused group
+    (the dispatch/boundary cost a calibrated model measures).
+    ``cap=None`` prices the machine spec's LDM rank.
+    """
+    analytic = analytic if analytic is not None else AnalyticCostModel()
+    sliced = frozenset(sliced)
+    stem = extract_stem(tree)
+    if not stem.steps:
+        return 0.0
+    plan = SecondarySlicer(ldm_rank=cap).plan(stem, process_sliced=sliced)
+    element_bytes = analytic.element_bytes
+
+    def elements(index_set) -> float:
+        # real index sizes, not a dim-2 assumption — consistent with the
+        # flops term and with AnalyticCostModel.subtask_seconds
+        return 2.0 ** sum(tree.log2_index_size(ix) for ix in index_set)
+
+    start_ix = frozenset(tree.node_indices(stem.start_node)) - sliced
+    total = 0.0
+    for group in plan.groups:
+        for position in range(group.start, group.stop):
+            step = stem.steps[position]
+            flops = 8.0 * 2.0 ** tree.node_log2_flops(step.node, sliced)
+            traffic = elements(step.branch_indices - sliced)
+            if position == group.start:
+                previous = (
+                    start_ix
+                    if position == 0
+                    else stem.steps[position - 1].result_indices - sliced
+                )
+                traffic += elements(previous)
+            if position == group.stop - 1:
+                traffic += elements(step.result_indices - sliced)
+            total += analytic._roofline_seconds(flops, element_bytes * traffic)
+        total += per_group_overhead
+    return total
+
+
+def _analytic_of(cost_model: Optional[CostModel]) -> AnalyticCostModel:
+    """The analytic model backing ``cost_model``'s roofline terms.
+
+    A calibrated model's configured analytic *fallback* carries the
+    user's hardware description (element bytes, peak, bandwidth), so the
+    cap ranking prices traffic with it rather than a fresh default.
+    """
+    if isinstance(cost_model, AnalyticCostModel):
+        return cost_model
+    fallback = getattr(cost_model, "fallback", None)
+    if isinstance(fallback, AnalyticCostModel):
+        return fallback
+    return AnalyticCostModel()
+
+
+def _per_group_overhead(
+    cost_model: Optional[CostModel], backend: Optional[str]
+) -> float:
+    """The calibrated per-step dispatch overhead, when one is fitted."""
+    coefficients = getattr(cost_model, "coefficients", None)
+    if not coefficients:
+        return 0.0
+    name = backend if backend is not None else getattr(cost_model, "default_backend", None)
+    fitted = coefficients.get(name)
+    return float(fitted.seconds_per_step) if fitted is not None else 0.0
+
+
+def rank_fusion_caps(
+    tree: ContractionTree,
+    sliced: AbstractSet[str] = frozenset(),
+    candidates: Optional[Sequence[int]] = None,
+    cost_model: Optional[CostModel] = None,
+    backend: Optional[str] = None,
+) -> List[Tuple[int, float]]:
+    """Candidate caps sorted by predicted fused seconds (best first).
+
+    The default candidate set spans the spec's LDM rank and the stem's
+    own (sliced) peak rank plus two tighter settings — enough spread to
+    expose the round-trips-versus-working-set trade without an exhaustive
+    sweep.  Ties break toward the larger cap (longer groups, fewer
+    boundaries).
+    """
+    sliced = frozenset(sliced)
+    stem = extract_stem(tree)
+    if stem.length < 2:
+        return []
+    ranks = [len(frozenset(tree.node_indices(stem.start_node)) - sliced)]
+    ranks += [len(step.result_indices - sliced) for step in stem.steps]
+    peak_rank = max(max(ranks), 1)
+    if candidates is None:
+        candidates = sorted(
+            {
+                peak_rank,
+                max(peak_rank - 1, 1),
+                max(peak_rank - 2, 1),
+                SW26010PRO.ldm_max_rank(),
+            }
+        )
+    analytic = _analytic_of(cost_model)
+    overhead = _per_group_overhead(cost_model, backend)
+    scored = [
+        (
+            cap,
+            predicted_fused_seconds(
+                tree, sliced, cap, analytic=analytic, per_group_overhead=overhead
+            ),
+        )
+        for cap in candidates
+    ]
+    return sorted(scored, key=lambda pair: (pair[1], -pair[0]))
+
+
+def select_fusion_cap(
+    tree: ContractionTree,
+    sliced: AbstractSet[str] = frozenset(),
+    candidates: Optional[Sequence[int]] = None,
+    cost_model: Optional[CostModel] = None,
+    backend: Optional[str] = None,
+) -> Optional[int]:
+    """The cost-model-ranked working-set cap, or ``None`` when nothing fuses.
+
+    This is what ``SlicedExecutor(..., fused="auto")`` consumes: ``None``
+    (a stem shorter than two steps) keeps the plan step-by-step.
+    """
+    ranked = rank_fusion_caps(
+        tree, sliced, candidates=candidates, cost_model=cost_model, backend=backend
+    )
+    if not ranked:
+        return None
+    return ranked[0][0]

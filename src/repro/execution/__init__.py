@@ -25,6 +25,17 @@ other (and, for small circuits, against the dense state-vector simulator):
     kept as leading batch axes and all of their value combinations execute
     in a single batched (BLAS ``matmul``) contraction, with the
     per-subtask plan compiled lazily so pure batched workloads skip it,
+  - *fused stem sub-paths* (``fused=True`` / ``"auto"``): the §5
+    secondary-slicing schedule executed for real by
+    :mod:`repro.execution.fusion` — consecutive stem GEMMs run as
+    :class:`FusedRun` groups whose intermediates stay in the
+    :class:`StemSlots` arena, with operand permutations precompiled via
+    the §5.3.1 reduced maps (identity permutations skipped, others a
+    single gather into reused scratch) and group boundaries set by a
+    cost-model-ranked working-set cap
+    (:func:`repro.costs.fusion.select_fusion_cap`).  Bit-identical to the
+    step-by-step path on every backend; fused plans ship through sessions
+    and the process pool unchanged,
   - *pluggable scheduling* (``backend=``): the subtasks run through an
     :class:`ExecutionBackend` (see the guide below).
 
@@ -116,6 +127,7 @@ from .backend import (
     validate_execution_args,
 )
 from .contract import TreeExecutor, contract_tree
+from .fusion import FusedOp, FusedRun, PermKernel, compile_fused_runs
 from .plan import (
     CompiledPlan,
     ContractStep,
@@ -150,11 +162,15 @@ __all__ = [
     "contract_tree",
     "CompiledPlan",
     "ContractStep",
+    "FusedOp",
+    "FusedRun",
     "LeafStep",
+    "PermKernel",
     "PlanError",
     "PlanStats",
     "StemSlots",
     "compile_plan",
+    "compile_fused_runs",
     "SlicedExecutor",
     "SubtaskResult",
     "CorrelatedSampleBatch",

@@ -33,7 +33,13 @@ Backends:
 Each worker (and each backend's serial loop) owns a private
 :class:`~repro.execution.plan.StemSlots` arena, so the stem's running
 tensor reuses two preallocated buffers instead of hitting the allocator
-once per stem step.
+once per stem step.  Because the arena is what a plan's fused runs
+execute against, *fused* plans (``compile_plan(..., fused=True)``; see
+:mod:`repro.execution.fusion`) ship through sessions and the process
+pool unchanged: the precompiled permutation kernels pickle with the plan,
+every worker's private arena supplies the slots and scratch, and the
+ordered-accumulation contract keeps fused execution bit-identical to
+:class:`SerialBackend` step-by-step execution.
 """
 
 from __future__ import annotations

@@ -17,6 +17,13 @@ the 64 CPEs.  The paper compares two schedules:
 hardware models, which is exactly the data plotted in Fig. 12, plus the
 achieved flop rate and arithmetic intensity needed for the Roofline of
 Fig. 13.
+
+This module *models* the Sunway hardware; the same fused schedule is
+*executed* for real by the compiled-plan layer — see
+:mod:`repro.execution.fusion` (fused runs over the arena, §5.3.1
+permutation kernels) and ``SlicedExecutor(..., fused=True)``.  Both are
+driven by the group boundaries of
+:class:`~repro.core.secondary.SecondarySlicer`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,557 @@
+"""Fused sub-path execution: §5 secondary slicing inside the compiled plan.
+
+The paper's single-node win comes from executing whole stem sub-paths
+without round-tripping the running tensor through main memory: one load,
+several contraction steps inside the LDM, one store, with the operand
+permutations compressed by the §5.3.1 recursion formula.  Until this
+module that schedule existed only as the analytical
+:class:`~repro.execution.fused.ThreadLevelSimulator`; the actual hot path
+(:meth:`~repro.execution.plan.CompiledPlan.execute`) materialized a
+``transpose → reshape → dot → reshape`` round-trip per step, paying one
+fresh allocation for every non-trivial operand permutation.
+
+This module is the *real* counterpart, mapped onto a cache-hierarchy CPU:
+
+* a **fusion pass** (:func:`compile_fused_runs`) partitions the stem's
+  tensordot steps into :class:`FusedRun` groups.  Group boundaries come
+  from :class:`~repro.core.secondary.SecondarySlicer` — the same
+  longest-lifetime window growth, bounded by a working-set cap analogous
+  to the LDM rank budget.  Every group's *kept rank* (what a CPE grid
+  would hold after distributing the secondary-sliced indices) respects
+  the cap by construction (property-tested); note that this executor
+  runs the full unsliced tensors, so on the CPU the cap governs where
+  group boundaries fall, not this process's peak memory;
+* every operand permutation inside a run is **precompiled once** into a
+  :class:`PermKernel` built on
+  :class:`~repro.core.permutation_map.ReducedPermutationMap`: identity
+  permutations compile to pure reshape views (no copy, no kernel), all
+  others to a single vectorised gather over the reduced ``N / 2^m`` core
+  map, written into a recycled scratch buffer of the
+  :class:`~repro.execution.plan.StemSlots` arena — no per-step
+  allocations;
+* the GEMM of each fused op writes directly into the arena's alternating
+  stem slots, and interior intermediates never enter the executor's
+  ``live`` table: within a run the running tensor exists only in slots
+  and scratch (the CPU analogue of "stays in LDM").
+
+Bit-identity with the step-by-step path holds by construction: a gather
+through a correct permutation map produces exactly the array
+``np.transpose(a, perm).reshape(m, k)`` would, and the ``np.dot`` calls
+then see identical operands in identical layouts.  The equivalence tests
+assert exact equality across all execution backends.
+
+Cost-model-ranked selection of the working-set cap (which fixes the
+group boundaries) lives in :mod:`repro.costs.fusion`; the analytical
+Sunway-level timing story stays in :mod:`repro.execution.fused`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..core.permutation_map import PermutationSpec, ReducedPermutationMap
+from ..core.secondary import FusedPlan, SecondarySlicer
+from ..core.stem import extract_stem
+from ..tensornet.contraction_tree import ContractionTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import ContractStep, StemSlots
+
+__all__ = [
+    "FusedOp",
+    "FusedRun",
+    "PermKernel",
+    "compile_fused_runs",
+    "compile_step_tapes",
+]
+
+
+#: Scratch keys in the :class:`~repro.execution.plan.StemSlots` arena used
+#: for permuted operands.  One buffer per side suffices: a permuted copy is
+#: consumed by the very next ``np.dot`` before the key is reused.
+SCRATCH_LHS = "fused-lhs"
+SCRATCH_RHS = "fused-rhs"
+
+
+#: Minimum contiguous suffix block (elements) for the reduced-map gather
+#: to beat a strided copy: below this the gather moves near-scalar rows
+#: and numpy's optimized nd-strided copy loop wins.
+GATHER_MIN_SUFFIX = 8
+
+
+@dataclass(frozen=True, eq=False)
+class PermKernel:
+    """One precompiled operand permutation of a fused GEMM.
+
+    Three strategies, chosen at compile time from the §5.3.1 structure of
+    the permutation (its fixed leading/trailing blocks):
+
+    * ``"view"`` — the permutation is the identity: a reshape view,
+      nothing moves;
+    * ``"gather"`` — the source is viewed as
+      ``(prefix_size, core_size, suffix_size)`` and a single ``take``
+      along the core axis (into arena scratch, never a fresh allocation)
+      realises the whole transpose; ``core_map`` stores only
+      ``N / (prefix_size · suffix_size)`` entries, exactly the paper's
+      recursion-formula saving.  Used when the fixed trailing block is
+      large enough that each gathered row is a sizable contiguous run;
+    * ``"copy"`` — a strided ``copyto`` from the transposed view into
+      scratch (numpy's nd copy loop), for permutations whose suffix block
+      is too small for an efficient gather.
+
+    All three produce the exact array ``np.transpose(a, perm).reshape``
+    would, so the GEMMs stay bit-identical to the step-by-step path.
+    """
+
+    strategy: str
+    out2d: Tuple[int, int]
+    perm: Tuple[int, ...] = ()
+    target_shape: Tuple[int, ...] = ()
+    prefix_size: int = 1
+    core_size: int = 1
+    suffix_size: int = 1
+    core_map: Optional[np.ndarray] = None
+    #: Space saving of the reduced map vs a full address map (diagnostics).
+    reduction_factor: float = 1.0
+
+    @property
+    def identity(self) -> bool:
+        """Whether the kernel is a pure reshape view."""
+        return self.strategy == "view"
+
+    def apply(
+        self, array: np.ndarray, scratch_key: str, slots: "StemSlots"
+    ) -> np.ndarray:
+        """The permuted 2-D GEMM operand (view or scratch-backed copy)."""
+        if self.strategy == "view":
+            return array.reshape(self.out2d)
+        if self.strategy == "gather":
+            source = array.reshape(
+                self.prefix_size, self.core_size, self.suffix_size
+            )
+            target = slots.scratch(
+                scratch_key,
+                (self.prefix_size, self.core_size, self.suffix_size),
+                array.dtype,
+            )
+            np.take(source, self.core_map, axis=1, out=target)
+            return target.reshape(self.out2d)
+        target = slots.scratch(scratch_key, self.target_shape, array.dtype)
+        np.copyto(target, np.transpose(array, self.perm))
+        return target.reshape(self.out2d)
+
+
+#: Largest tensor (elements) whose kernels the process-wide LRU retains.
+#: A gather kernel's core map can hold up to ``N`` int64 entries, so
+#: caching kernels of unboundedly large tensors would pin arbitrary
+#: memory past their plans' lifetimes; big kernels are built per compile
+#: instead (the vectorised table build keeps that cheap relative to the
+#: executions the plan amortizes it over).
+PERM_CACHE_MAX_ELEMENTS = 1 << 16
+
+
+def _perm_kernel(
+    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, int]
+) -> PermKernel:
+    """Compile one permutation; identity collapses to a reshape view.
+
+    Kernels are pure functions of ``(perm, shape, out2d)`` and immutable
+    (the core map is only ever read), so small ones are shared through a
+    process-wide LRU — recompiling a plan, or compiling many plans over
+    structurally similar trees, reuses the reduced maps instead of
+    rebuilding them.  Kernels of tensors above
+    :data:`PERM_CACHE_MAX_ELEMENTS` bypass the cache so it stays bounded
+    in bytes, not just entry count.
+    """
+    size = 1
+    for dim in shape:
+        size *= dim
+    if size <= PERM_CACHE_MAX_ELEMENTS:
+        return _cached_perm_kernel(perm, shape, out2d)
+    return _build_perm_kernel(perm, shape, out2d)
+
+
+@lru_cache(maxsize=2048)
+def _cached_perm_kernel(
+    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, int]
+) -> PermKernel:
+    return _build_perm_kernel(perm, shape, out2d)
+
+
+def _build_perm_kernel(
+    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, int]
+) -> PermKernel:
+    spec = PermutationSpec(perm=tuple(perm), shape=tuple(shape))
+    if spec.is_identity:
+        return PermKernel(strategy="view", out2d=out2d)
+    reduced = ReducedPermutationMap(spec)
+    if reduced.suffix_size >= GATHER_MIN_SUFFIX:
+        return PermKernel(
+            strategy="gather",
+            out2d=out2d,
+            perm=spec.perm,
+            target_shape=spec.target_shape,
+            prefix_size=reduced.prefix_size,
+            core_size=reduced.core_size,
+            suffix_size=reduced.suffix_size,
+            core_map=reduced.core_map,
+            reduction_factor=reduced.reduction_factor,
+        )
+    return PermKernel(
+        strategy="copy",
+        out2d=out2d,
+        perm=spec.perm,
+        target_shape=spec.target_shape,
+        prefix_size=reduced.prefix_size,
+        core_size=reduced.core_size,
+        suffix_size=reduced.suffix_size,
+        reduction_factor=reduced.reduction_factor,
+    )
+
+
+def _step_kernels(
+    step: "ContractStep",
+    shape_of: Mapping[int, Tuple[int, ...]],
+    cache: Dict[int, Tuple[PermKernel, PermKernel]],
+) -> Tuple[PermKernel, PermKernel]:
+    """Both operand kernels of a tensordot step, memoized per node.
+
+    The same step appears in the full runs, the cache-clipped runs and
+    the plain-step tapes; one kernel pair serves all three.
+    """
+    kernels = cache.get(step.node)
+    if kernels is None:
+        assert step.td_mkn is not None
+        m, k, n = step.td_mkn
+        kernels = (
+            _perm_kernel(step.td_perm_lhs, shape_of[step.lhs], (m, k)),
+            _perm_kernel(step.td_perm_rhs, shape_of[step.rhs], (k, n)),
+        )
+        cache[step.node] = kernels
+    return kernels
+
+
+@dataclass(frozen=True, eq=False)
+class FusedOp:
+    """One GEMM inside a fused run.
+
+    ``step`` is the underlying compiled
+    :class:`~repro.execution.plan.ContractStep` (node id, stem slot,
+    ``(m, k, n)`` extents, output shape).  ``stem_on_lhs`` records which
+    operand is the running stem tensor — it arrives through scratch, not
+    the ``live`` table.  The free lists are the step's with the incoming
+    stem operand removed for interior ops (it was never materialized into
+    ``live``).
+    """
+
+    step: "ContractStep"
+    stem_on_lhs: bool
+    perm_lhs: PermKernel
+    perm_rhs: PermKernel
+    free_full: Tuple[int, ...]
+    free_cached: Tuple[int, ...]
+
+
+#: Tape modes of a flattened perm kernel (see :func:`_kernel_tape`).
+TAPE_VIEW, TAPE_GATHER, TAPE_COPY = 0, 1, 2
+
+
+def _kernel_tape(kernel: PermKernel) -> Tuple:
+    """Flatten one perm kernel for the executor's inlined hot loop.
+
+    Entry layout is ``(mode, p1, p2, out2d)``: the gather mode carries the
+    3-D reduced view shape and the core map, the copy mode the source
+    permutation and the target shape.
+
+    :meth:`PermKernel.apply` is the readable reference implementation of
+    this layout; the executor deliberately inlines it (twice — plain tape
+    entries and fused runs in ``plan.py``) because a per-operand function
+    call costs what the fused mode exists to save.  Any change here must
+    land in all three places; the bit-identity equivalence suite
+    (``tests/test_fusion.py``) catches divergence.
+    """
+    if kernel.strategy == "view":
+        return (TAPE_VIEW, None, None, kernel.out2d)
+    if kernel.strategy == "gather":
+        shape3 = (kernel.prefix_size, kernel.core_size, kernel.suffix_size)
+        return (TAPE_GATHER, shape3, kernel.core_map, kernel.out2d)
+    return (TAPE_COPY, kernel.perm, kernel.target_shape, kernel.out2d)
+
+
+@dataclass(frozen=True, eq=False)
+class FusedRun:
+    """A maximal fused sub-path: consecutive stem GEMMs with no round-trip.
+
+    Attributes
+    ----------
+    ops:
+        The fused GEMMs, in stem order.
+    first_stem:
+        Node id of the initial running tensor — the only stem operand read
+        from the executor's ``live`` table (a leaf, a branch result, or a
+        cached frontier intermediate).
+    secondary_sliced:
+        The §5 longest-lifetime slicing set of the covering
+        :class:`~repro.core.secondary.FusedGroup` (diagnostics: these are
+        the indices a CPE grid would distribute).
+    kept_rank:
+        Working-set rank of the covering group — guaranteed to respect
+        the fusion pass's cap.
+
+    ``__post_init__`` flattens the ops into a *tape* of plain tuples — the
+    executor's hot loop unpacks these instead of chasing dataclass
+    attributes and numpy wrapper functions, which is where a per-GEMM
+    schedule at these tensor sizes actually spends its time.
+    """
+
+    ops: Tuple[FusedOp, ...]
+    first_stem: int
+    secondary_sliced: FrozenSet[str]
+    kept_rank: int
+
+    def __post_init__(self) -> None:
+        tape = []
+        free_full = []
+        free_cached = []
+        for op in self.ops:
+            step = op.step
+            assert step.td_mkn is not None and step.slot is not None
+            m, _, n = step.td_mkn
+            mn = (m, n)
+            tape.append(
+                (
+                    step.node,
+                    step.lhs,
+                    step.rhs,
+                    op.stem_on_lhs,
+                    _kernel_tape(op.perm_lhs),
+                    _kernel_tape(op.perm_rhs),
+                    step.slot,
+                    mn,
+                    None if step.out_shape == mn else step.out_shape,
+                )
+            )
+            free_full.append(op.free_full)
+            free_cached.append(op.free_cached)
+        object.__setattr__(self, "tape", tuple(tape))
+        object.__setattr__(self, "tape_free_full", tuple(free_full))
+        object.__setattr__(self, "tape_free_cached", tuple(free_cached))
+        object.__setattr__(
+            self, "tape_nodes", tuple(op.step.node for op in self.ops)
+        )
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """Tree node ids covered by this run, in execution order."""
+        return tuple(op.step.node for op in self.ops)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of GEMMs fused into the run."""
+        return len(self.ops)
+
+    @property
+    def gathers_skipped(self) -> int:
+        """Operand permutations that compiled to identity views."""
+        return sum(
+            int(op.perm_lhs.identity) + int(op.perm_rhs.identity) for op in self.ops
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FusedRun(steps={self.num_steps}, first_stem={self.first_stem}, "
+            f"kept_rank={self.kept_rank})"
+        )
+
+
+def compile_step_tapes(
+    tree: ContractionTree,
+    steps: Sequence["ContractStep"],
+    shape_of: Mapping[int, Tuple[int, ...]],
+    kernel_cache: Optional[Dict[int, Tuple[PermKernel, PermKernel]]] = None,
+) -> Dict[int, Tuple]:
+    """Precompiled inline entries for every plain tensordot step.
+
+    A fused plan runs its off-run tensordot steps (branch subtrees,
+    unfused stem stubs) through the same inlined tape loop as the fused
+    runs — operands staged through the precompiled permutation kernels,
+    the GEMM written into a stem slot or a recycled free-list buffer —
+    instead of the allocating ``np.tensordot`` wrapper.  Entry layout::
+
+        (node, lhs, rhs, lhs_kernel, rhs_kernel, slot, (m, n),
+         out_shape_or_None, is_root, free_full, free_cached)
+
+    ``out_shape`` is ``None`` when the GEMM's ``(m, n)`` already is the
+    step's output shape; the root is flagged because its buffer is handed
+    to the caller and must not come from the recycled pools.
+    """
+    if kernel_cache is None:
+        kernel_cache = {}
+    tapes: Dict[int, Tuple] = {}
+    for step in steps:
+        if step.kind != "tensordot" or step.td_mkn is None:
+            continue
+        m, _, n = step.td_mkn
+        mn = (m, n)
+        perm_lhs, perm_rhs = _step_kernels(step, shape_of, kernel_cache)
+        lhs_kernel = _kernel_tape(perm_lhs)
+        rhs_kernel = _kernel_tape(perm_rhs)
+        tapes[step.node] = (
+            step.node,
+            step.lhs,
+            step.rhs,
+            lhs_kernel,
+            rhs_kernel,
+            step.slot,
+            mn,
+            None if step.out_shape == mn else step.out_shape,
+            step.node == tree.root,
+            step.free_full,
+            step.free_cached,
+        )
+    return tapes
+
+
+def _build_run(
+    chain: List[Tuple[int, "ContractStep"]],
+    stem_child_of: Mapping[int, int],
+    shape_of: Mapping[int, Tuple[int, ...]],
+    group_sliced: FrozenSet[str],
+    group_kept_rank: int,
+    kernel_cache: Dict[int, Tuple[PermKernel, PermKernel]],
+) -> FusedRun:
+    """Compile one contiguous chain of fusable stem steps into a run."""
+    ops: List[FusedOp] = []
+    for position, (_, step) in enumerate(chain):
+        stem_child = stem_child_of[step.node]
+        stem_on_lhs = step.lhs == stem_child
+        perm_lhs, perm_rhs = _step_kernels(step, shape_of, kernel_cache)
+        if position == 0:
+            free_full = step.free_full
+            free_cached = step.free_cached
+        else:
+            # the stem operand came through scratch, never through ``live``
+            free_full = tuple(c for c in step.free_full if c != stem_child)
+            free_cached = tuple(c for c in step.free_cached if c != stem_child)
+        ops.append(
+            FusedOp(
+                step=step,
+                stem_on_lhs=stem_on_lhs,
+                perm_lhs=perm_lhs,
+                perm_rhs=perm_rhs,
+                free_full=free_full,
+                free_cached=free_cached,
+            )
+        )
+    return FusedRun(
+        ops=tuple(ops),
+        first_stem=stem_child_of[chain[0][1].node],
+        secondary_sliced=group_sliced,
+        kept_rank=group_kept_rank,
+    )
+
+
+def compile_fused_runs(
+    tree: ContractionTree,
+    steps: Sequence["ContractStep"],
+    enumerated: AbstractSet[str],
+    dependent: AbstractSet[int],
+    shape_of: Mapping[int, Tuple[int, ...]],
+    cap: Optional[int] = None,
+    max_fused_steps: Optional[int] = None,
+    kernel_cache: Optional[Dict[int, Tuple[PermKernel, PermKernel]]] = None,
+) -> Tuple[Tuple[FusedRun, ...], Tuple[FusedRun, ...], Optional[FusedPlan]]:
+    """The fusion pass: partition the stem into executable fused runs.
+
+    Group boundaries come from
+    :meth:`~repro.core.secondary.SecondarySlicer.plan` over the stem with
+    the enumerated slicing already removed — the working-set cap plays the
+    role of the LDM rank budget, so every group's kept rank is ``<= cap``.
+    Within each group, maximal chains of *fusable* steps (``tensordot``
+    kind with a precompiled GEMM layout; ``bmm``/``einsum`` steps break
+    the chain) of length >= 2 become :class:`FusedRun` objects.
+
+    Two run sets are returned: ``runs_full`` for uncached execution (the
+    whole plan runs, so invariant and dependent steps may share a run)
+    and ``runs_cached`` for cache-warm execution, where each run is
+    clipped to its slice-dependent suffix — the invariant prefix executes
+    once inside ``warm_cache`` and the clipped run's first stem operand is
+    then a cached frontier intermediate.  Also returns the underlying
+    :class:`~repro.core.secondary.FusedPlan` for diagnostics (``None``
+    when the tree has no stem to fuse).
+    """
+    if tree.num_leaves < 2:
+        return (), (), None
+    stem = extract_stem(tree)
+    if stem.length < 2:
+        return (), (), None
+    if kernel_cache is None:
+        kernel_cache = {}
+    slicer = SecondarySlicer(ldm_rank=cap, max_fused_steps=max_fused_steps)
+    secondary_plan = slicer.plan(stem, process_sliced=frozenset(enumerated))
+    step_of: Dict[int, "ContractStep"] = {s.node: s for s in steps}
+    stem_child_of = {s.node: s.stem_child for s in stem.steps}
+
+    runs_full: List[FusedRun] = []
+    runs_cached: List[FusedRun] = []
+
+    def flush(chain: List[Tuple[int, "ContractStep"]], group) -> None:
+        if len(chain) >= 2:
+            runs_full.append(
+                _build_run(
+                    chain,
+                    stem_child_of,
+                    shape_of,
+                    group.secondary_sliced,
+                    group.kept_rank,
+                    kernel_cache,
+                )
+            )
+        # cache-warm execution only runs the slice-dependent steps; the
+        # dependent set is closed upward, so it is a suffix of the chain
+        variant = [entry for entry in chain if entry[1].node in dependent]
+        if len(variant) >= 2:
+            runs_cached.append(
+                _build_run(
+                    variant,
+                    stem_child_of,
+                    shape_of,
+                    group.secondary_sliced,
+                    group.kept_rank,
+                    kernel_cache,
+                )
+            )
+
+    for group in secondary_plan.groups:
+        chain: List[Tuple[int, "ContractStep"]] = []
+        for position in range(group.start, group.stop):
+            node = stem.steps[position].node
+            step = step_of.get(node)
+            fusable = (
+                step is not None
+                and step.kind == "tensordot"
+                and step.td_mkn is not None
+                and step.slot is not None
+            )
+            if not fusable:
+                flush(chain, group)
+                chain = []
+                continue
+            chain.append((position, step))
+        flush(chain, group)
+
+    return tuple(runs_full), tuple(runs_cached), secondary_plan

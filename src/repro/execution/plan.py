@@ -38,6 +38,16 @@ can be hoisted out of the subtask loop.  This module performs that hoisting:
   bit-identical to the allocating path (same transpose/reshape/GEMM, just
   written into a caller-owned buffer).
 
+* An optional *fused* mode (``compile_plan(..., fused=True)``) runs the
+  §5 secondary-slicing schedule for real: a fusion pass
+  (:mod:`repro.execution.fusion`) groups consecutive stem GEMMs into
+  :class:`~repro.execution.fusion.FusedRun` sub-paths whose operand
+  permutations are precompiled through the §5.3.1 reduced maps — identity
+  permutations are skipped outright, every other one is a single gather
+  into arena scratch — so within a run the stem tensor never round-trips
+  through a freshly allocated ``transpose → reshape`` copy.  Fused
+  execution is bit-identical to the step-by-step path.
+
 :class:`PlanStats` instruments execution with per-node step counters; the
 benchmark and the equivalence tests use it to assert that the cached path
 performs each slice-invariant contraction exactly once.
@@ -67,6 +77,13 @@ from ..core.stem import stem_slot_schedule
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .fusion import (
+    SCRATCH_LHS,
+    SCRATCH_RHS,
+    FusedRun,
+    compile_fused_runs,
+    compile_step_tapes,
+)
 
 __all__ = [
     "CompiledPlan",
@@ -109,6 +126,11 @@ class PlanStats:
     branch_writes:
         Number of step outputs written into a recycled branch buffer from
         the size-bucketed free list.
+    fused_steps:
+        Number of GEMMs executed inside fused runs (stem sub-paths whose
+        intermediates never left the arena's slots and scratch); their
+        wall time accumulates under the ``"fused_kernel"`` stage of
+        :attr:`stage_seconds` so calibration can see the fused kernels.
     subtask_seconds:
         Wall-time samples of ``execute`` calls (cache warming excluded) —
         the measured per-subtask samples the calibrated cost model fits.
@@ -134,6 +156,7 @@ class PlanStats:
     batched_executions: int = 0
     slot_writes: int = 0
     branch_writes: int = 0
+    fused_steps: int = 0
     subtask_seconds: List[float] = field(default_factory=list)
     subtask_seconds_sum: float = 0.0
     timed_subtasks: int = 0
@@ -179,6 +202,7 @@ class PlanStats:
         self.batched_executions += other.batched_executions
         self.slot_writes += other.slot_writes
         self.branch_writes += other.branch_writes
+        self.fused_steps += other.fused_steps
         room = MAX_TIMING_SAMPLES - len(self.subtask_seconds)
         if room > 0:
             self.subtask_seconds.extend(other.subtask_seconds[:room])
@@ -189,7 +213,7 @@ class PlanStats:
 
 
 class StemSlots:
-    """Reusable output buffers: two stem slots plus a branch free list.
+    """Reusable buffers: two stem slots, a branch free list, named scratch.
 
     The stem is a chain of contractions in which each intermediate is
     consumed by exactly the next step, so its running tensor only ever
@@ -214,7 +238,7 @@ class StemSlots:
     requested dtype changes, so one arena serves plans of any size.
     """
 
-    __slots__ = ("_buffers", "_free", "_loans")
+    __slots__ = ("_buffers", "_free", "_loans", "_scratch", "_scratch_views")
 
     def __init__(self) -> None:
         self._buffers: List[Optional[np.ndarray]] = [None, None]
@@ -222,6 +246,11 @@ class StemSlots:
         self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
         # id of the flat buffer backing each outstanding loan
         self._loans: Dict[int, np.ndarray] = {}
+        # named grow-only scratch buffers (fused permutation staging)
+        self._scratch: Dict[str, np.ndarray] = {}
+        # (key, shape, dtype) -> cached shaped view of the key's buffer,
+        # so the fused hot loop skips the slice/reshape on every reuse
+        self._scratch_views: Dict[Tuple, np.ndarray] = {}
 
     def out_for(
         self, slot: int, shape: Tuple[int, ...], dtype: np.dtype
@@ -235,6 +264,44 @@ class StemSlots:
             buffer = np.empty(max(size, 1), dtype=dtype)
             self._buffers[slot] = buffer
         return buffer[:size].reshape(shape)
+
+    def scratch(
+        self, key: str, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """A named grow-only scratch view of ``shape``/``dtype``.
+
+        The fused executor stages permuted GEMM operands here (one key per
+        operand side): each staged copy is consumed by the very next
+        ``np.dot``, so a single buffer per key serves every fused step of
+        every subtask with zero steady-state allocations.  Shaped views
+        are memoized per ``(key, shape, dtype)`` — the hot loop's repeat
+        requests cost one dict lookup.  When a key's buffer is outgrown
+        (or re-typed) and replaced, every cached view of the retired
+        buffer is dropped, so a long-lived arena (a pool worker's, across
+        many plans) retains at most one buffer generation per key.
+        """
+        views = self._scratch_views
+        cache_key = (key, shape, dtype)
+        view = views.get(cache_key)
+        if view is not None:
+            return view
+        size = 1
+        for dim in shape:
+            size *= dim
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.size < size or buffer.dtype != dtype:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._scratch[key] = buffer
+            for stale in [k for k in views if k[0] == key]:
+                del views[stale]
+        view = buffer[:size].reshape(shape)
+        views[cache_key] = view
+        return view
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Total bytes currently held by the named scratch buffers."""
+        return sum(b.nbytes for b in self._scratch.values())
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -340,6 +407,13 @@ class ContractStep:
     td_perm_lhs: Optional[Tuple[int, ...]] = None
     td_perm_rhs: Optional[Tuple[int, ...]] = None
     td_mkn: Optional[Tuple[int, int, int]] = None
+    #: Compile-time identity flags: when a compiled permutation is the
+    #: identity the executor skips the ``np.transpose`` call entirely (and
+    #: the trailing reshape when the shapes already match).
+    td_lhs_identity: bool = False
+    td_rhs_identity: bool = False
+    bmm_lhs_identity: bool = False
+    bmm_rhs_identity: bool = False
 
 
 class CompiledPlan:
@@ -363,9 +437,18 @@ class CompiledPlan:
         out_sizes: Dict[str, int],
         root_perm: Optional[Tuple[int, ...]],
         branch_buffers: bool = False,
+        fused: bool = False,
+        fused_runs_full: Tuple[FusedRun, ...] = (),
+        fused_runs_cached: Tuple[FusedRun, ...] = (),
+        fusion_plan=None,
+        step_tapes: Optional[Dict[int, Tuple]] = None,
     ) -> None:
         self._tree = tree
         self._branch_buffers = bool(branch_buffers)
+        # fused plans always recycle off-stem outputs through the free
+        # list: every tensordot step carries the explicit GEMM layout, so
+        # branch contractions skip the allocating np.tensordot wrapper
+        self._recycle_branches = bool(branch_buffers or fused)
         self._enumerated = enumerated
         self._enumerated_sizes: Dict[str, int] = {}
         for ix in enumerated:
@@ -389,6 +472,42 @@ class CompiledPlan:
         )
         self._invariant_steps = tuple(s for s in steps if s.invariant)
         self._variant_steps = tuple(s for s in steps if not s.invariant)
+        self._fused_runs_full = fused_runs_full
+        self._fused_runs_cached = fused_runs_cached
+        self._fusion_plan = fusion_plan
+        self._step_tapes: Dict[int, Tuple] = dict(step_tapes or {})
+        # execution sequences interleaving tape entries (inlined tensordot
+        # steps), einsum/bmm fallback steps and fused runs; a run is
+        # placed at its last member's position so every absorbed branch is
+        # already computed when the run starts
+        if fused:
+            self._exec_full: Optional[Tuple[object, ...]] = self._interleave(
+                steps, fused_runs_full
+            )
+            self._exec_cached: Optional[Tuple[object, ...]] = self._interleave(
+                self._variant_steps, fused_runs_cached
+            )
+        else:
+            self._exec_full = None
+            self._exec_cached = None
+
+    def _interleave(
+        self, steps: Sequence[ContractStep], runs: Tuple[FusedRun, ...]
+    ) -> Tuple[object, ...]:
+        """Replace each run's steps with the run itself, at the last slot."""
+        run_of: Dict[int, FusedRun] = {
+            node: run for run in runs for node in run.nodes
+        }
+        entries: List[object] = []
+        for step in steps:
+            run = run_of.get(step.node)
+            if run is None:
+                tape = self._step_tapes.get(step.node)
+                entries.append(step if tape is None else tape)
+            elif step.node == run.nodes[-1]:
+                entries.append(run)
+            # earlier members execute inside the run, not as entries
+        return tuple(entries)
 
     # ------------------------------------------------------------------
     @property
@@ -410,6 +529,26 @@ class CompiledPlan:
     def branch_buffers(self) -> bool:
         """Whether branch intermediates draw from the arena's free list."""
         return self._branch_buffers
+
+    @property
+    def fused(self) -> bool:
+        """Whether this plan carries precompiled fused stem runs."""
+        return bool(self._fused_runs_full or self._fused_runs_cached)
+
+    @property
+    def fused_runs(self) -> Tuple[FusedRun, ...]:
+        """The fused runs of the full (uncached) execution sequence."""
+        return self._fused_runs_full
+
+    @property
+    def fused_runs_cached(self) -> Tuple[FusedRun, ...]:
+        """The fused runs of the cache-warm execution sequence."""
+        return self._fused_runs_cached
+
+    @property
+    def fusion_plan(self):
+        """The §5 :class:`~repro.core.secondary.FusedPlan` behind the runs."""
+        return self._fusion_plan
 
     @property
     def batch_index(self) -> Optional[str]:
@@ -568,21 +707,24 @@ class CompiledPlan:
             stats.executions += 1
             if self._batch_indices:
                 stats.batched_executions += 1
-        release = self._branch_buffers and slots is not None
+        release = self._recycle_branches and slots is not None
 
         if cache is None:
             start = time.perf_counter()
             live: Dict[int, np.ndarray] = {}
             for ls in self._leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
-            for step in self._steps:
-                self._run_step(step, live, slots, stats)
-                if stats is not None:
-                    stats.record_step(step.node)
-                for child in step.free_full:
-                    if release:
-                        slots.release_branch(live[child])  # type: ignore[union-attr]
-                    del live[child]
+            if slots is not None and self._exec_full is not None:
+                self._run_entries(self._exec_full, live, slots, stats, release, False)
+            else:
+                for step in self._steps:
+                    self._run_step(step, live, slots, stats)
+                    if stats is not None:
+                        stats.record_step(step.node)
+                    for child in step.free_full:
+                        if release:
+                            slots.release_branch(live[child])  # type: ignore[union-attr]
+                        del live[child]
         else:
             if not self.cache_is_warm(cache):
                 self.warm_cache(network, cache, stats)
@@ -592,14 +734,17 @@ class CompiledPlan:
                 stats.cache_hits += len(self._frontier)
             for ls in self._variant_leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
-            for step in self._variant_steps:
-                self._run_step(step, live, slots, stats)
-                if stats is not None:
-                    stats.record_step(step.node)
-                for child in step.free_cached:
-                    if release:
-                        slots.release_branch(live[child])  # type: ignore[union-attr]
-                    del live[child]
+            if slots is not None and self._exec_cached is not None:
+                self._run_entries(self._exec_cached, live, slots, stats, release, True)
+            else:
+                for step in self._variant_steps:
+                    self._run_step(step, live, slots, stats)
+                    if stats is not None:
+                        stats.record_step(step.node)
+                    for child in step.free_cached:
+                        if release:
+                            slots.release_branch(live[child])  # type: ignore[union-attr]
+                        del live[child]
 
         if stats is not None:
             elapsed = time.perf_counter() - start
@@ -636,6 +781,185 @@ class CompiledPlan:
             data = np.asarray(data, dtype=self._dtype)
         return data
 
+    def _run_entries(
+        self,
+        entries: Tuple[object, ...],
+        live: Dict[int, np.ndarray],
+        slots: StemSlots,
+        stats: Optional[PlanStats],
+        release: bool,
+        cached: bool,
+    ) -> None:
+        """Execute a fused sequence.
+
+        Three entry kinds: precompiled tape tuples (every tensordot step —
+        operands staged through the §5.3.1 permutation kernels, the GEMM
+        written into a stem slot, a recycled free-list buffer, or — for
+        the root only — a fresh caller-owned buffer), :class:`FusedRun`
+        objects (whole stem sub-paths), and plain
+        :class:`ContractStep` fallbacks (einsum / bmm kinds).  All three
+        produce bit-identical values to the step-by-step loop.
+        """
+        timed = stats is not None
+        out_for = slots.out_for
+        take_branch = slots.take_branch
+        scratch = slots.scratch
+        dot = np.dot
+        copyto = np.copyto
+        for entry in entries:
+            kind = type(entry)
+            if kind is tuple:
+                (
+                    node,
+                    lhs_node,
+                    rhs_node,
+                    (l_mode, l_p1, l_p2, l_out2d),
+                    (r_mode, r_p1, r_p2, r_out2d),
+                    slot,
+                    mn,
+                    out_shape,
+                    is_root,
+                    free_full,
+                    free_cached,
+                ) = entry
+                a = live[lhs_node]
+                b = live[rhs_node]
+                if l_mode == 0:
+                    a2 = a.reshape(l_out2d)
+                elif l_mode == 1:
+                    staged = scratch(SCRATCH_LHS, l_p1, a.dtype)
+                    a.reshape(l_p1).take(l_p2, axis=1, out=staged)
+                    a2 = staged.reshape(l_out2d)
+                else:
+                    staged = scratch(SCRATCH_LHS, l_p2, a.dtype)
+                    copyto(staged, a.transpose(l_p1))
+                    a2 = staged.reshape(l_out2d)
+                if r_mode == 0:
+                    b2 = b.reshape(r_out2d)
+                elif r_mode == 1:
+                    staged = scratch(SCRATCH_RHS, r_p1, b.dtype)
+                    b.reshape(r_p1).take(r_p2, axis=1, out=staged)
+                    b2 = staged.reshape(r_out2d)
+                else:
+                    staged = scratch(SCRATCH_RHS, r_p2, b.dtype)
+                    copyto(staged, b.transpose(r_p1))
+                    b2 = staged.reshape(r_out2d)
+                adt = a.dtype
+                bdt = b.dtype
+                dtype = adt if adt == bdt else np.result_type(a, b)
+                if slot is not None:
+                    out2 = out_for(slot, mn, dtype)
+                    if timed:
+                        stats.slot_writes += 1  # type: ignore[union-attr]
+                elif is_root:
+                    # handed to the caller: never a recycled buffer
+                    out2 = np.empty(mn, dtype)
+                else:
+                    out2 = take_branch(mn, dtype)
+                    if timed:
+                        stats.branch_writes += 1  # type: ignore[union-attr]
+                dot(a2, b2, out=out2)
+                live[node] = out2 if out_shape is None else out2.reshape(out_shape)
+                if timed:
+                    stats.record_step(node)  # type: ignore[union-attr]
+                for child in free_cached if cached else free_full:
+                    if release:
+                        slots.release_branch(live[child])
+                    del live[child]
+            elif kind is FusedRun:
+                self._run_fused(entry, live, slots, stats, release, cached)
+            else:
+                step = entry  # type: ignore[assignment]
+                self._run_step(step, live, slots, stats)
+                if timed:
+                    stats.record_step(step.node)  # type: ignore[union-attr]
+                for child in step.free_cached if cached else step.free_full:
+                    if release:
+                        slots.release_branch(live[child])
+                    del live[child]
+
+    def _run_fused(
+        self,
+        run: FusedRun,
+        live: Dict[int, np.ndarray],
+        slots: StemSlots,
+        stats: Optional[PlanStats],
+        release: bool,
+        cached: bool,
+    ) -> None:
+        """Execute one fused stem sub-path with no main-memory round-trip.
+
+        The running stem tensor lives in the arena's alternating slots;
+        permuted operands are staged through the arena's named scratch (or
+        taken as reshape views when the compiled permutation is the
+        identity).  Interior intermediates never enter ``live`` — only the
+        run's final output does.  Every GEMM sees exactly the operands the
+        step-by-step path would build, so the result is bit-identical.
+        """
+        timed = stats is not None
+        start = time.perf_counter() if timed else 0.0
+        out_for = slots.out_for
+        scratch = slots.scratch
+        dot = np.dot
+        copyto = np.copyto
+        running = live[run.first_stem]
+        free_lists = run.tape_free_cached if cached else run.tape_free_full  # type: ignore[attr-defined]
+        node = run.first_stem
+        for entry, free_nodes in zip(run.tape, free_lists):  # type: ignore[attr-defined]
+            (
+                node,
+                lhs_node,
+                rhs_node,
+                stem_on_lhs,
+                (l_mode, l_p1, l_p2, l_out2d),
+                (r_mode, r_p1, r_p2, r_out2d),
+                slot,
+                mn,
+                out_shape,
+            ) = entry
+            if stem_on_lhs:
+                a, b = running, live[rhs_node]
+            else:
+                a, b = live[lhs_node], running
+            if l_mode == 0:
+                a2 = a.reshape(l_out2d)
+            elif l_mode == 1:
+                staged = scratch(SCRATCH_LHS, l_p1, a.dtype)
+                a.reshape(l_p1).take(l_p2, axis=1, out=staged)
+                a2 = staged.reshape(l_out2d)
+            else:
+                staged = scratch(SCRATCH_LHS, l_p2, a.dtype)
+                copyto(staged, a.transpose(l_p1))
+                a2 = staged.reshape(l_out2d)
+            if r_mode == 0:
+                b2 = b.reshape(r_out2d)
+            elif r_mode == 1:
+                staged = scratch(SCRATCH_RHS, r_p1, b.dtype)
+                b.reshape(r_p1).take(r_p2, axis=1, out=staged)
+                b2 = staged.reshape(r_out2d)
+            else:
+                staged = scratch(SCRATCH_RHS, r_p2, b.dtype)
+                copyto(staged, b.transpose(r_p1))
+                b2 = staged.reshape(r_out2d)
+            adt = a.dtype
+            bdt = b.dtype
+            out2 = out_for(slot, mn, adt if adt == bdt else np.result_type(a, b))
+            dot(a2, b2, out=out2)
+            running = out2 if out_shape is None else out2.reshape(out_shape)
+            for child in free_nodes:
+                if release:
+                    slots.release_branch(live[child])
+                del live[child]
+        live[node] = running
+        if timed:
+            counts = stats.node_counts  # type: ignore[union-attr]
+            for step_node in run.tape_nodes:  # type: ignore[attr-defined]
+                counts[step_node] = counts.get(step_node, 0) + 1
+            num_ops = len(run.ops)
+            stats.slot_writes += num_ops  # type: ignore[union-attr]
+            stats.fused_steps += num_ops  # type: ignore[union-attr]
+            stats.record_stage("fused_kernel", time.perf_counter() - start)  # type: ignore[union-attr]
+
     def _run_step(
         self,
         step: ContractStep,
@@ -650,7 +974,7 @@ class CompiledPlan:
         # root is excluded because its buffer is handed to the caller
         use_branch = (
             not use_slot
-            and self._branch_buffers
+            and self._recycle_branches
             and slots is not None
             and step.kind == "tensordot"
             and step.td_mkn is not None
@@ -661,10 +985,17 @@ class CompiledPlan:
                 # the explicit transpose → reshape → dot sequence below is
                 # exactly what np.tensordot performs, so writing the GEMM
                 # into a slot or free-list buffer is bit-identical to the
-                # allocating path
+                # allocating path; identity permutations skip the
+                # transpose call (a reshape of the same buffer)
                 m, k, n = step.td_mkn  # type: ignore[misc]
-                a2 = np.transpose(a, step.td_perm_lhs).reshape(m, k)
-                b2 = np.transpose(b, step.td_perm_rhs).reshape(k, n)
+                if step.td_lhs_identity:
+                    a2 = a.reshape(m, k)
+                else:
+                    a2 = np.transpose(a, step.td_perm_lhs).reshape(m, k)
+                if step.td_rhs_identity:
+                    b2 = b.reshape(k, n)
+                else:
+                    b2 = np.transpose(b, step.td_perm_rhs).reshape(k, n)
                 if use_slot:
                     out2 = slots.out_for(step.slot, (m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
                 else:
@@ -672,12 +1003,18 @@ class CompiledPlan:
                     if stats is not None:
                         stats.branch_writes += 1
                 np.dot(a2, b2, out=out2)
-                out = out2.reshape(step.out_shape)
+                out = out2 if out2.shape == step.out_shape else out2.reshape(step.out_shape)
             else:
                 out = np.tensordot(a, b, axes=step.axes)
         elif step.kind == "bmm":
-            a3 = np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
-            b3 = np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
+            if step.bmm_lhs_identity:
+                a3 = a.reshape(step.bmm_lhs_shape)
+            else:
+                a3 = np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
+            if step.bmm_rhs_identity:
+                b3 = b.reshape(step.bmm_rhs_shape)
+            else:
+                b3 = np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
             if use_slot:
                 shape3 = (step.bmm_lhs_shape[0], step.bmm_lhs_shape[1], step.bmm_rhs_shape[2])  # type: ignore[index]
                 out3 = slots.out_for(step.slot, shape3, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
@@ -696,9 +1033,10 @@ class CompiledPlan:
         live[step.node] = out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fused = sum(run.num_steps for run in self._fused_runs_full)
         return (
             f"CompiledPlan(steps={len(self._steps)}, "
-            f"invariant={len(self._invariant_steps)}, "
+            f"invariant={len(self._invariant_steps)}, fused={fused}, "
             f"sliced={list(self._enumerated)}, batch={list(self._batch_indices)})"
         )
 
@@ -714,6 +1052,9 @@ def compile_plan(
     dtype: Optional[np.dtype] = None,
     batch_indices: Optional[Sequence[str]] = None,
     branch_buffers: bool = False,
+    fused: bool = False,
+    fused_cap: Optional[int] = None,
+    fused_max_steps: Optional[int] = None,
 ) -> CompiledPlan:
     """Compile ``tree`` over ``network`` for a fixed slicing set.
 
@@ -747,6 +1088,23 @@ def compile_plan(
         into recycled buffers from the arena's size-bucketed free list at
         execution time.  Values are bit-identical either way; the flag
         only changes where output buffers come from.
+    fused:
+        Run the §5 fusion pass (:func:`repro.execution.fusion.compile_fused_runs`):
+        consecutive stem GEMMs become fused runs whose operand
+        permutations are precompiled via the §5.3.1 reduced maps and whose
+        intermediates stay in the arena (engaged at execution time only
+        when a :class:`StemSlots` arena is supplied).  Bit-identical to
+        the step-by-step path.
+    fused_cap:
+        Working-set rank cap of the fusion pass's §5 group analysis (the
+        LDM-budget analogue): it bounds each group's *kept rank* and
+        thereby fixes the group boundaries — it does not cap this
+        process's actual in-flight tensor ranks, which stay what the
+        tree dictates.  ``None`` uses the machine spec's LDM rank.  See
+        :func:`repro.costs.fusion.select_fusion_cap` for cost-model-ranked
+        selection.
+    fused_max_steps:
+        Optional cap on the number of steps fused into one group.
     """
     sliced = frozenset(sliced)
     if batch_index is not None and batch_indices is not None:
@@ -842,7 +1200,7 @@ def compile_plan(
                 tuple(a_ixs.index(ix) for ix in contracted),
                 tuple(b_ixs.index(ix) for ix in contracted),
             )
-            if node in slot_of or branch_buffers:
+            if node in slot_of or branch_buffers or fused:
                 # explicit transpose → reshape → dot layout mirroring
                 # np.tensordot, so the step can write into a stem slot or
                 # a recycled branch buffer
@@ -858,6 +1216,12 @@ def compile_plan(
                     math.prod(size(ix) for ix in kept_a),
                     math.prod(size(ix) for ix in contracted),
                     math.prod(size(ix) for ix in kept_b),
+                )
+                kwargs["td_lhs_identity"] = kwargs["td_perm_lhs"] == tuple(
+                    range(len(a_ixs))
+                )
+                kwargs["td_rhs_identity"] = kwargs["td_perm_rhs"] == tuple(
+                    range(len(b_ixs))
                 )
         elif (
             node_batch
@@ -885,6 +1249,12 @@ def compile_plan(
             kwargs["bmm_rhs_shape"] = (w_b, k, n)
             kwargs["bmm_out_shape"] = tuple(
                 size(ix) for ix in (*b_order, *m_ixs, *n_ixs)
+            )
+            kwargs["bmm_lhs_identity"] = kwargs["bmm_perm_lhs"] == tuple(
+                range(len(a_ixs))
+            )
+            kwargs["bmm_rhs_identity"] = kwargs["bmm_perm_rhs"] == tuple(
+                range(len(b_ixs))
             )
             out_order = [*b_order, *m_ixs, *n_ixs]
         else:
@@ -934,6 +1304,27 @@ def compile_plan(
             out_order_final = tuple(root_order[i] for i in perm)
     out_sizes = {ix: tree.index_size(ix) for ix in out_order_final}
 
+    fused_runs_full: Tuple[FusedRun, ...] = ()
+    fused_runs_cached: Tuple[FusedRun, ...] = ()
+    fusion_plan = None
+    step_tapes: Optional[Dict[int, Tuple]] = None
+    if fused:
+        shape_of = {
+            node: tuple(size(ix) for ix in order) for node, order in orders.items()
+        }
+        kernel_cache: Dict[int, Tuple] = {}
+        fused_runs_full, fused_runs_cached, fusion_plan = compile_fused_runs(
+            tree,
+            steps,
+            enumerated=frozenset(enumerated),
+            dependent=dependent,
+            shape_of=shape_of,
+            cap=fused_cap,
+            max_fused_steps=fused_max_steps,
+            kernel_cache=kernel_cache,
+        )
+        step_tapes = compile_step_tapes(tree, steps, shape_of, kernel_cache)
+
     return CompiledPlan(
         tree=tree,
         enumerated=tuple(sorted(enumerated)),
@@ -947,5 +1338,10 @@ def compile_plan(
         out_sizes=out_sizes,
         root_perm=root_perm,
         branch_buffers=branch_buffers,
+        fused=fused,
+        fused_runs_full=fused_runs_full,
+        fused_runs_cached=fused_runs_cached,
+        fusion_plan=fusion_plan,
+        step_tapes=step_tapes,
     )
 

@@ -17,10 +17,13 @@ intermediates — subtrees no sliced edge's lifetime reaches — are contracted
 once and shared across every subtask, the stem's running tensor alternates
 between two preallocated slots, and optionally a group of sliced indices is
 kept as leading batch axes so that all of their value combinations are
-swept in a single batched contraction (``batch_indices=``).
-``mode="reference"`` selects the seed einsum walker, which re-plans and
-re-contracts everything per subtask; it is the path everything else is
-cross-checked against.
+swept in a single batched contraction (``batch_indices=``).  With
+``fused=True`` (or ``"auto"``) whole stem sub-paths additionally execute
+as fused runs — intermediates pinned in the arena, permutations
+precompiled via the §5.3.1 reduced maps; see
+:mod:`repro.execution.fusion`.  ``mode="reference"`` selects the seed
+einsum walker, which re-plans and re-contracts everything per subtask; it
+is the path everything else is cross-checked against.
 
 *How* the subtasks run — serial, thread pool, shared-memory process pool —
 is the backend's concern (``backend=``); see
@@ -147,6 +150,23 @@ class SlicedExecutor:
         size-bucketed free list (see
         :class:`~repro.execution.plan.StemSlots`).  Values are
         bit-identical with the flag on or off.
+    fused:
+        Execute stem sub-paths as fused runs (§5 brought into the
+        compiled plan; see :mod:`repro.execution.fusion`): within a run
+        the running stem tensor stays in the arena's slots and scratch —
+        no per-step ``transpose → reshape`` allocation — with operand
+        permutations precompiled via the §5.3.1 reduced maps.  ``True``
+        fuses under ``fused_cap`` (default: the spec's LDM rank);
+        ``"auto"`` asks :func:`repro.costs.fusion.select_fusion_cap` for
+        the cost-model-ranked cap and stays step-by-step when the stem
+        has nothing to fuse; ``False`` (default) keeps the step-by-step
+        path.  Results are bit-identical in every mode and on every
+        backend.  Compiled mode only.
+    fused_cap:
+        Explicit working-set rank cap for the fusion pass's §5 group
+        analysis (the LDM-budget analogue); overrides the auto-ranked
+        choice.  The cap places group boundaries — it is not a bound on
+        this process's peak memory.
     """
 
     def __init__(
@@ -164,6 +184,8 @@ class SlicedExecutor:
         cost_model: Optional["CostModel"] = None,
         memory_target_rank: Optional[int] = None,
         branch_buffers: bool = False,
+        fused: Union[bool, str] = False,
+        fused_cap: Optional[int] = None,
     ) -> None:
         self.network = network
         self.tree = tree
@@ -187,6 +209,7 @@ class SlicedExecutor:
         self.batch_indices: Tuple[str, ...] = self._normalize_batch(
             batch_index, batch_indices, mode
         )
+        self._fused, self._fused_cap = self._normalize_fused(fused, fused_cap, mode)
 
         #: Per-node execution counters (compiled mode); the cached path must
         #: keep every slice-invariant node at exactly one execution.
@@ -253,6 +276,37 @@ class SlicedExecutor:
                 raise ValueError(f"batch index {ix!r} is not in the sliced set")
         return group
 
+    def _normalize_fused(
+        self,
+        fused: Union[bool, str],
+        fused_cap: Optional[int],
+        mode: str,
+    ) -> Tuple[bool, Optional[int]]:
+        """Resolve the ``fused=`` spec to a (flag, working-set cap) pair."""
+        if fused is False or fused is None:
+            if fused_cap is not None:
+                raise ValueError("fused_cap requires fused=True or fused='auto'")
+            return False, None
+        if mode == "reference":
+            raise ValueError("fused execution requires the compiled mode")
+        if fused is True:
+            return True, fused_cap
+        if fused == "auto":
+            cap = fused_cap
+            if cap is None:
+                from ..costs.fusion import select_fusion_cap
+
+                cap = select_fusion_cap(
+                    self.tree,
+                    frozenset(self.sliced),
+                    cost_model=self.cost_model,
+                    backend=self._backend.name if self._backend is not None else None,
+                )
+            if cap is None:  # nothing to fuse: stay step-by-step
+                return False, None
+            return True, cap
+        raise ValueError(f"fused must be True, False or 'auto', got {fused!r}")
+
     # ------------------------------------------------------------------
     @property
     def batch_index(self) -> Optional[str]:
@@ -265,6 +319,16 @@ class SlicedExecutor:
     def backend(self) -> Optional[ExecutionBackend]:
         """The execution backend (``None`` in reference mode)."""
         return self._backend
+
+    @property
+    def fused(self) -> bool:
+        """Whether plans are compiled with the §5 fusion pass."""
+        return self._fused
+
+    @property
+    def fused_cap(self) -> Optional[int]:
+        """The resolved working-set cap of the fusion pass (``None`` = spec)."""
+        return self._fused_cap
 
     @property
     def plan(self) -> Optional[CompiledPlan]:
@@ -331,6 +395,8 @@ class SlicedExecutor:
             frozenset(self.sliced),
             dtype=self._dtype,
             branch_buffers=self._branch_buffers,
+            fused=self._fused,
+            fused_cap=self._fused_cap,
         )
         self._cache = self._plan.new_cache() if self._cache_invariant else None
         self._snapshot_leaves()
@@ -344,6 +410,8 @@ class SlicedExecutor:
             batch_indices=self.batch_indices,
             dtype=self._dtype,
             branch_buffers=self._branch_buffers,
+            fused=self._fused,
+            fused_cap=self._fused_cap,
         )
         self._batched_cache = (
             self._batched_plan.new_cache() if self._cache_invariant else None

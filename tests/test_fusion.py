@@ -1,0 +1,427 @@
+"""Tests of the real fused sub-path executor (§5 in the compiled plan).
+
+The fused mode must be *bit-identical* to the step-by-step path — same
+values, same accumulation order — on every backend, for every chunking,
+with and without the invariant cache, with batched sweeps, and through a
+persistent process-pool session.  The fusion pass itself is
+property-tested: every fused group's working set respects the cap the
+pass was given (the LDM-budget analogue), and every precompiled
+permutation kernel reproduces ``np.transpose`` exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_brickwork_circuit
+from repro.core.permutation_map import PermutationSpec
+from repro.core.stem import extract_stem
+from repro.costs import (
+    AnalyticCostModel,
+    predicted_fused_seconds,
+    rank_fusion_caps,
+    select_fusion_cap,
+)
+from repro.execution import (
+    FusedRun,
+    SerialBackend,
+    SharedMemoryProcessPoolBackend,
+    SlicedExecutor,
+    StemSlots,
+    ThreadPoolBackend,
+    compile_plan,
+)
+from repro.execution.fusion import _perm_kernel
+from repro.paths import GreedyOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _case(num_qubits=6, depth=4, seed=13):
+    circ = random_brickwork_circuit(num_qubits, depth, seed=seed)
+    tn = amplitude_network(circ, [0] * num_qubits)
+    simplify_network(tn)
+    tree = GreedyOptimizer(seed=1).tree(tn)
+    return tn, tree
+
+
+@pytest.fixture(scope="module")
+def case():
+    return _case()
+
+
+@pytest.fixture(scope="module")
+def sliced(case):
+    tn, _ = case
+    return sorted(tn.inner_indices())[:4]
+
+
+@pytest.fixture(scope="module")
+def stepwise_value(case, sliced):
+    tn, tree = case
+    return SlicedExecutor(tn, tree, sliced).amplitude()
+
+
+class TestFusedBitIdentity:
+    """Fused execution vs the step-by-step path: exact equality."""
+
+    def test_fused_serial(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, sliced, fused=True)
+        assert executor.fused
+        assert executor.amplitude() == stepwise_value
+        assert executor.stats.fused_steps > 0
+
+    def test_fused_plan_level_per_assignment(self, case, sliced):
+        """Every assignment's full result tensor matches bit for bit."""
+        tn, tree = case
+        plain = compile_plan(tn, tree, frozenset(sliced))
+        fused = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        assert fused.fused and fused.fused_runs
+        slots_a, slots_b = StemSlots(), StemSlots()
+        cache_a, cache_b = plain.new_cache(), fused.new_cache()
+        sizes = {ix: tree.index_size(ix) for ix in sliced}
+        for values in itertools.product(*[range(sizes[ix]) for ix in sliced]):
+            assignment = dict(zip(sliced, values))
+            expected = plain.execute(tn, assignment, cache=cache_a, slots=slots_a)
+            actual = fused.execute(tn, assignment, cache=cache_b, slots=slots_b)
+            assert np.array_equal(
+                expected.require_data(), actual.require_data()
+            ), assignment
+
+    def test_fused_uncached(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused=True, cache_invariant=False
+        )
+        assert executor.amplitude() == stepwise_value
+
+    def test_fused_without_slots_falls_back_stepwise(self, case, sliced):
+        """``run_subtask`` passes no arena, so the fused plan runs stepwise."""
+        tn, tree = case
+        plain = SlicedExecutor(tn, tree, sliced)
+        fused = SlicedExecutor(tn, tree, sliced, fused=True)
+        for subtask_id in (0, 3, 7):
+            expected = plain.run_subtask(subtask_id).tensor.require_data()
+            actual = fused.run_subtask(subtask_id).tensor.require_data()
+            assert np.array_equal(expected, actual)
+        assert fused.stats.fused_steps == 0
+
+    @pytest.mark.parametrize("cap", [1, 2, 4, 8, 13])
+    def test_fused_every_cap(self, case, sliced, stepwise_value, cap):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, sliced, fused=True, fused_cap=cap)
+        assert executor.amplitude() == stepwise_value
+
+    def test_fused_with_branch_buffers_flag(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused=True, branch_buffers=True
+        )
+        assert executor.amplitude() == stepwise_value
+
+    def test_fused_auto(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, sliced, fused="auto")
+        assert executor.fused
+        assert executor.fused_cap == select_fusion_cap(
+            tree, frozenset(sliced)
+        )
+        assert executor.amplitude() == stepwise_value
+
+    def test_fused_auto_with_cost_model(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused="auto", cost_model=AnalyticCostModel()
+        )
+        assert executor.amplitude() == stepwise_value
+
+
+class TestFusedBackends:
+    """Fused plans through every scheduling substrate, bit-identical."""
+
+    @pytest.mark.parametrize(
+        "make_backend",
+        [
+            lambda: SerialBackend(),
+            lambda: ThreadPoolBackend(max_workers=2),
+            lambda: ThreadPoolBackend(max_workers=3, chunk_size=1),
+            lambda: SharedMemoryProcessPoolBackend(max_workers=2),
+            lambda: SharedMemoryProcessPoolBackend(max_workers=2, chunk_size=3),
+        ],
+        ids=["serial", "threads", "threads-chunk1", "pool", "pool-chunk3"],
+    )
+    def test_fused_backend_bit_identical(
+        self, case, sliced, stepwise_value, make_backend
+    ):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused=True, backend=make_backend()
+        )
+        assert executor.amplitude() == stepwise_value
+
+    def test_fused_batched_sweep(self, case, sliced):
+        """Batched plans fuse what they can and stay bit-identical."""
+        tn, tree = case
+        for group in ([sliced[0]], sliced[:2], sliced[:3]):
+            expected = SlicedExecutor(
+                tn, tree, sliced, batch_indices=group
+            ).amplitude()
+            actual = SlicedExecutor(
+                tn, tree, sliced, batch_indices=group, fused=True
+            ).amplitude()
+            assert actual == expected, group
+
+    def test_fused_session_reuse(self, case, sliced, stepwise_value):
+        tn, tree = case
+        backend = SharedMemoryProcessPoolBackend(max_workers=2)
+        executor = SlicedExecutor(tn, tree, sliced, fused=True, backend=backend)
+        with executor.session() as session:
+            first = executor.amplitude()
+            second = executor.amplitude()
+            assert session.pool_launches == 1
+            assert session.publications == 1
+        assert first == stepwise_value
+        assert second == stepwise_value
+
+    def test_fused_plan_pickles(self, case, sliced):
+        """Fused plans ship to pool workers unchanged (pickle round-trip)."""
+        tn, tree = case
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fused
+        assert [r.nodes for r in clone.fused_runs] == [
+            r.nodes for r in plan.fused_runs
+        ]
+        slots_a, slots_b = StemSlots(), StemSlots()
+        assignment = {ix: 0 for ix in sliced}
+        expected = plan.execute(tn, assignment, slots=slots_a).require_data()
+        actual = clone.execute(tn, assignment, slots=slots_b).require_data()
+        assert np.array_equal(expected, actual)
+
+
+class TestFusedStats:
+    """Instrumentation parity and the fused-kernel stage."""
+
+    def test_node_counts_match_stepwise(self, case, sliced):
+        tn, tree = case
+        plain = SlicedExecutor(tn, tree, sliced)
+        fused = SlicedExecutor(tn, tree, sliced, fused=True)
+        plain.run()
+        fused.run()
+        assert fused.stats.node_counts == plain.stats.node_counts
+
+    def test_invariant_contracted_once(self, case, sliced):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, sliced, fused=True)
+        executor.run()
+        for node in executor.plan.invariant_nodes:
+            assert executor.stats.node_counts.get(node, 0) == 1
+
+    def test_fused_kernel_stage_recorded(self, case, sliced):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, sliced, fused=True)
+        executor.run()
+        stages = executor.stats.stage_seconds
+        assert stages.get("fused_kernel", 0.0) > 0.0
+        assert stages["fused_kernel"] <= stages["execute"]
+
+    def test_stats_merge_carries_fused_steps(self, case, sliced):
+        from repro.execution import PlanStats
+
+        merged = PlanStats()
+        other = PlanStats()
+        other.fused_steps = 7
+        other.stage_seconds["fused_kernel"] = 0.5
+        merged.merge(other)
+        assert merged.fused_steps == 7
+        assert merged.stage_seconds["fused_kernel"] == 0.5
+
+
+class TestFusionPass:
+    """Structural properties of the fusion pass itself."""
+
+    @given(cap=st.integers(min_value=1, max_value=13))
+    @SETTINGS
+    def test_groups_respect_working_set_cap(self, cap):
+        tn, tree = _case()
+        sliced = sorted(tn.inner_indices())[:4]
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True, fused_cap=cap)
+        for run in plan.fused_runs + plan.fused_runs_cached:
+            assert isinstance(run, FusedRun)
+            assert run.num_steps >= 2
+            assert run.kept_rank <= cap
+
+    def test_runs_cover_contiguous_stem_chains(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        stem_nodes = [step.node for step in extract_stem(tree).steps]
+        for run in plan.fused_runs:
+            positions = [stem_nodes.index(node) for node in run.nodes]
+            assert positions == list(
+                range(positions[0], positions[0] + len(positions))
+            )
+
+    def test_cached_runs_are_dependent_only(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        for run in plan.fused_runs_cached:
+            for node in run.nodes:
+                assert node in plan.dependent_nodes
+
+    def test_identity_flags_match_permutations(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        for step in plan._steps:
+            if step.td_perm_lhs is not None:
+                assert step.td_lhs_identity == (
+                    step.td_perm_lhs == tuple(range(len(step.td_perm_lhs)))
+                )
+            if step.td_perm_rhs is not None:
+                assert step.td_rhs_identity == (
+                    step.td_perm_rhs == tuple(range(len(step.td_perm_rhs)))
+                )
+
+    def test_fused_requires_compiled_mode(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(ValueError, match="compiled"):
+            SlicedExecutor(tn, tree, sliced, mode="reference", fused=True)
+
+    def test_fused_cap_requires_fused(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(ValueError, match="fused_cap"):
+            SlicedExecutor(tn, tree, sliced, fused_cap=4)
+
+    def test_bad_fused_spec_rejected(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(ValueError, match="fused"):
+            SlicedExecutor(tn, tree, sliced, fused="yes-please")
+
+
+class TestPermKernels:
+    """Every kernel strategy reproduces ``np.transpose`` exactly."""
+
+    @given(
+        rank=st.integers(min_value=2, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @SETTINGS
+    def test_kernel_matches_transpose(self, rank, seed):
+        rng = np.random.default_rng(seed)
+        perm = tuple(int(x) for x in rng.permutation(rank))
+        shape = tuple(int(x) for x in rng.integers(1, 4, size=rank))
+        split = int(rng.integers(0, rank + 1))
+        target_shape = tuple(shape[axis] for axis in perm)
+        m = int(np.prod(target_shape[:split], dtype=np.int64))
+        k = int(np.prod(target_shape[split:], dtype=np.int64))
+        kernel = _perm_kernel(perm, shape, (m, k))
+        array = rng.standard_normal(shape).astype(np.float64)
+        slots = StemSlots()
+        expected = np.transpose(array, perm).reshape(m, k)
+        actual = kernel.apply(array, "test", slots)
+        assert np.array_equal(expected, actual)
+
+    def test_strategies_cover_all_three(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        strategies = set()
+        for run in plan.fused_runs:
+            for op in run.ops:
+                strategies.add(op.perm_lhs.strategy)
+                strategies.add(op.perm_rhs.strategy)
+        assert strategies <= {"view", "gather", "copy"}
+        assert strategies  # at least one kernel compiled
+
+
+class TestScratchArena:
+    """The named scratch buffers behind the permutation staging."""
+
+    def test_views_are_memoized(self):
+        slots = StemSlots()
+        first = slots.scratch("k", (4, 4), np.dtype(np.complex64))
+        second = slots.scratch("k", (4, 4), np.dtype(np.complex64))
+        assert first is second
+
+    def test_outgrown_buffer_generations_are_dropped(self):
+        """A long-lived arena retains one buffer generation per key."""
+        slots = StemSlots()
+        dtype = np.dtype(np.complex64)
+        small = slots.scratch("k", (4, 4), dtype)
+        # growing the buffer retires the old generation and its views
+        big = slots.scratch("k", (64, 64), dtype)
+        assert slots.scratch("k", (4, 4), dtype) is not small
+        assert slots.scratch("k", (4, 4), dtype).base is big.base
+        assert slots.scratch_bytes == big.base.nbytes
+
+    def test_retype_drops_views_too(self):
+        slots = StemSlots()
+        c64 = slots.scratch("k", (8,), np.dtype(np.complex64))
+        c128 = slots.scratch("k", (8,), np.dtype(np.complex128))
+        assert c128.dtype == np.complex128
+        assert slots.scratch("k", (8,), np.dtype(np.complex128)) is c128
+        assert c64.dtype == np.complex64  # old view untouched, just retired
+
+
+class TestFusionCostModel:
+    """Cost-model-ranked cap selection."""
+
+    def test_rank_and_select(self, case, sliced):
+        _, tree = case
+        ranked = rank_fusion_caps(tree, frozenset(sliced))
+        assert ranked
+        caps = [cap for cap, _ in ranked]
+        seconds = [s for _, s in ranked]
+        assert seconds == sorted(seconds)
+        assert select_fusion_cap(tree, frozenset(sliced)) == caps[0]
+        for _, predicted in ranked:
+            assert predicted > 0
+
+    def test_larger_cap_never_predicted_slower(self, case, sliced):
+        """A cap >= the stem's peak rank fuses maximally: minimal traffic."""
+        _, tree = case
+        sliced_set = frozenset(sliced)
+        stem = extract_stem(tree)
+        ranks = [len(step.result_indices - sliced_set) for step in stem.steps]
+        peak = max(ranks)
+        loose = predicted_fused_seconds(tree, sliced_set, cap=peak)
+        tight = predicted_fused_seconds(tree, sliced_set, cap=1)
+        assert loose <= tight
+
+    def test_calibrated_overhead_charged_per_group(self, case, sliced):
+        from repro.costs import BackendCoefficients, CalibratedCostModel
+
+        _, tree = case
+        model = CalibratedCostModel(
+            {"serial": BackendCoefficients(1e-12, 1e-3, samples=4)}
+        )
+        ranked = rank_fusion_caps(
+            tree, frozenset(sliced), cost_model=model, backend="serial"
+        )
+        baseline = rank_fusion_caps(tree, frozenset(sliced))
+        overheads = dict(ranked)
+        for cap, seconds in baseline:
+            # the calibrated per-step term adds a positive per-group cost
+            assert overheads[cap] > seconds
+
+    def test_short_stem_declines_fusion(self):
+        tn, tree = _case(num_qubits=2, depth=1, seed=3)
+        cap = select_fusion_cap(tree, frozenset())
+        if extract_stem(tree).length < 2:
+            assert cap is None
+        else:
+            assert isinstance(cap, int) and cap >= 1
+        # "auto" on a nothing-to-fuse workload quietly stays step-by-step
+        executor = SlicedExecutor(tn, tree, [], fused="auto")
+        reference = SlicedExecutor(tn, tree, []).amplitude()
+        assert executor.amplitude() == reference

@@ -130,6 +130,48 @@ class TestSliceRefiner:
         assert refined.satisfies_target
         assert refined.overhead <= baseline.overhead + 1e-9
 
+    def test_cost_model_scoring_flag_guarded(
+        self, grid_tree, grid_cost_model, grid_target_rank
+    ):
+        """``cost_model=`` swaps the objective to predicted seconds.
+
+        The default (no model) stays bit-identical to the flop-scored
+        behaviour: same seed, same trajectory, same result.  With a model
+        the refiner still never violates the memory bound.
+        """
+        from repro.costs import AnalyticCostModel
+
+        finder = LifetimeSliceFinder(grid_target_rank)
+        initial = finder.find(grid_tree, cost_model=grid_cost_model)
+
+        default_a = SimulatedAnnealingSliceRefiner(seed=11).refine(
+            grid_tree, initial.sliced, grid_target_rank, cost_model=grid_cost_model
+        )
+        default_b = SimulatedAnnealingSliceRefiner(seed=11).refine(
+            grid_tree, initial.sliced, grid_target_rank, cost_model=grid_cost_model
+        )
+        assert default_a.sliced == default_b.sliced
+
+        timed = SimulatedAnnealingSliceRefiner(
+            seed=11, cost_model=AnalyticCostModel()
+        ).refine(
+            grid_tree, initial.sliced, grid_target_rank, cost_model=grid_cost_model
+        )
+        assert timed.satisfies_target
+        assert timed.max_rank <= grid_target_rank
+
+    def test_cost_model_scorer_units_are_seconds(self, grid_tree, grid_target_rank):
+        from repro.costs import AnalyticCostModel
+
+        model = AnalyticCostModel()
+        refiner = SimulatedAnnealingSliceRefiner(seed=0, cost_model=model)
+        cost_model = SlicingCostModel(grid_tree)
+        score = refiner._scorer(grid_tree, cost_model)
+        sliced = frozenset(list(grid_tree.all_indices())[:2])
+        assert score(sliced) == pytest.approx(
+            model.total_seconds(grid_tree, sliced)
+        )
+
     def test_redundant_edge_removal(self, grid_tree, grid_cost_model, grid_target_rank):
         finder = LifetimeSliceFinder(grid_target_rank)
         initial = finder.find(grid_tree, cost_model=grid_cost_model)
