@@ -1,0 +1,66 @@
+"""CI gate: the resilience layer must cost (almost) nothing when idle.
+
+Run after the quick exec-plan bench::
+
+    PYTHONPATH=src python benchmarks/check_fault_overhead.py \
+        benchmarks/results/BENCH_exec_plan.json
+
+Validates the ``fault_overhead`` section the bench emitted: the
+zero-fault hot path with an *armed* retrying :class:`FaultPolicy`
+(generous timeout, nothing injected) must stay within
+``REPRO_FAULT_OVERHEAD_MAX`` (default 2%) of the policy-free fail-fast
+path, and the armed run must have recorded zero retries and zero faults
+(an armed-but-idle policy that silently recovers something is a bug, not
+overhead).  Exits non-zero on any violation.  Checks raise explicitly
+(no ``assert``), so the gate also holds under ``python -O``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+class OverheadError(RuntimeError):
+    """The idle resilience layer costs more than the budget allows."""
+
+
+#: Maximum tolerated zero-fault overhead fraction (0.02 = 2%).
+MAX_OVERHEAD = float(os.environ.get("REPRO_FAULT_OVERHEAD_MAX", "0.02"))
+
+
+def main(path: str) -> int:
+    point = json.loads(Path(path).read_text())
+    section = point.get("fault_overhead")
+    if not section:
+        raise OverheadError(
+            "bench JSON has no 'fault_overhead' section; the overhead "
+            "measurement did not run"
+        )
+    baseline = float(section["baseline_seconds"])
+    armed = float(section["armed_seconds"])
+    overhead = float(section["overhead_fraction"])
+    print(
+        f"zero-fault hot path: baseline {baseline * 1000:.2f} ms, "
+        f"armed {armed * 1000:.2f} ms -> {overhead * 100:+.2f}% "
+        f"(budget: < {MAX_OVERHEAD * 100:.0f}%)"
+    )
+
+    if int(section.get("retries", -1)) != 0 or int(section.get("faults", -1)) != 0:
+        raise OverheadError(
+            "the armed zero-fault run recorded retries/faults; the "
+            "measurement is not a hot-path comparison"
+        )
+    if overhead >= MAX_OVERHEAD:
+        raise OverheadError(
+            f"idle resilience layer costs {overhead * 100:.2f}% "
+            f">= {MAX_OVERHEAD * 100:.0f}% of the fail-fast hot path"
+        )
+    print("fault overhead gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results/BENCH_exec_plan.json"))

@@ -32,6 +32,7 @@ interface to per-backend timings measured by the execution backends.
 
 from __future__ import annotations
 
+import math
 from typing import AbstractSet, Optional, Tuple
 
 from ..hardware.spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
@@ -95,6 +96,37 @@ class CostModel:
         return tree.num_subtasks(sliced) * self.subtask_seconds(
             tree, sliced, backend=backend
         )
+
+    def timeout_budget(
+        self,
+        tree: ContractionTree,
+        sliced: AbstractSet[str] = frozenset(),
+        backend: Optional[str] = None,
+        subtasks: int = 1,
+        safety: float = 20.0,
+        floor: float = 1.0,
+    ) -> float:
+        """Wall-time budget before ``subtasks`` subtasks count as stuck.
+
+        ``safety`` times the predicted seconds, floored at ``floor`` — the
+        bridge between the calibrated predictions and the per-chunk
+        timeouts of :class:`~repro.execution.resilience.FaultPolicy` (see
+        :meth:`FaultPolicy.derived_from
+        <repro.execution.resilience.FaultPolicy.derived_from>`).  Raises
+        :exc:`CostModelError` when the prediction itself is unavailable or
+        non-finite, so callers can fall back to running timeout-free.
+        """
+        if safety <= 0:
+            raise ValueError("safety multiplier must be positive")
+        if subtasks < 1:
+            raise ValueError("subtasks must be >= 1")
+        seconds = self.subtask_seconds(tree, sliced, backend=backend)
+        if not math.isfinite(seconds) or seconds < 0:
+            raise CostModelError(
+                f"predicted subtask seconds are unusable for a timeout "
+                f"budget: {seconds!r}"
+            )
+        return max(float(floor), safety * subtasks * seconds)
 
     def select_batch_group(
         self,

@@ -103,6 +103,26 @@ to keep it that way.  Serial and thread backends return a no-op
 :class:`NullExecutionSession`, so session-scoped code is uniform across
 backends, and every path stays bit-identical to :class:`SerialBackend`.
 
+Fault tolerance & degradation
+-----------------------------
+Every fault-handling decision lives in a
+:class:`~repro.execution.resilience.FaultPolicy` (default **fail-fast**,
+the zero-overhead pre-resilience behaviour).  ``FaultPolicy.retrying()``
+re-runs failed chunks with deterministic exponential backoff and rebuilds
+a crashed process pool — segments republished under a fresh generation,
+only the chunks whose ordered slots are still empty re-submitted —
+while ``FaultPolicy.degrading()`` additionally falls back down the
+substrate chain (process pool → thread pool → serial) when pool recovery
+is exhausted.  Because the backends fold per-position contributions
+strictly in assignment order *after* all slots are filled, recovered and
+degraded runs are **bit-identical** to a clean serial run.  Per-chunk
+timeouts can be given explicitly or derived from the calibrated cost
+model's predicted subtask seconds (``timeout_safety`` × prediction).
+Deterministic fault *injection* for tests lives in
+:mod:`repro.execution.faultinject`; recovery counters (``retries``,
+``faults``, ``degraded_to``, ``recovery_seconds``) land on
+:class:`PlanStats`.
+
 ``PlanStats`` instruments both cached and uncached execution with per-node
 step counters (plus slot-write and branch-write counters) so tests and
 benchmarks can assert how often each contraction actually ran — and with
@@ -127,6 +147,7 @@ from .backend import (
     validate_execution_args,
 )
 from .contract import TreeExecutor, contract_tree
+from .faultinject import FaultInjector, FaultSpec, InjectedFault
 from .fusion import FusedOp, FusedRun, PermKernel, compile_fused_runs
 from .plan import (
     CompiledPlan,
@@ -136,6 +157,12 @@ from .plan import (
     PlanStats,
     StemSlots,
     compile_plan,
+)
+from .resilience import (
+    ChunkTimeoutError,
+    FaultError,
+    FaultPolicy,
+    RecoveryExhaustedError,
 )
 from .sliced import SlicedExecutor, SubtaskResult
 from .fused import ThreadLevelSimulator, ThreadTiming
@@ -158,6 +185,13 @@ __all__ = [
     "ThreadPoolBackend",
     "resolve_backend",
     "validate_execution_args",
+    "ChunkTimeoutError",
+    "FaultError",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultSpec",
+    "InjectedFault",
+    "RecoveryExhaustedError",
     "TreeExecutor",
     "contract_tree",
     "CompiledPlan",

@@ -49,9 +49,15 @@ import math
 import os
 import pickle
 import threading
+import time
 import warnings
 import weakref
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from multiprocessing import shared_memory
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -59,7 +65,16 @@ import numpy as np
 
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .faultinject import FaultInjector, apply_directive
 from .plan import CompiledPlan, PlanStats, StemSlots
+from .resilience import (
+    FAIL_FAST,
+    ChunkTimeoutError,
+    FaultPolicy,
+    RecoveryClock,
+    RecoveryExhaustedError,
+    run_degraded,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -242,10 +257,47 @@ class ExecutionBackend:
         with backend.session(plan, network, cache):
             for batch in batches:
                 backend.run_subtasks(plan, network, batch, cache=cache)
+
+    Fault handling is policy-driven and opt-in: attach a
+    :class:`~repro.execution.resilience.FaultPolicy` (and, for tests, a
+    :class:`~repro.execution.faultinject.FaultInjector`) via
+    :meth:`configure_faults` to get bounded retries, per-chunk timeouts,
+    crash recovery and graceful degradation — see
+    :mod:`repro.execution.resilience` for the recovery model and why
+    recovered runs stay bit-identical.  Without a policy every backend
+    fails fast, exactly as before the resilience layer existed.
     """
 
     #: Short name used in benchmark tables and reprs.
     name = "base"
+
+    #: Optional :class:`~repro.execution.resilience.FaultPolicy` governing
+    #: retries/timeouts/degradation; ``None`` means fail-fast (the
+    #: pre-resilience behaviour — see :mod:`repro.execution.resilience`).
+    fault_policy: Optional[FaultPolicy] = None
+    #: Optional :class:`~repro.execution.faultinject.FaultInjector` for
+    #: deterministic fault injection (tests/CI only; ``None`` in prod).
+    fault_injector: Optional[FaultInjector] = None
+
+    def configure_faults(
+        self,
+        policy: Optional[FaultPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> "ExecutionBackend":
+        """Attach a fault policy and/or a fault injector to this backend.
+
+        The opt-in hook of the resilience layer: executors
+        (:class:`~repro.execution.SlicedExecutor`,
+        :class:`~repro.execution.CorrelatedSampler`,
+        :class:`~repro.pipeline.SimulationPlanner`) forward their
+        ``fault_policy=`` / ``fault_injector=`` arguments here.  Returns
+        ``self`` for chaining.
+        """
+        if policy is not None:
+            self.fault_policy = policy
+        if injector is not None:
+            self.fault_injector = injector
+        return self
 
     def session(
         self,
@@ -439,26 +491,98 @@ class ThreadPoolBackend(_PooledBackend):
                 plan, network, assignments, cache, sum_batch_axes, stats
             )
 
+        policy = self.fault_policy or FAIL_FAST
+        injector = self.fault_injector
         contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
         thread_state = threading.local()
+        chunks = self._chunks(assignments)
 
-        def work(chunk: List[Tuple[int, Mapping[str, int]]]) -> PlanStats:
+        def work(
+            task: Tuple[List[Tuple[int, Mapping[str, int]]], Optional[Tuple[str, float]]]
+        ) -> Tuple[PlanStats, Optional[BaseException]]:
+            chunk, directive = task
             local_stats = PlanStats()
             # one arena per pool thread, reused across its chunks
             slots = getattr(thread_state, "slots", None)
             if slots is None:
                 slots = thread_state.slots = StemSlots()
-            for position, assignment in chunk:
-                tensor = plan.execute(
-                    network, assignment, cache=cache, stats=local_stats, slots=slots
-                )
-                contributions[position] = _owned_contribution(tensor, sum_batch_axes)
-            return local_stats
+            try:
+                apply_directive(directive, in_process=True)
+                for position, assignment in chunk:
+                    tensor = plan.execute(
+                        network, assignment, cache=cache, stats=local_stats, slots=slots
+                    )
+                    contributions[position] = _owned_contribution(
+                        tensor, sum_batch_axes
+                    )
+            except Exception as exc:
+                # the exception travels back as data: the submitting loop
+                # decides whether to retry, degrade, or re-raise
+                return local_stats, exc
+            return local_stats, None
 
+        pending = list(range(len(chunks)))
+        attempts = [0] * len(chunks)
+        failure: Optional[BaseException] = None
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            for local_stats in pool.map(work, self._chunks(assignments)):
-                if stats is not None:
-                    stats.merge(local_stats)
+            while pending and failure is None:
+                tasks = [
+                    (
+                        chunks[i],
+                        injector.directive_for_next_chunk()
+                        if injector is not None
+                        else None,
+                    )
+                    for i in pending
+                ]
+                retry_now: List[int] = []
+                for chunk_index, (local_stats, exc) in zip(
+                    pending, pool.map(work, tasks)
+                ):
+                    if exc is None:
+                        if stats is not None:
+                            stats.merge(local_stats)
+                        continue
+                    # a thread substrate has no pool to rebuild: every
+                    # fault is a chunk-level fault, retried in place
+                    if stats is not None:
+                        stats.faults += 1
+                    attempts[chunk_index] += 1
+                    if attempts[chunk_index] > policy.chunk_retry_budget:
+                        failure = exc
+                        break
+                    retry_now.append(chunk_index)
+                if failure is None and retry_now:
+                    with RecoveryClock(stats):
+                        if stats is not None:
+                            stats.retries += len(retry_now)
+                        backoff = max(
+                            policy.backoff(attempts[i] - 1) for i in retry_now
+                        )
+                        if backoff > 0:
+                            time.sleep(backoff)
+                pending = retry_now if failure is None else pending
+
+        if failure is not None:
+            if policy.mode == "degrade":
+                # last rung of the chain for a thread run: fill the empty
+                # ordered slots serially, in the calling thread
+                from .resilience import fill_missing_serial
+
+                fill_missing_serial(
+                    plan, network, assignments, contributions, cache,
+                    sum_batch_axes, stats, slots=self._slots,
+                )
+                if stats is not None and stats.degraded_to is None:
+                    stats.degraded_to = "serial"
+            elif policy.mode == "retry":
+                raise RecoveryExhaustedError(
+                    f"thread chunk failed after {policy.chunk_retry_budget} "
+                    f"retries: {failure!r}",
+                    contributions,
+                ) from failure
+            else:
+                raise failure
         return self._merge_ordered(plan, contributions, sum_batch_axes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -620,7 +744,12 @@ def _init_worker(blob: bytes) -> None:
 
 
 def _run_chunk(
-    task: Tuple[int, Optional[bytes], List[Tuple[int, Mapping[str, int]]]]
+    task: Tuple[
+        int,
+        Optional[bytes],
+        List[Tuple[int, Mapping[str, int]]],
+        Optional[Tuple[str, float]],
+    ]
 ) -> Tuple[int, List[np.ndarray], PlanStats, int]:
     """Execute one chunk in a worker; returns (start, results, stats, pid).
 
@@ -628,9 +757,13 @@ def _run_chunk(
     post-republish generations — the pickled payload a stale (or freshly
     spawned) worker needs to re-initialize itself.  The pid lets the
     parent track which workers hold the current generation, so it can
-    stop attaching the payload once all of them do.
+    stop attaching the payload once all of them do.  The optional fourth
+    element is a fault-injection directive
+    (:mod:`repro.execution.faultinject`), applied before the chunk runs;
+    ``None`` on every production chunk.
     """
-    generation, blob, chunk = task
+    generation, blob, chunk, directive = task
+    apply_directive(directive)
     state = _WORKER_STATE
     if state is None or state.generation != generation:
         if blob is None:
@@ -675,15 +808,62 @@ def _release_session_resources(resources: _SessionResources) -> None:
     """Shut the pool down, then close and unlink every published segment.
 
     The pool is drained first so workers run their exit hooks (closing
-    their attachments) before the parent unlinks the names.
+    their attachments) before the parent unlinks the names.  Segment
+    unlinking runs even if the pool shutdown raises (it is the parent's
+    unlink — not the workers' exit hooks — that prevents ``/dev/shm``
+    leaks: a SIGKILLed worker never runs teardown, and this release also
+    runs at interpreter shutdown via the session finalizer, including
+    after a ``KeyboardInterrupt``), and a name that is already gone is
+    tolerated so release is idempotent under crash recovery.
     """
     pool, resources.pool = resources.pool, None
     segments, resources.segments = resources.segments, []
-    if pool is not None:
-        pool.shutdown(wait=True)
+    try:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+    finally:
+        _unlink_segments(segments)
+
+
+def _unlink_segments(segments: Sequence[shared_memory.SharedMemory]) -> None:
+    """Close and unlink segments, tolerating already-gone names."""
     for segment in segments:
-        segment.close()
-        segment.unlink()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def _abort_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Hard-stop a broken or stuck pool without waiting on its workers.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker running (and
+    holding its shared-memory attachments); terminating the worker
+    processes guarantees the rebuild path starts from zero live
+    attachments, so the parent's subsequent unlink really removes the
+    segments.
+    """
+    if pool is None:
+        return
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
 
 class ExecutionSession:
@@ -710,6 +890,17 @@ class ExecutionSession:
     ``weakref.finalize`` guarantees the pool is drained and the segments
     unlinked even if ``close`` is never called, so no resource-tracker
     leak survives the session object.
+
+    The session is also where pool *crash recovery* happens (see
+    :mod:`repro.execution.resilience` for the policy layer): under a
+    retrying/degrading :class:`~repro.execution.resilience.FaultPolicy`,
+    a dead worker or timed-out chunk aborts the poisoned pool, unlinks
+    the old generation's segments, republishes fresh ones and respawns
+    the pool through the same :meth:`ensure` path a cold session uses —
+    then re-runs only the chunks whose ordered slots are still empty, so
+    the recovered result is bit-identical to a clean run.  A run that
+    fails anyway marks the session *broken*; the next :meth:`ensure`
+    resets it transparently.
     """
 
     def __init__(self, backend: "SharedMemoryProcessPoolBackend") -> None:
@@ -720,6 +911,13 @@ class ExecutionSession:
         )
         self._generation = 0
         self._blob: Optional[bytes] = None
+        # the current generation's full payload, always retained: retried
+        # chunks carry it so a worker whose state died (or was never
+        # installed) can self-initialize during recovery
+        self._payload_blob: Optional[bytes] = None
+        # a failed run marks the session broken; the next ensure() resets
+        # it transparently instead of crashing on stale pool/segment state
+        self._broken = False
         # worker pids that confirmed holding the current generation; once
         # all max_workers did, chunks stop carrying the republish payload
         self._confirmed_pids: set = set()
@@ -769,9 +967,16 @@ class ExecutionSession:
         _release_session_resources(self._resources)
         self._drop_fingerprint()
 
+    @property
+    def broken(self) -> bool:
+        """Whether the last run failed (healed transparently on next use)."""
+        return self._broken
+
     def _drop_fingerprint(self) -> None:
         self._generation = 0
         self._blob = None
+        self._payload_blob = None
+        self._broken = False
         self._confirmed_pids = set()
         self._plan = None
         self._leaf_tensors = ()
@@ -809,9 +1014,32 @@ class ExecutionSession:
         every segment are reused as-is).  Otherwise the segments are
         republished and — if no pool is live yet — the pool is spawned
         with the new payload as its initializer.
+
+        A session whose previous run failed (worker crash, timeout,
+        ``KeyboardInterrupt``, a raised chunk) is **broken**: its pool may
+        be dead and its segment names stale.  Instead of crashing on that
+        state, ensure resets the session first, so the next call after a
+        failure transparently rebuilds — see
+        :mod:`repro.execution.resilience`.
         """
         if self.closed:
             raise RuntimeError("execution session is closed")
+        if self._broken:
+            self.reset()
+        try:
+            self._ensure(plan, network, cache, sum_batch_axes)
+        except BaseException:
+            # a partially-republished session must not be reused as-is
+            self._broken = True
+            raise
+
+    def _ensure(
+        self,
+        plan: CompiledPlan,
+        network: TensorNetwork,
+        cache: Optional[Dict[int, np.ndarray]] = None,
+        sum_batch_axes: int = 0,
+    ) -> None:
         leaf_tensors = tuple(network.tensor(ls.tid) for ls in plan.leaf_steps)
         cache_token, cache_buffers = self._cache_fingerprint(cache)
         if (
@@ -825,9 +1053,7 @@ class ExecutionSession:
 
         # republish: retire the previous generation's segments first
         old_segments, self._resources.segments = self._resources.segments, []
-        for segment in old_segments:
-            segment.close()
-            segment.unlink()
+        _unlink_segments(old_segments)
         leaf_meta, cache_meta = self._publish(plan, network, cache)
         self.publications += 1
 
@@ -839,6 +1065,7 @@ class ExecutionSession:
                 (0, plan, leaf_meta, cache_meta, sum_batch_axes),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
+            self._payload_blob = blob
             self._resources.pool = ProcessPoolExecutor(
                 max_workers=self._backend.max_workers,
                 initializer=_init_worker,
@@ -847,7 +1074,7 @@ class ExecutionSession:
             self.pool_launches += 1
         else:
             self._generation += 1
-            self._blob = pickle.dumps(
+            self._blob = self._payload_blob = pickle.dumps(
                 (self._generation, plan, leaf_meta, cache_meta, sum_batch_axes),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -900,33 +1127,188 @@ class ExecutionSession:
         cache: Optional[Dict[int, np.ndarray]] = None,
         sum_batch_axes: int = 0,
         stats: Optional[PlanStats] = None,
+        policy: Optional[FaultPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> List[Optional[np.ndarray]]:
         """Stream chunks through the resident pool; per-position results.
 
         The caller (the backend) folds the returned contributions strictly
-        in assignment order, so session reuse cannot perturb the
-        ordered-accumulation contract.
+        in assignment order, so session reuse — and crash recovery, which
+        only ever re-runs chunks whose ordered slots are still empty —
+        cannot perturb the ordered-accumulation contract.
+
+        ``policy`` (default: the backend's, else fail-fast) governs what
+        happens on a fault: a dead worker or stuck chunk tears the pool
+        down and, with rebuild budget remaining, the pool is respawned
+        with the segments republished under a new generation and only the
+        missing chunks are re-submitted; a raised chunk is re-submitted
+        with backoff up to its retry budget.  Any failure that propagates
+        marks the session broken, so the next call transparently rebuilds
+        instead of crashing on stale state.
         """
+        if policy is None:
+            policy = self._backend.fault_policy or FAIL_FAST
+        if injector is None:
+            injector = self._backend.fault_injector
         self.ensure(plan, network, cache, sum_batch_axes)
-        pool = self._resources.pool
-        assert pool is not None
-        contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
-        tasks = [
-            (self._generation, self._blob, chunk)
-            for chunk in self._backend._chunks(assignments)
-        ]
         try:
-            for start, results, local_stats, pid in pool.map(_run_chunk, tasks):
-                for offset, contribution in enumerate(results):
-                    contributions[start + offset] = contribution
-                if stats is not None:
-                    stats.merge(local_stats)
-                self._confirmed_pids.add(pid)
-        except BrokenExecutor:
-            # a dead worker poisons the whole pool: drop it so the next
-            # run (or the retrying caller) starts from a clean session
-            self.reset()
+            return self._run_resilient(
+                plan, network, assignments, cache, sum_batch_axes, stats,
+                policy, injector,
+            )
+        except BaseException:
+            self._broken = True
             raise
+
+    def _submit_chunk(
+        self,
+        pool: ProcessPoolExecutor,
+        chunk: List[Tuple[int, Mapping[str, int]]],
+        is_retry: bool,
+        injector: Optional[FaultInjector],
+    ):
+        """Submit one chunk, attaching payload/directive as needed."""
+        if is_retry:
+            # a retried chunk may land on a worker whose state died with
+            # the fault (or on a freshly respawned pool): always carry
+            # the payload so the worker can self-initialize
+            blob = self._payload_blob
+        else:
+            blob = self._blob
+        directive = (
+            injector.directive_for_next_chunk() if injector is not None else None
+        )
+        return pool.submit(
+            _run_chunk, (self._generation, blob, chunk, directive)
+        )
+
+    def _run_resilient(
+        self,
+        plan: CompiledPlan,
+        network: TensorNetwork,
+        assignments: Sequence[Mapping[str, int]],
+        cache: Optional[Dict[int, np.ndarray]],
+        sum_batch_axes: int,
+        stats: Optional[PlanStats],
+        policy: FaultPolicy,
+        injector: Optional[FaultInjector],
+    ) -> List[Optional[np.ndarray]]:
+        chunks = self._backend._chunks(assignments)
+        contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
+        attempts = [0] * len(chunks)
+        pending = list(range(len(chunks)))
+        rebuilds = 0
+
+        def harvest(future, timeout: Optional[float] = None) -> None:
+            start, results, local_stats, pid = future.result(timeout=timeout)
+            for offset, contribution in enumerate(results):
+                contributions[start + offset] = contribution
+            if stats is not None:
+                stats.merge(local_stats)
+            self._confirmed_pids.add(pid)
+
+        while pending:
+            pool = self._resources.pool
+            assert pool is not None
+            submitted: List[Tuple[int, object]] = []
+            pool_fault: Optional[BaseException] = None
+            try:
+                for chunk_index in pending:
+                    future = self._submit_chunk(
+                        pool, chunks[chunk_index], attempts[chunk_index] > 0,
+                        injector,
+                    )
+                    submitted.append((chunk_index, future))
+            except BrokenExecutor as exc:
+                pool_fault = exc
+
+            done: List[int] = []
+            retry_now: List[int] = []
+            if pool_fault is None:
+                for chunk_index, future in submitted:
+                    timeout = policy.chunk_timeout(len(chunks[chunk_index]))
+                    try:
+                        harvest(future, timeout=timeout)
+                    except (FuturesTimeoutError, BrokenExecutor) as exc:
+                        # a timed-out chunk may be wedged inside a live
+                        # worker — ProcessPoolExecutor cannot cancel a
+                        # running task, so both cases poison the pool
+                        pool_fault = exc
+                        break
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        # chunk-level failure: the pool survives, only
+                        # this chunk is re-submitted
+                        if stats is not None:
+                            stats.faults += 1
+                        attempts[chunk_index] += 1
+                        if attempts[chunk_index] > policy.chunk_retry_budget:
+                            if policy.mode == "fail-fast":
+                                raise
+                            raise RecoveryExhaustedError(
+                                f"chunk {chunk_index} failed "
+                                f"{attempts[chunk_index]} times: {exc!r}",
+                                contributions,
+                            ) from exc
+                        retry_now.append(chunk_index)
+                    else:
+                        done.append(chunk_index)
+
+            if pool_fault is not None:
+                # worker death or stuck chunk: the pool is poisoned.
+                # Keep every contribution that already completed, then
+                # rebuild and re-run only the still-empty slots.
+                if stats is not None:
+                    stats.faults += 1
+                for chunk_index, future in submitted:
+                    if chunk_index in done:
+                        continue
+                    try:
+                        if future.done() and future.exception() is None:
+                            harvest(future)
+                            done.append(chunk_index)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                pending = [i for i in pending if i not in done]
+                timed_out = isinstance(pool_fault, FuturesTimeoutError)
+                if rebuilds >= policy.pool_rebuild_budget:
+                    self.reset()
+                    if policy.mode == "fail-fast":
+                        if timed_out:
+                            raise ChunkTimeoutError(
+                                f"chunk exceeded its timeout budget "
+                                f"({len(pending)} chunks unfinished)"
+                            ) from pool_fault
+                        raise pool_fault
+                    raise RecoveryExhaustedError(
+                        f"pool fault with rebuild budget exhausted "
+                        f"({rebuilds} rebuilds used, {len(pending)} chunks "
+                        f"unfinished): {pool_fault!r}",
+                        contributions,
+                    ) from pool_fault
+                rebuilds += 1
+                for chunk_index in pending:
+                    attempts[chunk_index] += 1
+                if stats is not None:
+                    stats.retries += len(pending)
+                self._rebuild_after_fault(
+                    plan, network, cache, sum_batch_axes, stats,
+                    backoff=policy.backoff(rebuilds - 1),
+                )
+                continue
+
+            if retry_now:
+                with RecoveryClock(stats):
+                    if stats is not None:
+                        stats.retries += len(retry_now)
+                    backoff = max(
+                        policy.backoff(attempts[i] - 1) for i in retry_now
+                    )
+                    if backoff > 0:
+                        time.sleep(backoff)
+            pending = retry_now
+
         if (
             self._blob is not None
             and len(self._confirmed_pids) >= self._backend.max_workers
@@ -936,6 +1318,33 @@ class ExecutionSession:
             # chunks no longer need to carry the republish payload
             self._blob = None
         return contributions
+
+    def _rebuild_after_fault(
+        self,
+        plan: CompiledPlan,
+        network: TensorNetwork,
+        cache: Optional[Dict[int, np.ndarray]],
+        sum_batch_axes: int,
+        stats: Optional[PlanStats],
+        backoff: float = 0.0,
+    ) -> None:
+        """Crash recovery: hard-stop the pool, republish, respawn.
+
+        The dead pool's workers are terminated (a stuck worker would
+        otherwise keep its segment attachments alive), the previous
+        generation's segments are unlinked and fresh ones published, and
+        a new pool is spawned with the new payload as its initializer —
+        all through the same :meth:`ensure` path a cold session uses, so
+        recovery cannot diverge from a clean start.
+        """
+        with RecoveryClock(stats):
+            _abort_pool(self._resources.pool)
+            self._resources.pool = None
+            if backoff > 0:
+                time.sleep(backoff)
+            # pool is gone -> ensure republishes the segments under a new
+            # generation and spawns a fresh pool
+            self._ensure(plan, network, cache, sum_batch_axes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self.closed else ("live" if self.pool_is_live else "idle")
@@ -1040,16 +1449,46 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
             return self._run_serially(
                 plan, network, assignments, cache, sum_batch_axes, stats
             )
-        session = self._session
-        if session is not None and not session.closed:
-            contributions = session.run(
-                plan, network, assignments, cache, sum_batch_axes, stats
-            )
-        else:
-            with ExecutionSession(self) as scratch:
-                contributions = scratch.run(
+        policy = self.fault_policy or FAIL_FAST
+        try:
+            session = self._session
+            if session is not None and not session.closed:
+                contributions = session.run(
                     plan, network, assignments, cache, sum_batch_axes, stats
                 )
+            else:
+                with ExecutionSession(self) as scratch:
+                    contributions = scratch.run(
+                        plan, network, assignments, cache, sum_batch_axes, stats
+                    )
+        except RecoveryExhaustedError as exc:
+            if policy.mode != "degrade":
+                raise
+            # pool recovery ran out: finish the empty ordered slots on
+            # the degradation chain.  Filled slots keep their bit-exact
+            # pool-computed contributions, so the final fold is identical
+            # to a clean run.
+            contributions = list(exc.contributions)
+            if len(contributions) != len(assignments):
+                contributions = [None] * len(assignments)
+            for substrate in policy.degradation_chain:
+                try:
+                    run_degraded(
+                        substrate, plan, network, assignments, contributions,
+                        cache, sum_batch_axes, stats, self.max_workers,
+                    )
+                except Exception:
+                    continue
+                if stats is not None and stats.degraded_to is None:
+                    stats.degraded_to = substrate
+                break
+            missing = [i for i, c in enumerate(contributions) if c is None]
+            if missing:
+                raise RecoveryExhaustedError(
+                    f"degradation chain {policy.degradation_chain} left "
+                    f"{len(missing)} slots unfilled",
+                    contributions,
+                ) from exc
         return self._merge_ordered(plan, contributions, sum_batch_axes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,212 @@
+"""Deterministic, seeded fault injection for the execution backends.
+
+Every recovery path of the resilience layer
+(:mod:`repro.execution.resilience`) is exercisable on demand and
+*reproducibly*: a :class:`FaultInjector` holds a list of
+:class:`FaultSpec` entries, each naming a fault kind and the 0-based
+**chunk submission ordinal** it fires on.  Ordinals are assigned in the
+parent, in submission order (retries increment the counter too), so a
+given injector produces the same fault sequence on every run — no race,
+no wall-clock dependence, no RNG in the worker.
+
+The injector itself never crosses the process boundary.  At submission
+time the parent asks :meth:`FaultInjector.directive_for_next_chunk` for a
+small picklable *directive* tuple that travels with the chunk task; the
+worker applies it via :func:`apply_directive` before executing the chunk:
+
+========================= ============================================== =
+kind                      worker-side effect                 recovery path
+========================= ============================================== =
+``"kill-worker"``         ``os._exit(1)`` — hard death, no    pool rebuild
+                          teardown hooks run (the SIGKILL
+                          analogue)
+``"delay-chunk"``         sleeps ``seconds`` before           chunk timeout
+                          executing
+``"fail-segment-attach"`` drops the worker's shared-memory    chunk retry +
+                          state, then raises as a failed      payload
+                          segment attach                      re-install
+``"poison-pickle"``       raises ``pickle.UnpicklingError``   chunk retry
+                          as a corrupt chunk payload would
+========================= ============================================== =
+
+Injection is **opt-in** end to end: backends consult an injector only
+when one was configured (``configure_faults(injector=...)``, or the
+``fault_injector=`` argument of :class:`~repro.execution.SlicedExecutor`
+and friends), and a ``None`` directive is the hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["FaultInjector", "FaultSpec", "InjectedFault", "apply_directive"]
+
+#: The injectable fault kinds.
+FAULT_KINDS = (
+    "kill-worker",
+    "delay-chunk",
+    "fail-segment-attach",
+    "poison-pickle",
+)
+
+#: A picklable directive: ``(kind, seconds)``.
+Directive = Tuple[str, float]
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker (or thread) by an injected fault directive."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    chunk:
+        The 0-based chunk submission ordinal the fault fires on.  The
+        counter is global across a run, including re-submissions, so a
+        single-shot spec consumed by chunk ``n`` does not re-fire when
+        chunk ``n`` is retried (the retry has a later ordinal).
+    seconds:
+        Sleep length for ``"delay-chunk"`` (ignored by the other kinds).
+    times:
+        How many eligible submissions (ordinal >= ``chunk``) the spec
+        fires on before it is spent.  The default single shot models a
+        transient fault; larger values model a persistent one (e.g. a
+        worker that dies every time, forcing degradation).
+    """
+
+    kind: str
+    chunk: int = 0
+    seconds: float = 0.05
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.chunk < 0:
+            raise ValueError("chunk ordinal must be >= 0")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault scheduler consulted at chunk submission time.
+
+    Attributes
+    ----------
+    faults:
+        The scheduled :class:`FaultSpec` list.  Multiple specs may be
+        armed; at most one fires per submission (first eligible wins).
+    submitted:
+        Chunks submitted so far (the ordinal counter).
+    fired:
+        ``(ordinal, kind)`` log of every directive handed out — what
+        tests assert reproducibility against.
+    """
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    submitted: int = 0
+    fired: List[Tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.faults = list(self.faults)
+        self._remaining = [spec.times for spec in self.faults]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        kinds: Sequence[str] = FAULT_KINDS,
+        num_chunks: int = 8,
+        num_faults: int = 1,
+        seconds: float = 0.05,
+    ) -> "FaultInjector":
+        """An injector whose fault kinds/ordinals are drawn from ``seed``.
+
+        Deterministic: the same seed always schedules the same faults at
+        the same submission ordinals — the property-test entry point.
+        Uses a local PRNG so global RNG state is untouched.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        specs = [
+            FaultSpec(
+                kind=kinds[int(rng.integers(len(kinds)))],
+                chunk=int(rng.integers(max(1, num_chunks))),
+                seconds=seconds,
+            )
+            for _ in range(num_faults)
+        ]
+        return cls(faults=specs)
+
+    # ------------------------------------------------------------------
+    def directive_for_next_chunk(self) -> Optional[Directive]:
+        """Consume one submission ordinal; the directive to attach, if any."""
+        ordinal = self.submitted
+        self.submitted += 1
+        for index, spec in enumerate(self.faults):
+            if self._remaining[index] <= 0:
+                continue
+            if ordinal < spec.chunk:
+                continue
+            self._remaining[index] -= 1
+            self.fired.append((ordinal, spec.kind))
+            return (spec.kind, spec.seconds)
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled fault has fired."""
+        return all(remaining <= 0 for remaining in self._remaining)
+
+    def reset(self) -> None:
+        """Re-arm every spec and rewind the ordinal counter."""
+        self.submitted = 0
+        self.fired = []
+        self._remaining = [spec.times for spec in self.faults]
+
+
+def apply_directive(directive: Optional[Directive], in_process: bool = False) -> None:
+    """Apply a fault directive at the start of a chunk (worker side).
+
+    Called by the pool worker's chunk runner and by the thread backend's
+    in-thread chunk loop.  ``None`` (the hot path) returns immediately.
+    With ``in_process=True`` (thread backend) a ``"kill-worker"``
+    directive raises instead of exiting — a thread cannot be killed, and
+    taking down the calling process would fault the wrong unit.
+    """
+    if directive is None:
+        return
+    kind, seconds = directive
+    if kind == "kill-worker":
+        if in_process:
+            raise InjectedFault("injected worker death (thread substrate: raised)")
+        # a hard death: no atexit hooks, no teardown — the closest
+        # in-process analogue of a SIGKILLed (or OOM-killed) worker
+        os._exit(1)
+    if kind == "delay-chunk":
+        time.sleep(seconds)
+        return
+    if kind == "fail-segment-attach":
+        if not in_process:
+            # drop this worker's shared-memory state first so the retry
+            # must re-install it from the chunk payload, exercising the
+            # republish path end to end
+            from . import backend as _backend
+
+            _backend._teardown_worker()
+        raise InjectedFault("injected shared-memory segment attach failure")
+    if kind == "poison-pickle":
+        raise pickle.UnpicklingError("injected poisoned chunk payload")
+    raise ValueError(f"unknown fault directive kind {kind!r}")

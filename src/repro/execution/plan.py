@@ -145,6 +145,22 @@ class PlanStats:
     stage_seconds:
         Accumulated wall time per execution stage (``"warm_cache"``,
         ``"execute"``).
+    retries:
+        Chunk re-submissions performed by the resilience layer (see
+        :mod:`repro.execution.resilience`): every time a failed chunk was
+        queued again — on the rebuilt pool or the same one — this counts
+        one.  Zero on a fault-free run.
+    faults:
+        Failure events observed: worker deaths (``BrokenProcessPool``),
+        chunk timeouts, and chunk exceptions, one count each.
+    degraded_to:
+        Name of the substrate a degrading run fell back to (``"threads"``
+        or ``"serial"``), ``None`` when the primary backend completed the
+        run itself.
+    recovery_seconds:
+        Wall time spent inside recovery actions — pool rebuilds, segment
+        republication, retry backoff — excluded from the per-subtask
+        timing samples so calibration never fits fault overhead.
     """
 
     node_counts: Dict[int, int] = field(default_factory=dict)
@@ -161,6 +177,10 @@ class PlanStats:
     subtask_seconds_sum: float = 0.0
     timed_subtasks: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    retries: int = 0
+    faults: int = 0
+    degraded_to: Optional[str] = None
+    recovery_seconds: float = 0.0
 
     def record_step(self, node: int) -> None:
         self.node_counts[node] = self.node_counts.get(node, 0) + 1
@@ -210,6 +230,11 @@ class PlanStats:
         self.timed_subtasks += other.timed_subtasks
         for stage, seconds in other.stage_seconds.items():
             self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.retries += other.retries
+        self.faults += other.faults
+        if self.degraded_to is None:
+            self.degraded_to = other.degraded_to
+        self.recovery_seconds += other.recovery_seconds
 
 
 class StemSlots:

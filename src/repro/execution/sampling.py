@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +40,12 @@ from .backend import (
     validate_execution_args,
 )
 from .contract import TreeExecutor
+from .plan import PlanStats
 from .sliced import SlicedExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faultinject import FaultInjector
+    from .resilience import FaultPolicy
 
 __all__ = ["CorrelatedSampleBatch", "CorrelatedSampler", "linear_xeb_fidelity"]
 
@@ -150,6 +155,24 @@ class CorrelatedSampler:
         backend's persistent session — wrap the loop in
         ``with sampler.session(): ...`` so the process pool is spawned
         once and only the per-batch segments are republished.
+    fault_policy:
+        Optional :class:`~repro.execution.resilience.FaultPolicy` for
+        batch execution: a long sampling run survives worker crashes and
+        stuck chunks (bounded retries, pool rebuilds, degradation) with
+        every recovered batch bit-identical to a clean run.  Requires a
+        ``backend``.  Recovery counters accumulate across batches in
+        :attr:`stats`.
+    fault_injector:
+        Optional deterministic
+        :class:`~repro.execution.faultinject.FaultInjector` (testing
+        hook).  Requires a ``backend``.
+
+    Attributes
+    ----------
+    stats:
+        :class:`~repro.execution.plan.PlanStats` accumulated across every
+        :meth:`compute_batch` call — including the resilience counters
+        (``retries``, ``faults``, ``degraded_to``, ``recovery_seconds``).
     """
 
     def __init__(
@@ -162,6 +185,8 @@ class CorrelatedSampler:
         executor_mode: str = "compiled",
         max_workers: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
+        fault_policy: Optional["FaultPolicy"] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.circuit = circuit
         self.open_qubits = tuple(sorted(set(int(q) for q in open_qubits)))
@@ -181,6 +206,13 @@ class CorrelatedSampler:
             # fires exactly once, here, instead of once per compute_batch
             backend = resolve_backend(backend, max_workers)
         self.backend = backend
+        if (fault_policy is not None or fault_injector is not None) and backend is None:
+            raise ValueError("fault_policy/fault_injector require a backend")
+        if backend is not None:
+            backend.configure_faults(policy=fault_policy, injector=fault_injector)
+        #: PlanStats accumulated across compute_batch calls (includes the
+        #: resilience counters: retries, faults, degraded_to, recovery_seconds)
+        self.stats = PlanStats()
 
     # ------------------------------------------------------------------
     def build_network(
@@ -291,7 +323,8 @@ class CorrelatedSampler:
 
         if slicing:
             # max_workers was already resolved into self.backend at
-            # construction, so only the backend is forwarded here
+            # construction, so only the backend is forwarded here (the
+            # fault policy/injector already live on the backend too)
             executor = SlicedExecutor(
                 network,
                 tree,
@@ -300,6 +333,9 @@ class CorrelatedSampler:
                 backend=self.backend,
             )
             tensor = executor.run()
+            # roll the batch's counters (including retries/faults/
+            # recovery_seconds) into the sampler-lifetime stats
+            self.stats.merge(executor.stats)
         else:
             tensor = TreeExecutor(
                 compiled=self.executor_mode == "compiled",

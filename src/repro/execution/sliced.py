@@ -54,6 +54,8 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..costs.model import CostModel
+    from .faultinject import FaultInjector
+    from .resilience import FaultPolicy
 
 import numpy as np
 
@@ -167,6 +169,20 @@ class SlicedExecutor:
         analysis (the LDM-budget analogue); overrides the auto-ranked
         choice.  The cap places group boundaries — it is not a bound on
         this process's peak memory.
+    fault_policy:
+        Optional :class:`~repro.execution.resilience.FaultPolicy`
+        governing crash recovery, retries/timeouts and degradation on the
+        backend (default: fail fast, the pre-resilience behaviour).  When
+        a ``cost_model`` is present and the policy carries no explicit
+        timeout, per-chunk timeouts are derived from the model's
+        predicted subtask seconds
+        (:meth:`~repro.costs.CostModel.timeout_budget`).  Recovered runs
+        are bit-identical to clean ones.  Compiled mode only.
+    fault_injector:
+        Optional deterministic
+        :class:`~repro.execution.faultinject.FaultInjector` (testing
+        hook): injects scheduled worker kills, delays and chunk failures
+        at submission time.  Compiled mode only.
     """
 
     def __init__(
@@ -186,6 +202,8 @@ class SlicedExecutor:
         branch_buffers: bool = False,
         fused: Union[bool, str] = False,
         fused_cap: Optional[int] = None,
+        fault_policy: Optional["FaultPolicy"] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.network = network
         self.tree = tree
@@ -210,6 +228,7 @@ class SlicedExecutor:
             batch_index, batch_indices, mode
         )
         self._fused, self._fused_cap = self._normalize_fused(fused, fused_cap, mode)
+        self._configure_faults(fault_policy, fault_injector)
 
         #: Per-node execution counters (compiled mode); the cached path must
         #: keep every slice-invariant node at exactly one execution.
@@ -306,6 +325,31 @@ class SlicedExecutor:
                 return False, None
             return True, cap
         raise ValueError(f"fused must be True, False or 'auto', got {fused!r}")
+
+    def _configure_faults(
+        self,
+        fault_policy: Optional["FaultPolicy"],
+        fault_injector: Optional["FaultInjector"],
+    ) -> None:
+        """Install the fault policy/injector on the backend.
+
+        A policy without explicit timeouts borrows its per-chunk budget
+        from the cost model's calibrated predictions when one is present
+        (``timeout_safety`` times the predicted subtask seconds); a model
+        that cannot predict this backend leaves the run timeout-free.
+        """
+        if fault_policy is None and fault_injector is None:
+            return
+        if self._backend is None:
+            raise ValueError("fault_policy/fault_injector require the compiled mode")
+        if fault_policy is not None and self.cost_model is not None:
+            fault_policy = fault_policy.derived_from(
+                self.cost_model,
+                self.tree,
+                frozenset(self.sliced),
+                backend=self._backend.name,
+            )
+        self._backend.configure_faults(policy=fault_policy, injector=fault_injector)
 
     # ------------------------------------------------------------------
     @property

@@ -36,6 +36,7 @@ from .costs.model import CostModel
 from .execution.backend import ExecutionBackend
 from .execution.fused import ThreadLevelSimulator, ThreadTiming
 from .execution.plan import PlanStats
+from .execution.resilience import FaultPolicy
 from .execution.scaling import HeadlineProjection, ProcessScheduler
 from .execution.sliced import SlicedExecutor
 from .hardware.memory import MemoryHierarchy, sunway_hierarchy
@@ -216,6 +217,12 @@ class SimulationPlan:
             summary["measured_subtask_seconds"] = (
                 self.measured_stats.mean_subtask_seconds
             )
+        if self.measured_stats is not None:
+            # resilience counters of the executed run: zero everywhere on
+            # a clean run, non-zero when crash recovery kicked in
+            summary["retries"] = float(self.measured_stats.retries)
+            summary["faults"] = float(self.measured_stats.faults)
+            summary["recovery_seconds"] = self.measured_stats.recovery_seconds
         return summary
 
 
@@ -246,6 +253,14 @@ class SimulationPlanner:
         process pool of a
         :class:`~repro.execution.backend.SharedMemoryProcessPoolBackend` —
         alive across executions.
+    fault_policy:
+        Optional :class:`~repro.execution.resilience.FaultPolicy` for
+        :meth:`execute_plan`: worker crashes and stuck chunks recover
+        (bounded retries, pool rebuilds, degradation) bit-identically to
+        a clean run, and the recovery counters surface through
+        :meth:`SimulationPlan.summary` (``retries`` / ``faults`` /
+        ``recovery_seconds``).  ``None`` (the default) fails fast.
+        Requires a ``backend``.
     cost_model:
         Optional :class:`~repro.costs.CostModel` threaded through every
         planning stage: the tree search ranks candidates by its predicted
@@ -265,6 +280,7 @@ class SimulationPlanner:
         seed: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
         cost_model: Optional[CostModel] = None,
+        fault_policy: Optional["FaultPolicy"] = None,
     ) -> None:
         self.spec = spec
         self.hierarchy: MemoryHierarchy = sunway_hierarchy(spec)
@@ -277,6 +293,9 @@ class SimulationPlanner:
         self.seed = seed
         self.backend = backend
         self.cost_model = cost_model
+        if fault_policy is not None and backend is None:
+            raise ValueError("fault_policy requires a backend")
+        self.fault_policy = fault_policy
 
     # ------------------------------------------------------------------
     def session(self):
@@ -393,6 +412,7 @@ class SimulationPlanner:
             plan.slicing.sliced,
             backend=backend if backend is not None else self.backend,
             cost_model=self.cost_model,
+            fault_policy=self.fault_policy,
         )
         amplitude = executor.amplitude() * plan.scalar_prefactor
         plan.measured_stats = executor.stats

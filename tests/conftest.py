@@ -12,12 +12,58 @@ The fixtures build a ladder of workloads:
 
 from __future__ import annotations
 
+import gc
+import os
+
 import pytest
 
 from repro.circuits import grid_circuit, random_brickwork_circuit
 from repro.core import SlicingCostModel, extract_stem
 from repro.paths import GreedyOptimizer, HyperOptimizer
 from repro.tensornet import amplitude_network, circuit_to_tensor_network, simplify_network
+
+# ----------------------------------------------------------------------
+# /dev/shm leak audit
+#
+# Every test that opens a shared-memory process pool must leave /dev/shm
+# exactly as it found it — even when the test injected worker crashes or
+# aborted a session mid-run.  Implemented as runtest hooks rather than an
+# autouse fixture so hypothesis @given tests (which forbid
+# function-scoped fixtures) are audited too.  Anonymous segments created
+# by multiprocessing.shared_memory carry the "psm_" prefix, which keeps
+# the audit blind to unrelated tenants of /dev/shm.
+# ----------------------------------------------------------------------
+_SHM_DIR = "/dev/shm"
+
+
+def _shm_segments() -> frozenset:
+    if not os.path.isdir(_SHM_DIR):
+        return frozenset()
+    return frozenset(
+        name for name in os.listdir(_SHM_DIR) if name.startswith("psm_")
+    )
+
+
+def pytest_runtest_setup(item):
+    item._shm_audit_before = _shm_segments()
+
+
+def pytest_runtest_teardown(item):
+    before = getattr(item, "_shm_audit_before", None)
+    if before is None:
+        return
+    leaked = _shm_segments() - before
+    if leaked:
+        # a dropped-but-uncollected session still owns its segments
+        # through its weakref.finalize; give it one gc pass before
+        # declaring a leak
+        gc.collect()
+        leaked = _shm_segments() - before
+    if leaked:
+        pytest.fail(
+            f"test leaked shared-memory segments: {sorted(leaked)}",
+            pytrace=False,
+        )
 
 
 @pytest.fixture(scope="session")
