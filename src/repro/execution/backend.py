@@ -53,11 +53,13 @@ import time
 import warnings
 import weakref
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
 from multiprocessing import shared_memory
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -284,14 +286,18 @@ class ExecutionBackend:
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
     ) -> "ExecutionBackend":
-        """Attach a fault policy and/or a fault injector to this backend.
+        """Attach a backend-level default fault policy and/or injector.
 
-        The opt-in hook of the resilience layer: executors
+        The opt-in hook of the resilience layer for callers that drive
+        ``run_subtasks`` directly.  Executors
         (:class:`~repro.execution.SlicedExecutor`,
         :class:`~repro.execution.CorrelatedSampler`,
-        :class:`~repro.pipeline.SimulationPlanner`) forward their
-        ``fault_policy=`` / ``fault_injector=`` arguments here.  Returns
-        ``self`` for chaining.
+        :class:`~repro.pipeline.SimulationPlanner`) do *not* call this:
+        they pass their ``fault_policy=`` / ``fault_injector=`` arguments
+        through each ``run_subtasks`` call, scoping them to their own
+        runs so a shared backend is never reconfigured behind another
+        caller's back.  Run-scoped arguments override these defaults.
+        Returns ``self`` for chaining.
         """
         if policy is not None:
             self.fault_policy = policy
@@ -341,6 +347,8 @@ class ExecutionBackend:
         cache: Optional[Dict[int, np.ndarray]] = None,
         sum_batch_axes: int = 0,
         stats: Optional[PlanStats] = None,
+        policy: Optional[FaultPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> Optional[Tensor]:
         """Execute ``plan`` for every assignment and sum the results.
 
@@ -361,6 +369,12 @@ class ExecutionBackend:
             sweeps); the returned tensor has them stripped.
         stats:
             Optional counters; worker-local stats are merged in.
+        policy / injector:
+            Run-scoped fault policy / fault injector.  ``None`` falls back
+            to the backend-level configuration
+            (:meth:`configure_faults`), so executors that carry their own
+            policy can scope it to their runs without mutating a shared
+            backend.
 
         Returns the accumulated :class:`Tensor` (a fresh buffer owned by
         the caller), or ``None`` when ``assignments`` is empty.
@@ -398,7 +412,11 @@ class SerialBackend(ExecutionBackend):
         cache: Optional[Dict[int, np.ndarray]] = None,
         sum_batch_axes: int = 0,
         stats: Optional[PlanStats] = None,
+        policy: Optional[FaultPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> Optional[Tensor]:
+        # policy/injector are accepted for protocol uniformity: the serial
+        # substrate has no workers to crash or chunks to time out
         if not assignments:
             return None
         self.warm(plan, network, cache, stats)
@@ -482,6 +500,8 @@ class ThreadPoolBackend(_PooledBackend):
         cache: Optional[Dict[int, np.ndarray]] = None,
         sum_batch_axes: int = 0,
         stats: Optional[PlanStats] = None,
+        policy: Optional[FaultPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> Optional[Tensor]:
         if not assignments:
             return None
@@ -491,8 +511,10 @@ class ThreadPoolBackend(_PooledBackend):
                 plan, network, assignments, cache, sum_batch_axes, stats
             )
 
-        policy = self.fault_policy or FAIL_FAST
-        injector = self.fault_injector
+        if policy is None:
+            policy = self.fault_policy or FAIL_FAST
+        if injector is None:
+            injector = self.fault_injector
         contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
         thread_state = threading.local()
         chunks = self._chunks(assignments)
@@ -789,6 +811,13 @@ def _run_chunk(
 # ----------------------------------------------------------------------
 # Shared-memory process pool — parent side
 # ----------------------------------------------------------------------
+#: How often the parent re-checks whether a queued chunk has started
+#: running: a chunk's timeout clock starts at the first observation of its
+#: running state, not at submission, so chunks queued behind a saturated
+#: pool do not burn their budget while waiting for a worker.
+_TIMEOUT_POLL_SECONDS = 0.05
+
+
 class _SessionResources:
     """The pool and published segments of one session, released together.
 
@@ -849,11 +878,22 @@ def _abort_pool(pool: Optional[ProcessPoolExecutor]) -> None:
     """
     if pool is None:
         return
+    # _processes is a CPython implementation detail; if it ever disappears
+    # say so loudly instead of silently degrading to shutdown(wait=False),
+    # which would leave hung workers (and their attachments) alive
+    if not hasattr(pool, "_processes"):  # pragma: no cover - cpython guard
+        warnings.warn(
+            "ProcessPoolExecutor no longer exposes _processes; cannot "
+            "terminate pool workers — a hung worker may keep its "
+            "shared-memory attachments alive",
+            RuntimeWarning,
+        )
+    # snapshot before shutdown(): a draining shutdown clears the attribute
+    processes = dict(getattr(pool, "_processes", None) or {})
     try:
         pool.shutdown(wait=False, cancel_futures=True)
     except Exception:  # pragma: no cover - defensive
         pass
-    processes = getattr(pool, "_processes", None) or {}
     for process in list(processes.values()):
         try:
             process.terminate()
@@ -1195,12 +1235,17 @@ class ExecutionSession:
     ) -> List[Optional[np.ndarray]]:
         chunks = self._backend._chunks(assignments)
         contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
-        attempts = [0] * len(chunks)
+        # a chunk's *own* raised exceptions, counted against its retry
+        # budget.  Pool-wide faults (worker death, a timed-out chunk
+        # poisoning the pool) are budgeted separately through ``rebuilds``
+        # — a rebuild must not eat an unrelated chunk's documented
+        # per-chunk retries.
+        failures = [0] * len(chunks)
         pending = list(range(len(chunks)))
         rebuilds = 0
 
-        def harvest(future, timeout: Optional[float] = None) -> None:
-            start, results, local_stats, pid = future.result(timeout=timeout)
+        def harvest(future) -> None:
+            start, results, local_stats, pid = future.result()
             for offset, contribution in enumerate(results):
                 contributions[start + offset] = contribution
             if stats is not None:
@@ -1215,7 +1260,9 @@ class ExecutionSession:
             try:
                 for chunk_index in pending:
                     future = self._submit_chunk(
-                        pool, chunks[chunk_index], attempts[chunk_index] > 0,
+                        pool,
+                        chunks[chunk_index],
+                        failures[chunk_index] > 0 or rebuilds > 0,
                         injector,
                     )
                     submitted.append((chunk_index, future))
@@ -1225,35 +1272,85 @@ class ExecutionSession:
             done: List[int] = []
             retry_now: List[int] = []
             if pool_fault is None:
-                for chunk_index, future in submitted:
-                    timeout = policy.chunk_timeout(len(chunks[chunk_index]))
-                    try:
-                        harvest(future, timeout=timeout)
-                    except (FuturesTimeoutError, BrokenExecutor) as exc:
+                index_of = {future: chunk_index for chunk_index, future in submitted}
+                budgets = {
+                    future: policy.chunk_timeout(len(chunks[index]))
+                    for future, index in index_of.items()
+                }
+                # each chunk's deadline starts when it is first observed
+                # running (or done), so harvesting happens in completion
+                # order and a wedged chunk cannot accrue free time behind
+                # slower siblings; observation granularity (the poll
+                # interval) is folded into the timeout's safety factor
+                deadlines: Dict[object, float] = {}
+                outstanding = set(index_of)
+                while outstanding and pool_fault is None:
+                    now = time.monotonic()
+                    wait_timeout: Optional[float] = None
+                    for future in outstanding:
+                        if future in deadlines or budgets[future] is None:
+                            continue
+                        if future.running() or future.done():
+                            deadlines[future] = now + budgets[future]
+                        else:
+                            # queued with a timeout: poll until it starts
+                            wait_timeout = _TIMEOUT_POLL_SECONDS
+                    expired = [
+                        index_of[f]
+                        for f in outstanding
+                        if f in deadlines and deadlines[f] <= now and not f.done()
+                    ]
+                    if expired:
                         # a timed-out chunk may be wedged inside a live
                         # worker — ProcessPoolExecutor cannot cancel a
-                        # running task, so both cases poison the pool
-                        pool_fault = exc
+                        # running task, so the timeout poisons the pool
+                        pool_fault = FuturesTimeoutError(
+                            f"chunks {sorted(expired)} exceeded their "
+                            f"timeout budgets"
+                        )
                         break
-                    except KeyboardInterrupt:
-                        raise
-                    except Exception as exc:
-                        # chunk-level failure: the pool survives, only
-                        # this chunk is re-submitted
-                        if stats is not None:
-                            stats.faults += 1
-                        attempts[chunk_index] += 1
-                        if attempts[chunk_index] > policy.chunk_retry_budget:
-                            if policy.mode == "fail-fast":
-                                raise
-                            raise RecoveryExhaustedError(
-                                f"chunk {chunk_index} failed "
-                                f"{attempts[chunk_index]} times: {exc!r}",
-                                contributions,
-                            ) from exc
-                        retry_now.append(chunk_index)
-                    else:
-                        done.append(chunk_index)
+                    remaining = [
+                        deadlines[f] - now for f in outstanding if f in deadlines
+                    ]
+                    if remaining:
+                        nearest = max(0.0, min(remaining))
+                        wait_timeout = (
+                            nearest
+                            if wait_timeout is None
+                            else min(wait_timeout, nearest)
+                        )
+                    completed, _ = futures_wait(
+                        outstanding, timeout=wait_timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in completed:
+                        chunk_index = index_of[future]
+                        outstanding.discard(future)
+                        try:
+                            harvest(future)
+                        except BrokenExecutor as exc:
+                            # a dead worker poisons the pool
+                            pool_fault = exc
+                            break
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as exc:
+                            # chunk-level failure: the pool survives, only
+                            # this chunk is re-submitted
+                            if stats is not None:
+                                stats.faults += 1
+                            failures[chunk_index] += 1
+                            if failures[chunk_index] > policy.chunk_retry_budget:
+                                if policy.mode == "fail-fast":
+                                    raise
+                                raise RecoveryExhaustedError(
+                                    f"chunk {chunk_index} failed "
+                                    f"{failures[chunk_index]} times: {exc!r}",
+                                    contributions,
+                                ) from exc
+                            retry_now.append(chunk_index)
+                        else:
+                            done.append(chunk_index)
 
             if pool_fault is not None:
                 # worker death or stuck chunk: the pool is poisoned.
@@ -1273,6 +1370,12 @@ class ExecutionSession:
                 pending = [i for i in pending if i not in done]
                 timed_out = isinstance(pool_fault, FuturesTimeoutError)
                 if rebuilds >= policy.pool_rebuild_budget:
+                    # reset() drains the pool (shutdown(wait=True)), which
+                    # a wedged worker would block forever — hard-stop the
+                    # workers first so the terminal error actually raises
+                    # and a degrading caller can take over
+                    _abort_pool(self._resources.pool)
+                    self._resources.pool = None
                     self.reset()
                     if policy.mode == "fail-fast":
                         if timed_out:
@@ -1288,8 +1391,6 @@ class ExecutionSession:
                         contributions,
                     ) from pool_fault
                 rebuilds += 1
-                for chunk_index in pending:
-                    attempts[chunk_index] += 1
                 if stats is not None:
                     stats.retries += len(pending)
                 self._rebuild_after_fault(
@@ -1303,7 +1404,7 @@ class ExecutionSession:
                     if stats is not None:
                         stats.retries += len(retry_now)
                     backoff = max(
-                        policy.backoff(attempts[i] - 1) for i in retry_now
+                        policy.backoff(failures[i] - 1) for i in retry_now
                     )
                     if backoff > 0:
                         time.sleep(backoff)
@@ -1441,6 +1542,8 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
         cache: Optional[Dict[int, np.ndarray]] = None,
         sum_batch_axes: int = 0,
         stats: Optional[PlanStats] = None,
+        policy: Optional[FaultPolicy] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> Optional[Tensor]:
         if not assignments:
             return None
@@ -1449,17 +1552,22 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
             return self._run_serially(
                 plan, network, assignments, cache, sum_batch_axes, stats
             )
-        policy = self.fault_policy or FAIL_FAST
+        if policy is None:
+            policy = self.fault_policy or FAIL_FAST
+        if injector is None:
+            injector = self.fault_injector
         try:
             session = self._session
             if session is not None and not session.closed:
                 contributions = session.run(
-                    plan, network, assignments, cache, sum_batch_axes, stats
+                    plan, network, assignments, cache, sum_batch_axes, stats,
+                    policy=policy, injector=injector,
                 )
             else:
                 with ExecutionSession(self) as scratch:
                     contributions = scratch.run(
-                        plan, network, assignments, cache, sum_batch_axes, stats
+                        plan, network, assignments, cache, sum_batch_axes,
+                        stats, policy=policy, injector=injector,
                     )
         except RecoveryExhaustedError as exc:
             if policy.mode != "degrade":

@@ -160,7 +160,9 @@ class CorrelatedSampler:
         batch execution: a long sampling run survives worker crashes and
         stuck chunks (bounded retries, pool rebuilds, degradation) with
         every recovered batch bit-identical to a clean run.  Requires a
-        ``backend``.  Recovery counters accumulate across batches in
+        ``backend``; scoped to this sampler's batches (the backend itself
+        is never reconfigured, so other users of a shared backend are
+        unaffected).  Recovery counters accumulate across batches in
         :attr:`stats`.
     fault_injector:
         Optional deterministic
@@ -208,8 +210,11 @@ class CorrelatedSampler:
         self.backend = backend
         if (fault_policy is not None or fault_injector is not None) and backend is None:
             raise ValueError("fault_policy/fault_injector require a backend")
-        if backend is not None:
-            backend.configure_faults(policy=fault_policy, injector=fault_injector)
+        # kept on the sampler and forwarded per batch, so a shared backend
+        # is never mutated and other users of it keep their own (or no)
+        # fault configuration
+        self.fault_policy = fault_policy
+        self.fault_injector = fault_injector
         #: PlanStats accumulated across compute_batch calls (includes the
         #: resilience counters: retries, faults, degraded_to, recovery_seconds)
         self.stats = PlanStats()
@@ -323,14 +328,16 @@ class CorrelatedSampler:
 
         if slicing:
             # max_workers was already resolved into self.backend at
-            # construction, so only the backend is forwarded here (the
-            # fault policy/injector already live on the backend too)
+            # construction, so only the backend is forwarded here; the
+            # fault policy/injector ride along per batch (run-scoped)
             executor = SlicedExecutor(
                 network,
                 tree,
                 slicing,
                 mode=self.executor_mode,
                 backend=self.backend,
+                fault_policy=self.fault_policy,
+                fault_injector=self.fault_injector,
             )
             tensor = executor.run()
             # roll the batch's counters (including retries/faults/

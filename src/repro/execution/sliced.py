@@ -171,11 +171,14 @@ class SlicedExecutor:
         this process's peak memory.
     fault_policy:
         Optional :class:`~repro.execution.resilience.FaultPolicy`
-        governing crash recovery, retries/timeouts and degradation on the
-        backend (default: fail fast, the pre-resilience behaviour).  When
-        a ``cost_model`` is present and the policy carries no explicit
-        timeout, per-chunk timeouts are derived from the model's
-        predicted subtask seconds
+        governing crash recovery, retries/timeouts and degradation for
+        this executor's runs (default: the backend's own configuration,
+        else fail fast — the pre-resilience behaviour).  The policy is
+        scoped to this executor: it rides along with every
+        ``run_subtasks`` call instead of being installed on the (possibly
+        shared) backend.  When a ``cost_model`` is present and the policy
+        carries no explicit timeout, per-chunk timeouts are derived from
+        the model's predicted subtask seconds
         (:meth:`~repro.costs.CostModel.timeout_budget`).  Recovered runs
         are bit-identical to clean ones.  Compiled mode only.
     fault_injector:
@@ -331,25 +334,32 @@ class SlicedExecutor:
         fault_policy: Optional["FaultPolicy"],
         fault_injector: Optional["FaultInjector"],
     ) -> None:
-        """Install the fault policy/injector on the backend.
+        """Resolve the fault policy/injector this executor's runs will use.
 
         A policy without explicit timeouts borrows its per-chunk budget
         from the cost model's calibrated predictions when one is present
         (``timeout_safety`` times the predicted subtask seconds); a model
         that cannot predict this backend leaves the run timeout-free.
+
+        The resolved pair is kept on the executor and passed to every
+        ``run_subtasks`` call, scoping it to this executor's runs: a
+        shared backend is never mutated, and other users of the same
+        backend keep their own (or no) fault configuration.
         """
-        if fault_policy is None and fault_injector is None:
-            return
-        if self._backend is None:
+        if (fault_policy is not None or fault_injector is not None) and (
+            self._backend is None
+        ):
             raise ValueError("fault_policy/fault_injector require the compiled mode")
         if fault_policy is not None and self.cost_model is not None:
+            assert self._backend is not None
             fault_policy = fault_policy.derived_from(
                 self.cost_model,
                 self.tree,
                 frozenset(self.sliced),
                 backend=self._backend.name,
             )
-        self._backend.configure_faults(policy=fault_policy, injector=fault_injector)
+        self._fault_policy = fault_policy
+        self._fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     @property
@@ -363,6 +373,16 @@ class SlicedExecutor:
     def backend(self) -> Optional[ExecutionBackend]:
         """The execution backend (``None`` in reference mode)."""
         return self._backend
+
+    @property
+    def fault_policy(self) -> Optional["FaultPolicy"]:
+        """The run-scoped fault policy (timeouts already derived), if any."""
+        return self._fault_policy
+
+    @property
+    def fault_injector(self) -> Optional["FaultInjector"]:
+        """The run-scoped fault injector (testing hook), if any."""
+        return self._fault_injector
 
     @property
     def fused(self) -> bool:
@@ -593,6 +613,8 @@ class SlicedExecutor:
                 [self.assignment(subtask_id) for subtask_id in ids],
                 cache=self._cache,
                 stats=self.stats,
+                policy=self._fault_policy,
+                injector=self._fault_injector,
             )
             assert result is not None
             return result
@@ -627,6 +649,8 @@ class SlicedExecutor:
             cache=self._batched_cache,
             sum_batch_axes=plan.num_batch_axes,
             stats=self.stats,
+            policy=self._fault_policy,
+            injector=self._fault_injector,
         )
         assert result is not None
         return result

@@ -15,6 +15,7 @@ reproducible; the /dev/shm audit in ``conftest.py`` asserts that no test
 from __future__ import annotations
 
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -403,6 +404,65 @@ class TestFailFastAndSessionHealing:
                 executor.amplitude()
             assert executor.amplitude() == serial_value
 
+    def test_budget_exhausted_timeout_does_not_block_on_wedged_worker(
+        self, case, serial_value
+    ):
+        tn, tree = case
+        backend = SharedMemoryProcessPoolBackend(max_workers=WORKERS)
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=backend,
+            fault_policy=FaultPolicy(
+                mode="fail-fast",
+                max_retries=0,
+                max_pool_rebuilds=0,
+                chunk_timeout_seconds=0.3,
+                min_timeout_seconds=0.1,
+            ),
+            fault_injector=FaultInjector(
+                [FaultSpec("delay-chunk", chunk=0, seconds=60.0)]
+            ),
+        )
+        with executor.session():
+            start = time.monotonic()
+            with pytest.raises(ChunkTimeoutError):
+                executor.amplitude()
+            # the wedged worker must be hard-stopped, not drained: the
+            # terminal error raises on the order of the timeout budget,
+            # not after the 60 s the stuck chunk would take
+            assert time.monotonic() - start < 30.0
+            assert executor.amplitude() == serial_value
+
+    def test_pool_rebuild_does_not_consume_chunk_retry_budget(
+        self, case, serial_value
+    ):
+        tn, tree = case
+        backend = SharedMemoryProcessPoolBackend(max_workers=WORKERS)
+        # ordinal 0 (first chunk of round one) kills a worker -> one pool
+        # rebuild; ordinal 8 (the first re-submitted chunk) then raises a
+        # genuine chunk failure.  With max_retries=1 that chunk still has
+        # its full retry budget: rebuilds are budgeted separately and must
+        # not count against an unrelated chunk's re-submissions.
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=backend,
+            fault_policy=FaultPolicy.retrying(max_retries=1, backoff_seconds=0.0),
+            fault_injector=FaultInjector(
+                [
+                    FaultSpec("kill-worker", chunk=0),
+                    FaultSpec("poison-pickle", chunk=8),
+                ]
+            ),
+        )
+        with executor.session():
+            assert executor.amplitude() == serial_value
+        assert executor.stats.faults >= 2
+        assert executor.stats.retries >= 2
+
     def test_default_policy_is_fail_fast(self, case):
         tn, tree = case
         backend = SharedMemoryProcessPoolBackend(max_workers=WORKERS)
@@ -563,7 +623,7 @@ class TestWiring:
                 return 0.01
 
         backend = SharedMemoryProcessPoolBackend(max_workers=WORKERS)
-        SlicedExecutor(
+        executor = SlicedExecutor(
             tn,
             tree,
             _sliced(tn),
@@ -571,8 +631,27 @@ class TestWiring:
             cost_model=FixedModel(),
             fault_policy=FaultPolicy.retrying(timeout_safety=100.0),
         )
-        assert backend.fault_policy is not None
-        assert backend.fault_policy.subtask_timeout_seconds == pytest.approx(1.0)
+        assert executor.fault_policy is not None
+        assert executor.fault_policy.subtask_timeout_seconds == pytest.approx(1.0)
+        # the policy is scoped to the executor's runs: a shared backend
+        # is never reconfigured behind another caller's back
+        assert backend.fault_policy is None
+        backend.close()
+
+    def test_sampler_does_not_mutate_shared_backend(self):
+        from repro.execution.sampling import CorrelatedSampler
+
+        backend = SharedMemoryProcessPoolBackend(max_workers=WORKERS)
+        circ = random_brickwork_circuit(4, 2, seed=3)
+        sampler = CorrelatedSampler(
+            circ,
+            open_qubits=[0],
+            backend=backend,
+            fault_policy=FaultPolicy.retrying(),
+        )
+        assert sampler.fault_policy is not None
+        assert backend.fault_policy is None
+        assert backend.fault_injector is None
         backend.close()
 
     def test_planner_summary_exposes_recovery_counters(self, case):
