@@ -9,11 +9,19 @@ Validates the ``fused`` section the bench emitted: the steady-state
 fused-vs-stepwise speedup (interleaved best-of-N on the branch-heavy
 quick workload) must exceed the guard threshold, the run must have been
 bit-identical to the step-by-step path, and fusion must actually have
-engaged (at least one multi-step fused run).  Exits non-zero on any
-violation, so a regression that makes the fused executor slower — or
-silently disables it — fails the CI job instead of shipping.  Checks
-raise explicitly (no ``assert``), so the gate also holds under
-``python -O``.
+engaged (at least one multi-step fused run).
+
+Also validates the ``fused_engines`` section (the tape-engine matrix):
+the three engines were bit-identical, the batched plan's fusion
+coverage cleared its fraction gate with batched-GEMM ops inside the
+runs, and — only when the bench ran with numba installed
+(``native_available``) — the native tape kernel cleared its speed gates
+over the fused Python walker and the step-by-step path.
+
+Exits non-zero on any violation, so a regression that makes the fused
+executor slower — or silently disables it — fails the CI job instead of
+shipping.  Checks raise explicitly (no ``assert``), so the gate also
+holds under ``python -O``.
 """
 
 from __future__ import annotations
@@ -39,6 +47,87 @@ def _threshold(fused: dict) -> float:
     if override is not None:
         return float(override)
     return float(fused.get("min_speedup", 1.0))
+
+
+def _gate(name: str, recorded, env: str) -> float:
+    """An env override beats the threshold the bench recorded."""
+    override = os.environ.get(env)
+    if override is not None:
+        return float(override)
+    if recorded is None:
+        raise RegressionError(f"bench JSON recorded no {name} threshold")
+    return float(recorded)
+
+
+def check_engines(point: dict) -> None:
+    """Validate the tape-engine matrix section of the bench point."""
+    engines = point.get("fused_engines")
+    if not engines:
+        raise RegressionError(
+            "bench JSON has no 'fused_engines' section; the tape-engine "
+            "matrix did not run"
+        )
+    if engines.get("bit_identical") is not True:
+        raise RegressionError("tape engines were not bit-identical")
+
+    batched = engines.get("batched") or {}
+    min_fraction = _gate(
+        "batched fused fraction",
+        batched.get("min_fraction"),
+        "REPRO_BENCH_BATCHED_FUSED_MIN_FRACTION",
+    )
+    fraction = float(batched.get("fused_fraction", 0.0))
+    print(
+        f"batched plan: {batched.get('fused_steps', 0)}/"
+        f"{batched.get('slot_gemm_steps', 0)} slot GEMM steps fused "
+        f"({fraction:.0%}, gate: >= {min_fraction:.0%}), "
+        f"{batched.get('bmm_fused_ops', 0)} batched-GEMM ops in runs"
+    )
+    if fraction < min_fraction:
+        raise RegressionError(
+            f"fusion covers only {fraction:.0%} of the batched plan's slot "
+            f"GEMM steps (gate: >= {min_fraction:.0%})"
+        )
+    if int(batched.get("bmm_fused_ops", 0)) <= 0:
+        raise RegressionError(
+            "no batched-GEMM step inside a fused run: the bmm fusion "
+            "extension is disabled or broken"
+        )
+
+    if not engines.get("native_available"):
+        print("native engine: numba absent when the bench ran; speed gates skipped")
+        return
+    if engines.get("tape_engine") != "native":
+        raise RegressionError(
+            "numba was available but the fused executor did not resolve "
+            "to the native tape engine"
+        )
+    vs_python = float(engines["native_vs_python"])
+    vs_stepwise = float(engines["native_vs_stepwise"])
+    min_vs_python = _gate(
+        "native-vs-python",
+        engines.get("min_native_vs_python"),
+        "REPRO_BENCH_NATIVE_MIN_VS_PYTHON",
+    )
+    min_vs_stepwise = _gate(
+        "native-vs-stepwise",
+        engines.get("min_native_vs_stepwise"),
+        "REPRO_BENCH_NATIVE_MIN_VS_STEPWISE",
+    )
+    print(
+        f"native kernel: {vs_python:.3f}x fused-python (gate: > {min_vs_python}), "
+        f"{vs_stepwise:.3f}x stepwise (gate: > {min_vs_stepwise})"
+    )
+    if vs_python <= min_vs_python:
+        raise RegressionError(
+            f"native tape kernel regressed to {vs_python:.3f}x the fused "
+            f"Python walker (gate: > {min_vs_python})"
+        )
+    if vs_stepwise <= min_vs_stepwise:
+        raise RegressionError(
+            f"native tape kernel regressed to {vs_stepwise:.3f}x the "
+            f"step-by-step path (gate: > {min_vs_stepwise})"
+        )
 
 
 def main(path: str) -> int:
@@ -70,6 +159,7 @@ def main(path: str) -> int:
             f"fused execution regressed: {speedup:.3f}x <= {min_speedup} "
             "vs the step-by-step path on the branch-heavy quick workload"
         )
+    check_engines(point)
     print("fused regression guard OK")
     return 0
 

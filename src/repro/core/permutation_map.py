@@ -84,6 +84,26 @@ class PermutationSpec:
         """Whether the permutation leaves the layout unchanged."""
         return self.perm == tuple(range(self.ndim))
 
+    def with_leading_batch(self, extent: int) -> "PermutationSpec":
+        """The same permutation with one fixed batch axis prepended.
+
+        Batched (``bmm``) contraction steps permute each batch slice the
+        same way: the batch axis stays at position 0 and every other axis
+        shifts by one.  Because a leading fixed axis lands in the reduced
+        map's *prefix* block, the returned spec's
+        :class:`ReducedPermutationMap` has the **same core map** as this
+        spec's (only ``prefix_size`` grows by ``extent``) — the reduced
+        map is batch-invariant, which is what lets the fused batched-GEMM
+        tape ops share the §5.3.1 machinery of the unbatched steps
+        without storing per-batch address tables.
+        """
+        if extent < 1:
+            raise ValueError(f"batch extent must be >= 1, got {extent}")
+        return PermutationSpec(
+            perm=(0, *(axis + 1 for axis in self.perm)),
+            shape=(extent, *self.shape),
+        )
+
     # ------------------------------------------------------------------
     @property
     def fixed_prefix(self) -> int:

@@ -79,12 +79,20 @@ class CalibrationRecord:
         Pair contractions per cache-warm subtask.
     seconds:
         Measured per-subtask wall times.
+    tape_engine:
+        Which tape interpreter produced the samples — ``"python"`` (the
+        default, also covering non-fused runs) or ``"native"`` (the
+        numba-JIT program of :mod:`repro.execution.tape`).  Engines have
+        very different per-step dispatch costs, so each fits its own
+        coefficient key (see :attr:`key`) instead of polluting one
+        global per-step overhead.
     """
 
     backend: str
     subtask_flops: float
     num_steps: int
     seconds: Tuple[float, ...]
+    tape_engine: str = "python"
 
     def __post_init__(self) -> None:
         if not self.seconds:
@@ -96,6 +104,18 @@ class CalibrationRecord:
     def mean_seconds(self) -> float:
         """Mean measured subtask time."""
         return float(np.mean(self.seconds))
+
+    @property
+    def key(self) -> str:
+        """The coefficient key these samples fit.
+
+        The plain backend name for the Python walker (keeping every
+        pre-tape calibration artifact valid), ``"<backend>+<engine>"``
+        otherwise — e.g. ``"serial+native"``.
+        """
+        if self.tape_engine in ("python", "", None):
+            return self.backend
+        return f"{self.backend}+{self.tape_engine}"
 
     @classmethod
     def from_stats(
@@ -139,6 +159,7 @@ class CalibrationRecord:
             subtask_flops=subtask_flops,
             num_steps=num_steps,
             seconds=tuple(stats.subtask_seconds),
+            tape_engine=getattr(stats, "tape_engine", None) or "python",
         )
 
 
@@ -242,6 +263,10 @@ class CalibratedCostModel(CostModel):
         """
         name = backend if backend is not None else self.default_backend
         fitted = self.coefficients.get(name)
+        if fitted is None and "+" in name:
+            # engine-keyed request with no engine-specific fit: the plain
+            # backend coefficients are the closest measured substitute
+            fitted = self.coefficients.get(name.partition("+")[0])
         if fitted is None:
             if self.fallback is not None:
                 return self.fallback.subtask_seconds(tree, sliced, backend=backend)
@@ -270,10 +295,16 @@ class CalibratedCostModel(CostModel):
         fallback: Optional[CostModel] = None,
         memory_target_rank: Optional[int] = None,
     ) -> "CalibratedCostModel":
-        """Fit per-backend coefficients from calibration records."""
+        """Fit per-backend coefficients from calibration records.
+
+        Records are grouped by :attr:`CalibrationRecord.key`, so samples
+        from the native tape engine fit a separate
+        ``"<backend>+native"`` coefficient set instead of being averaged
+        into the Python walker's.
+        """
         by_backend: Dict[str, List[CalibrationRecord]] = {}
         for record in records:
-            by_backend.setdefault(record.backend, []).append(record)
+            by_backend.setdefault(record.key, []).append(record)
         if not by_backend:
             raise CostModelError("no calibration records to fit")
         coefficients = {
@@ -311,16 +342,22 @@ class CalibratedCostModel(CostModel):
             raise CostModelError("no 'calibration' backends in the bench JSON")
         subtask_flops = float(calibration["subtask_flops"])
         num_steps = int(calibration["num_steps"])
-        records = [
-            CalibrationRecord(
-                backend=name,
-                subtask_flops=subtask_flops,
-                num_steps=num_steps,
-                seconds=tuple(entry["subtask_seconds"]),
+        records = []
+        for name, entry in backends.items():
+            if not entry.get("subtask_seconds"):
+                continue
+            # keys may be engine-qualified ("serial+native"); the entry's
+            # own tape_engine field wins when both are present
+            base, _, key_engine = name.partition("+")
+            records.append(
+                CalibrationRecord(
+                    backend=base,
+                    subtask_flops=subtask_flops,
+                    num_steps=num_steps,
+                    seconds=tuple(entry["subtask_seconds"]),
+                    tape_engine=entry.get("tape_engine") or key_engine or "python",
+                )
             )
-            for name, entry in backends.items()
-            if entry.get("subtask_seconds")
-        ]
         return cls.fit(
             records,
             default_backend=default_backend,
@@ -370,6 +407,7 @@ def calibration_payload(
                 getattr(stats, "timed_subtasks", 0) or len(samples)
             ),
             "stage_seconds": dict(stats.stage_seconds),
+            "tape_engine": getattr(stats, "tape_engine", None) or "python",
         }
     return {
         "subtask_flops": dependent_flops,

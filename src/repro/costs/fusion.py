@@ -103,15 +103,34 @@ def _analytic_of(cost_model: Optional[CostModel]) -> AnalyticCostModel:
 
 
 def _per_group_overhead(
-    cost_model: Optional[CostModel], backend: Optional[str]
+    cost_model: Optional[CostModel],
+    backend: Optional[str],
+    tape_engine: Optional[str] = None,
 ) -> float:
-    """The calibrated per-step dispatch overhead, when one is fitted."""
+    """The calibrated per-step dispatch overhead, when one is fitted.
+
+    The lookup is engine-aware: with ``tape_engine="native"`` the
+    ``"<backend>+native"`` coefficients are preferred (the JIT walker's
+    per-step dispatch is far cheaper than the Python walker's, so one
+    global overhead would mis-rank caps for whichever engine it wasn't
+    fitted on), falling back to the plain backend key when no
+    engine-specific calibration exists.
+    """
     coefficients = getattr(cost_model, "coefficients", None)
     if not coefficients:
         return 0.0
     name = backend if backend is not None else getattr(cost_model, "default_backend", None)
-    fitted = coefficients.get(name)
-    return float(fitted.seconds_per_step) if fitted is not None else 0.0
+    if name is None:
+        return 0.0
+    candidates = []
+    if tape_engine and tape_engine != "python":
+        candidates.append(f"{name}+{tape_engine}")
+    candidates.append(name)
+    for key in candidates:
+        fitted = coefficients.get(key)
+        if fitted is not None:
+            return float(fitted.seconds_per_step)
+    return 0.0
 
 
 def rank_fusion_caps(
@@ -120,6 +139,7 @@ def rank_fusion_caps(
     candidates: Optional[Sequence[int]] = None,
     cost_model: Optional[CostModel] = None,
     backend: Optional[str] = None,
+    tape_engine: Optional[str] = None,
 ) -> List[Tuple[int, float]]:
     """Candidate caps sorted by predicted fused seconds (best first).
 
@@ -146,7 +166,7 @@ def rank_fusion_caps(
             }
         )
     analytic = _analytic_of(cost_model)
-    overhead = _per_group_overhead(cost_model, backend)
+    overhead = _per_group_overhead(cost_model, backend, tape_engine)
     scored = [
         (
             cap,
@@ -165,14 +185,23 @@ def select_fusion_cap(
     candidates: Optional[Sequence[int]] = None,
     cost_model: Optional[CostModel] = None,
     backend: Optional[str] = None,
+    tape_engine: Optional[str] = None,
 ) -> Optional[int]:
     """The cost-model-ranked working-set cap, or ``None`` when nothing fuses.
 
     This is what ``SlicedExecutor(..., fused="auto")`` consumes: ``None``
     (a stem shorter than two steps) keeps the plan step-by-step.
+    ``tape_engine`` keys the calibrated per-step overhead lookup (see
+    :func:`_per_group_overhead`) so the ranking charges the dispatch cost
+    of the engine that will actually walk the tape.
     """
     ranked = rank_fusion_caps(
-        tree, sliced, candidates=candidates, cost_model=cost_model, backend=backend
+        tree,
+        sliced,
+        candidates=candidates,
+        cost_model=cost_model,
+        backend=backend,
+        tape_engine=tape_engine,
     )
     if not ranked:
         return None

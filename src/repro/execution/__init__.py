@@ -36,6 +36,15 @@ other (and, for small circuits, against the dense state-vector simulator):
     (:func:`repro.costs.fusion.select_fusion_cap`).  Bit-identical to the
     step-by-step path on every backend; fused plans ship through sessions
     and the process pool unchanged,
+  - *native tape execution* (``tape_engine="auto"`` / ``"native"``): the
+    fused sequence additionally lowered into a flat array-of-structs
+    :class:`~repro.execution.tape.TapeProgram` — opcode/operand/axis
+    tables plus a preallocated scratch arena — walked end-to-end by one
+    numba-JIT kernel with no per-step Python dispatch
+    (:mod:`repro.execution.tape`).  The program pickles to pool workers
+    with the plan and each process JIT-compiles lazily at spawn; when
+    numba is absent (it is an *optional* dependency) or any kernel issue
+    arises, execution falls back to the bit-identical Python walker,
   - *pluggable scheduling* (``backend=``): the subtasks run through an
     :class:`ExecutionBackend` (see the guide below).
 
@@ -165,6 +174,7 @@ from .resilience import (
     RecoveryExhaustedError,
 )
 from .sliced import SlicedExecutor, SubtaskResult
+from .tape import TapeProgram, interpret_program, lower_entries, native_available
 from .fused import ThreadLevelSimulator, ThreadTiming
 from .sampling import CorrelatedSampleBatch, CorrelatedSampler, linear_xeb_fidelity
 from .scaling import (
@@ -207,6 +217,10 @@ __all__ = [
     "compile_fused_runs",
     "SlicedExecutor",
     "SubtaskResult",
+    "TapeProgram",
+    "interpret_program",
+    "lower_entries",
+    "native_available",
     "CorrelatedSampleBatch",
     "CorrelatedSampler",
     "linear_xeb_fidelity",

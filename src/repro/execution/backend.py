@@ -735,6 +735,14 @@ def _install_worker_state(payload: Tuple) -> "_WorkerState":
     old, _WORKER_STATE = _WORKER_STATE, state
     if old is not None:
         old.close()
+    if state.plan.tape_engine == "native":
+        # JIT-compile the tape kernel now so the one-time numba
+        # compilation cost lands in worker start-up, not in the first
+        # chunk's latency; failure just disarms the native engine and
+        # the worker falls back to the Python walker
+        from .tape import warm_kernel
+
+        warm_kernel(getattr(state.plan, "_dtype", None) or np.complex128)
     return state
 
 

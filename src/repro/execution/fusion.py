@@ -115,10 +115,18 @@ class PermKernel:
 
     All three produce the exact array ``np.transpose(a, perm).reshape``
     would, so the GEMMs stay bit-identical to the step-by-step path.
+
+    ``out2d`` is the staged GEMM operand shape: ``(m, k)`` / ``(k, n)``
+    for plain ``dot`` steps, ``(w, m, k)`` / ``(w, k, n)`` for batched
+    (``bmm``) steps — a ``bmm`` step's leading batch axis lands in the
+    permutation's fixed prefix (the §5.3.1 reduced core map is
+    batch-invariant, see
+    :meth:`~repro.core.permutation_map.PermutationSpec.with_leading_batch`),
+    so the same three strategies serve both step kinds unchanged.
     """
 
     strategy: str
-    out2d: Tuple[int, int]
+    out2d: Tuple[int, ...]
     perm: Tuple[int, ...] = ()
     target_shape: Tuple[int, ...] = ()
     prefix_size: int = 1
@@ -165,7 +173,7 @@ PERM_CACHE_MAX_ELEMENTS = 1 << 16
 
 
 def _perm_kernel(
-    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, int]
+    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, ...]
 ) -> PermKernel:
     """Compile one permutation; identity collapses to a reshape view.
 
@@ -187,13 +195,13 @@ def _perm_kernel(
 
 @lru_cache(maxsize=2048)
 def _cached_perm_kernel(
-    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, int]
+    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, ...]
 ) -> PermKernel:
     return _build_perm_kernel(perm, shape, out2d)
 
 
 def _build_perm_kernel(
-    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, int]
+    perm: Tuple[int, ...], shape: Tuple[int, ...], out2d: Tuple[int, ...]
 ) -> PermKernel:
     spec = PermutationSpec(perm=tuple(perm), shape=tuple(shape))
     if spec.is_identity:
@@ -211,6 +219,10 @@ def _build_perm_kernel(
             core_map=reduced.core_map,
             reduction_factor=reduced.reduction_factor,
         )
+    # the copy strategy keeps the reduced core map too: the python walker
+    # never reads it, but it documents the reduced form the native tape
+    # lowering rebuilds when it rewrites every copy as a compiled gather
+    # loop (see execution/tape.py), and the tests cross-check against it
     return PermKernel(
         strategy="copy",
         out2d=out2d,
@@ -219,6 +231,7 @@ def _build_perm_kernel(
         prefix_size=reduced.prefix_size,
         core_size=reduced.core_size,
         suffix_size=reduced.suffix_size,
+        core_map=reduced.core_map,
         reduction_factor=reduced.reduction_factor,
     )
 
@@ -228,21 +241,60 @@ def _step_kernels(
     shape_of: Mapping[int, Tuple[int, ...]],
     cache: Dict[int, Tuple[PermKernel, PermKernel]],
 ) -> Tuple[PermKernel, PermKernel]:
-    """Both operand kernels of a tensordot step, memoized per node.
+    """Both operand kernels of a GEMM-shaped step, memoized per node.
 
-    The same step appears in the full runs, the cache-clipped runs and
-    the plain-step tapes; one kernel pair serves all three.
+    Serves ``tensordot`` steps (2-D ``(m, k) × (k, n)`` layouts) and
+    ``bmm`` steps (3-D ``(w, m, k) × (w, k, n)`` layouts whose leading
+    batch axis the reduced maps absorb into their fixed prefix).  The
+    same step appears in the full runs, the cache-clipped runs and the
+    plain-step tapes; one kernel pair serves all three.
     """
     kernels = cache.get(step.node)
     if kernels is None:
-        assert step.td_mkn is not None
-        m, k, n = step.td_mkn
-        kernels = (
-            _perm_kernel(step.td_perm_lhs, shape_of[step.lhs], (m, k)),
-            _perm_kernel(step.td_perm_rhs, shape_of[step.rhs], (k, n)),
-        )
+        if step.kind == "bmm":
+            assert step.bmm_lhs_shape is not None
+            kernels = (
+                _perm_kernel(
+                    step.bmm_perm_lhs, shape_of[step.lhs], step.bmm_lhs_shape
+                ),
+                _perm_kernel(
+                    step.bmm_perm_rhs, shape_of[step.rhs], step.bmm_rhs_shape
+                ),
+            )
+        else:
+            assert step.td_mkn is not None
+            m, k, n = step.td_mkn
+            kernels = (
+                _perm_kernel(step.td_perm_lhs, shape_of[step.lhs], (m, k)),
+                _perm_kernel(step.td_perm_rhs, shape_of[step.rhs], (k, n)),
+            )
         cache[step.node] = kernels
     return kernels
+
+
+def _step_gemm_dims(
+    step: "ContractStep",
+) -> Tuple[bool, Tuple[int, ...], Optional[Tuple[int, ...]]]:
+    """``(is_bmm, gemm_out_dims, reshape_or_None)`` of a GEMM-shaped step.
+
+    ``gemm_out_dims`` is the raw GEMM output shape — ``(m, n)`` for a
+    ``dot`` step, ``(w, m, n)`` for a batched matmul — and the third
+    element is the step's logical output shape when it differs (``None``
+    when the GEMM output already is the step output).
+    """
+    if step.kind == "bmm":
+        assert step.bmm_lhs_shape is not None and step.bmm_rhs_shape is not None
+        dims: Tuple[int, ...] = (
+            step.bmm_lhs_shape[0],
+            step.bmm_lhs_shape[1],
+            step.bmm_rhs_shape[2],
+        )
+        out_shape = step.bmm_out_shape
+        return True, dims, None if out_shape == dims else out_shape
+    assert step.td_mkn is not None
+    m, _, n = step.td_mkn
+    dims = (m, n)
+    return False, dims, None if step.out_shape == dims else step.out_shape
 
 
 @dataclass(frozen=True, eq=False)
@@ -329,9 +381,8 @@ class FusedRun:
         free_cached = []
         for op in self.ops:
             step = op.step
-            assert step.td_mkn is not None and step.slot is not None
-            m, _, n = step.td_mkn
-            mn = (m, n)
+            assert step.slot is not None
+            is_bmm, dims, out_shape = _step_gemm_dims(step)
             tape.append(
                 (
                     step.node,
@@ -341,8 +392,9 @@ class FusedRun:
                     _kernel_tape(op.perm_lhs),
                     _kernel_tape(op.perm_rhs),
                     step.slot,
-                    mn,
-                    None if step.out_shape == mn else step.out_shape,
+                    dims,
+                    out_shape,
+                    is_bmm,
                 )
             )
             free_full.append(op.free_full)
@@ -384,29 +436,37 @@ def compile_step_tapes(
     shape_of: Mapping[int, Tuple[int, ...]],
     kernel_cache: Optional[Dict[int, Tuple[PermKernel, PermKernel]]] = None,
 ) -> Dict[int, Tuple]:
-    """Precompiled inline entries for every plain tensordot step.
+    """Precompiled inline entries for every plain GEMM-shaped step.
 
-    A fused plan runs its off-run tensordot steps (branch subtrees,
-    unfused stem stubs) through the same inlined tape loop as the fused
-    runs — operands staged through the precompiled permutation kernels,
-    the GEMM written into a stem slot or a recycled free-list buffer —
-    instead of the allocating ``np.tensordot`` wrapper.  Entry layout::
+    A fused plan runs its off-run ``tensordot`` *and* ``bmm`` steps
+    (branch subtrees, unfused stem stubs) through the same inlined tape
+    loop as the fused runs — operands staged through the precompiled
+    permutation kernels, the GEMM written into a stem slot or a recycled
+    free-list buffer — instead of the allocating ``np.tensordot`` /
+    ``np.matmul`` wrappers.  Entry layout::
 
-        (node, lhs, rhs, lhs_kernel, rhs_kernel, slot, (m, n),
-         out_shape_or_None, is_root, free_full, free_cached)
+        (node, lhs, rhs, lhs_kernel, rhs_kernel, slot, gemm_dims,
+         out_shape_or_None, is_root, free_full, free_cached, is_bmm)
 
-    ``out_shape`` is ``None`` when the GEMM's ``(m, n)`` already is the
-    step's output shape; the root is flagged because its buffer is handed
-    to the caller and must not come from the recycled pools.
+    ``gemm_dims`` is ``(m, n)`` for ``dot`` steps and ``(w, m, n)`` for
+    batched matmuls; ``out_shape`` is ``None`` when the GEMM output
+    already is the step's output shape.  The root is flagged because its
+    buffer is handed to the caller and must not come from the recycled
+    pools.
     """
     if kernel_cache is None:
         kernel_cache = {}
     tapes: Dict[int, Tuple] = {}
     for step in steps:
-        if step.kind != "tensordot" or step.td_mkn is None:
+        if step.kind == "tensordot":
+            if step.td_mkn is None:
+                continue
+        elif step.kind == "bmm":
+            if step.bmm_lhs_shape is None:
+                continue
+        else:
             continue
-        m, _, n = step.td_mkn
-        mn = (m, n)
+        is_bmm, dims, out_shape = _step_gemm_dims(step)
         perm_lhs, perm_rhs = _step_kernels(step, shape_of, kernel_cache)
         lhs_kernel = _kernel_tape(perm_lhs)
         rhs_kernel = _kernel_tape(perm_rhs)
@@ -417,11 +477,12 @@ def compile_step_tapes(
             lhs_kernel,
             rhs_kernel,
             step.slot,
-            mn,
-            None if step.out_shape == mn else step.out_shape,
+            dims,
+            out_shape,
             step.node == tree.root,
             step.free_full,
             step.free_cached,
+            is_bmm,
         )
     return tapes
 
@@ -474,7 +535,12 @@ def compile_fused_runs(
     cap: Optional[int] = None,
     max_fused_steps: Optional[int] = None,
     kernel_cache: Optional[Dict[int, Tuple[PermKernel, PermKernel]]] = None,
-) -> Tuple[Tuple[FusedRun, ...], Tuple[FusedRun, ...], Optional[FusedPlan]]:
+) -> Tuple[
+    Tuple[FusedRun, ...],
+    Tuple[FusedRun, ...],
+    Optional[FusedPlan],
+    Dict[str, int],
+]:
     """The fusion pass: partition the stem into executable fused runs.
 
     Group boundaries come from
@@ -482,8 +548,9 @@ def compile_fused_runs(
     the enumerated slicing already removed — the working-set cap plays the
     role of the LDM rank budget, so every group's kept rank is ``<= cap``.
     Within each group, maximal chains of *fusable* steps (``tensordot``
-    kind with a precompiled GEMM layout; ``bmm``/``einsum`` steps break
-    the chain) of length >= 2 become :class:`FusedRun` objects.
+    or ``bmm`` kind with a precompiled GEMM layout and a stem slot;
+    ``einsum`` steps break the chain) of length >= 2 become
+    :class:`FusedRun` objects.
 
     Two run sets are returned: ``runs_full`` for uncached execution (the
     whole plan runs, so invariant and dependent steps may share a run)
@@ -492,13 +559,22 @@ def compile_fused_runs(
     once inside ``warm_cache`` and the clipped run's first stem operand is
     then a cached frontier intermediate.  Also returns the underlying
     :class:`~repro.core.secondary.FusedPlan` for diagnostics (``None``
-    when the tree has no stem to fuse).
+    when the tree has no stem to fuse), plus a ``fusion_breaks`` counter
+    dict recording *why* stem steps stayed outside fused runs (reason →
+    count): ``"einsum"`` for hyper-index fallback steps, ``"no-layout"``
+    for GEMM steps compiled without an explicit layout, ``"no-slot"`` for
+    steps off the slot schedule, ``"short-chain"`` for fusable chains of
+    length 1 dropped at a group or kind boundary.  Before ``bmm`` steps
+    became fusable these splits were silent, which made unfused batched
+    hot paths invisible; the counters land on
+    :attr:`~repro.execution.plan.PlanStats.fusion_breaks`.
     """
+    breaks: Dict[str, int] = {}
     if tree.num_leaves < 2:
-        return (), (), None
+        return (), (), None, breaks
     stem = extract_stem(tree)
     if stem.length < 2:
-        return (), (), None
+        return (), (), None, breaks
     if kernel_cache is None:
         kernel_cache = {}
     slicer = SecondarySlicer(ldm_rank=cap, max_fused_steps=max_fused_steps)
@@ -521,6 +597,10 @@ def compile_fused_runs(
                     kernel_cache,
                 )
             )
+        elif len(chain) == 1:
+            # a fusable step stranded alone between boundaries: it will
+            # run as a plain tape entry, not inside a run
+            breaks["short-chain"] = breaks.get("short-chain", 0) + 1
         # cache-warm execution only runs the slice-dependent steps; the
         # dependent set is closed upward, so it is a suffix of the chain
         variant = [entry for entry in chain if entry[1].node in dependent]
@@ -536,22 +616,31 @@ def compile_fused_runs(
                 )
             )
 
+    def unfusable_reason(step: Optional["ContractStep"]) -> Optional[str]:
+        if step is None:
+            return "missing-step"
+        if step.kind == "einsum":
+            return "einsum"
+        if step.kind == "tensordot" and step.td_mkn is None:
+            return "no-layout"
+        if step.kind == "bmm" and step.bmm_lhs_shape is None:
+            return "no-layout"
+        if step.slot is None:
+            return "no-slot"
+        return None
+
     for group in secondary_plan.groups:
         chain: List[Tuple[int, "ContractStep"]] = []
         for position in range(group.start, group.stop):
             node = stem.steps[position].node
             step = step_of.get(node)
-            fusable = (
-                step is not None
-                and step.kind == "tensordot"
-                and step.td_mkn is not None
-                and step.slot is not None
-            )
-            if not fusable:
+            reason = unfusable_reason(step)
+            if reason is not None:
+                breaks[reason] = breaks.get(reason, 0) + 1
                 flush(chain, group)
                 chain = []
                 continue
             chain.append((position, step))
         flush(chain, group)
 
-    return tuple(runs_full), tuple(runs_cached), secondary_plan
+    return tuple(runs_full), tuple(runs_cached), secondary_plan, breaks

@@ -131,6 +131,20 @@ class PlanStats:
         intermediates never left the arena's slots and scratch); their
         wall time accumulates under the ``"fused_kernel"`` stage of
         :attr:`stage_seconds` so calibration can see the fused kernels.
+    tape_engine:
+        Which tape interpreter actually executed the fused sequences:
+        ``"native"`` (the numba-compiled :mod:`repro.execution.tape`
+        kernel), ``"python"`` (the inlined Python walker), or ``None``
+        when no fused sequence ran.  A plan compiled for the native
+        engine stamps ``"python"`` here if the kernel was unavailable or
+        failed at runtime, so the fallback is observable, and the
+        calibration layer keys per-engine coefficients off this field.
+    fusion_breaks:
+        Compile-time diagnostics from the fusion pass: why stem steps
+        stayed *outside* fused runs, as a ``reason -> count`` dict (see
+        :func:`repro.execution.fusion.compile_fused_runs`).  Stamped once
+        per compiled plan — ``merge`` keeps the first non-empty dict
+        instead of summing, since every worker reports the same plan.
     subtask_seconds:
         Wall-time samples of ``execute`` calls (cache warming excluded) —
         the measured per-subtask samples the calibrated cost model fits.
@@ -173,6 +187,8 @@ class PlanStats:
     slot_writes: int = 0
     branch_writes: int = 0
     fused_steps: int = 0
+    tape_engine: Optional[str] = None
+    fusion_breaks: Dict[str, int] = field(default_factory=dict)
     subtask_seconds: List[float] = field(default_factory=list)
     subtask_seconds_sum: float = 0.0
     timed_subtasks: int = 0
@@ -223,6 +239,12 @@ class PlanStats:
         self.slot_writes += other.slot_writes
         self.branch_writes += other.branch_writes
         self.fused_steps += other.fused_steps
+        if other.tape_engine is not None:
+            # workers report what actually ran; their observation wins
+            # over a compile-time stamp on the coordinator's stats
+            self.tape_engine = other.tape_engine
+        if not self.fusion_breaks and other.fusion_breaks:
+            self.fusion_breaks = dict(other.fusion_breaks)
         room = MAX_TIMING_SAMPLES - len(self.subtask_seconds)
         if room > 0:
             self.subtask_seconds.extend(other.subtask_seconds[:room])
@@ -441,6 +463,24 @@ class ContractStep:
     bmm_rhs_identity: bool = False
 
 
+def _batched_gemm(a3: np.ndarray, b3: np.ndarray, out3: np.ndarray) -> None:
+    """Slicewise 2-D GEMM — the one ``bmm`` primitive every engine shares.
+
+    ``np.matmul`` over a 3-D stack is *not* bitwise identical to a loop
+    of 2-D GEMMs (its batched path accumulates differently), and the
+    numba tape kernel (:mod:`repro.execution.tape`) can only express the
+    loop — so the stepwise walker, the fused Python walker and the native
+    kernel all contract the batch axis this way, keeping every
+    backend/engine combination bit-identical.
+    """
+    if a3.dtype != out3.dtype:
+        a3 = a3.astype(out3.dtype)
+    if b3.dtype != out3.dtype:
+        b3 = b3.astype(out3.dtype)
+    for i in range(out3.shape[0]):
+        np.dot(a3[i], b3[i], out=out3[i])
+
+
 class CompiledPlan:
     """A contraction tree compiled against one network and slicing set.
 
@@ -467,6 +507,8 @@ class CompiledPlan:
         fused_runs_cached: Tuple[FusedRun, ...] = (),
         fusion_plan=None,
         step_tapes: Optional[Dict[int, Tuple]] = None,
+        tape_engine: str = "python",
+        fusion_breaks: Optional[Dict[str, int]] = None,
     ) -> None:
         self._tree = tree
         self._branch_buffers = bool(branch_buffers)
@@ -515,6 +557,26 @@ class CompiledPlan:
         else:
             self._exec_full = None
             self._exec_cached = None
+        self._fusion_breaks: Dict[str, int] = dict(fusion_breaks or {})
+        # native tape programs: the fused execution sequences lowered into
+        # flat array-of-structs programs a numba kernel walks without
+        # per-step Python (see execution/tape.py).  Lowered eagerly in the
+        # compiling process, JIT-compiled lazily in whichever process
+        # executes them (programs pickle to pool workers; the kernel does
+        # not).  ``None`` when the engine is python, numba is absent under
+        # "auto", or a sequence contains an einsum fallback step.
+        self._native_full = None
+        self._native_cached = None
+        self._tape_engine = "python"
+        if fused and tape_engine == "native":
+            from .tape import lower_entries
+
+            self._native_full = lower_entries(self._exec_full, tree.root, cached=False)
+            self._native_cached = lower_entries(
+                self._exec_cached, tree.root, cached=True
+            )
+            if self._native_full is not None or self._native_cached is not None:
+                self._tape_engine = "native"
 
     def _interleave(
         self, steps: Sequence[ContractStep], runs: Tuple[FusedRun, ...]
@@ -571,9 +633,42 @@ class CompiledPlan:
         return self._fused_runs_cached
 
     @property
+    def contract_steps(self) -> Tuple[ContractStep, ...]:
+        """Every compiled pair-contraction step, in execution order.
+
+        What the benchmarks' fusion-coverage accounting walks: a step
+        with a :attr:`ContractStep.slot` and a GEMM layout
+        (``td_mkn``/``bmm_lhs_shape``) is a stem GEMM the fusion pass
+        could place inside a run.
+        """
+        return self._steps
+
+    @property
     def fusion_plan(self):
         """The §5 :class:`~repro.core.secondary.FusedPlan` behind the runs."""
         return self._fusion_plan
+
+    @property
+    def fusion_breaks(self) -> Dict[str, int]:
+        """Why stem steps stayed outside fused runs (reason → count)."""
+        return dict(self._fusion_breaks)
+
+    @property
+    def tape_engine(self) -> str:
+        """The tape interpreter this plan carries (``"python"``/``"native"``).
+
+        ``"native"`` means the fused sequences were lowered to
+        :class:`~repro.execution.tape.TapeProgram` form; execution still
+        falls back to the Python walker (bit-identically) if the numba
+        kernel is unavailable in the executing process.
+        """
+        return self._tape_engine
+
+    @property
+    def native_programs(self) -> Tuple[object, object]:
+        """The lowered ``(full, cached)`` tape programs (``None`` each
+        when the plan runs the Python walker)."""
+        return self._native_full, self._native_cached
 
     @property
     def batch_index(self) -> Optional[str]:
@@ -740,7 +835,10 @@ class CompiledPlan:
             for ls in self._leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
             if slots is not None and self._exec_full is not None:
-                self._run_entries(self._exec_full, live, slots, stats, release, False)
+                if not self._try_native(self._native_full, live, slots, stats):
+                    self._run_entries(
+                        self._exec_full, live, slots, stats, release, False
+                    )
             else:
                 for step in self._steps:
                     self._run_step(step, live, slots, stats)
@@ -760,7 +858,10 @@ class CompiledPlan:
             for ls in self._variant_leaf_steps:
                 live[ls.node] = self._load_leaf(network, ls, assignment)
             if slots is not None and self._exec_cached is not None:
-                self._run_entries(self._exec_cached, live, slots, stats, release, True)
+                if not self._try_native(self._native_cached, live, slots, stats):
+                    self._run_entries(
+                        self._exec_cached, live, slots, stats, release, True
+                    )
             else:
                 for step in self._variant_steps:
                     self._run_step(step, live, slots, stats)
@@ -806,6 +907,26 @@ class CompiledPlan:
             data = np.asarray(data, dtype=self._dtype)
         return data
 
+    def _try_native(
+        self,
+        program,
+        live: Dict[int, np.ndarray],
+        slots: StemSlots,
+        stats: Optional[PlanStats],
+    ) -> bool:
+        """Run one lowered tape program through the numba kernel.
+
+        Returns ``False`` (and leaves ``live`` usable) whenever the native
+        path cannot run — no program, numba missing, mixed operand dtypes,
+        or a kernel failure (which poisons the engine for this process) —
+        so the caller falls through to the bit-identical Python walker.
+        """
+        if program is None:
+            return False
+        from .tape import run_native
+
+        return run_native(program, live, slots, stats)
+
     def _run_entries(
         self,
         entries: Tuple[object, ...],
@@ -815,21 +936,25 @@ class CompiledPlan:
         release: bool,
         cached: bool,
     ) -> None:
-        """Execute a fused sequence.
+        """Execute a fused sequence with the Python tape walker.
 
-        Three entry kinds: precompiled tape tuples (every tensordot step —
-        operands staged through the §5.3.1 permutation kernels, the GEMM
-        written into a stem slot, a recycled free-list buffer, or — for
-        the root only — a fresh caller-owned buffer), :class:`FusedRun`
-        objects (whole stem sub-paths), and plain
-        :class:`ContractStep` fallbacks (einsum / bmm kinds).  All three
-        produce bit-identical values to the step-by-step loop.
+        Three entry kinds: precompiled tape tuples (every GEMM-shaped
+        step, ``dot`` and batched ``matmul`` alike — operands staged
+        through the §5.3.1 permutation kernels, the GEMM written into a
+        stem slot, a recycled free-list buffer, or — for the root only —
+        a fresh caller-owned buffer), :class:`FusedRun` objects (whole
+        stem sub-paths), and plain :class:`ContractStep` fallbacks
+        (einsum kind).  All three produce bit-identical values to the
+        step-by-step loop.
         """
         timed = stats is not None
+        if timed:
+            stats.tape_engine = "python"  # type: ignore[union-attr]
         out_for = slots.out_for
         take_branch = slots.take_branch
         scratch = slots.scratch
         dot = np.dot
+        batched = _batched_gemm
         copyto = np.copyto
         for entry in entries:
             kind = type(entry)
@@ -846,6 +971,7 @@ class CompiledPlan:
                     is_root,
                     free_full,
                     free_cached,
+                    is_bmm,
                 ) = entry
                 a = live[lhs_node]
                 b = live[rhs_node]
@@ -883,7 +1009,10 @@ class CompiledPlan:
                     out2 = take_branch(mn, dtype)
                     if timed:
                         stats.branch_writes += 1  # type: ignore[union-attr]
-                dot(a2, b2, out=out2)
+                if is_bmm:
+                    batched(a2, b2, out2)
+                else:
+                    dot(a2, b2, out=out2)
                 live[node] = out2 if out_shape is None else out2.reshape(out_shape)
                 if timed:
                     stats.record_step(node)  # type: ignore[union-attr]
@@ -926,6 +1055,7 @@ class CompiledPlan:
         out_for = slots.out_for
         scratch = slots.scratch
         dot = np.dot
+        batched = _batched_gemm
         copyto = np.copyto
         running = live[run.first_stem]
         free_lists = run.tape_free_cached if cached else run.tape_free_full  # type: ignore[attr-defined]
@@ -941,6 +1071,7 @@ class CompiledPlan:
                 slot,
                 mn,
                 out_shape,
+                is_bmm,
             ) = entry
             if stem_on_lhs:
                 a, b = running, live[rhs_node]
@@ -969,7 +1100,10 @@ class CompiledPlan:
             adt = a.dtype
             bdt = b.dtype
             out2 = out_for(slot, mn, adt if adt == bdt else np.result_type(a, b))
-            dot(a2, b2, out=out2)
+            if is_bmm:
+                batched(a2, b2, out2)
+            else:
+                dot(a2, b2, out=out2)
             running = out2 if out_shape is None else out2.reshape(out_shape)
             for child in free_nodes:
                 if release:
@@ -1008,19 +1142,29 @@ class CompiledPlan:
         if step.kind == "tensordot":
             if use_slot or use_branch:
                 # the explicit transpose → reshape → dot sequence below is
-                # exactly what np.tensordot performs, so writing the GEMM
-                # into a slot or free-list buffer is bit-identical to the
-                # allocating path; identity permutations skip the
-                # transpose call (a reshape of the same buffer)
+                # what np.tensordot performs, with one normalization: when
+                # the transposed reshape happens to be expressible as a
+                # *view* (e.g. an F-contiguous (m, k)), BLAS would take the
+                # transposed-GEMM dispatch, whose accumulation grouping
+                # differs from the C-contiguous dispatch by ulps.  The
+                # fused tape walkers always stage permuted operands into
+                # C-contiguous scratch, so this path forces C order too —
+                # every engine's GEMM then sees identical buffers and the
+                # fused/stepwise bit-identity contract holds on every
+                # workload, not just those where reshape copies anyway.
                 m, k, n = step.td_mkn  # type: ignore[misc]
                 if step.td_lhs_identity:
                     a2 = a.reshape(m, k)
                 else:
-                    a2 = np.transpose(a, step.td_perm_lhs).reshape(m, k)
+                    a2 = np.ascontiguousarray(
+                        np.transpose(a, step.td_perm_lhs).reshape(m, k)
+                    )
                 if step.td_rhs_identity:
                     b2 = b.reshape(k, n)
                 else:
-                    b2 = np.transpose(b, step.td_perm_rhs).reshape(k, n)
+                    b2 = np.ascontiguousarray(
+                        np.transpose(b, step.td_perm_rhs).reshape(k, n)
+                    )
                 if use_slot:
                     out2 = slots.out_for(step.slot, (m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
                 else:
@@ -1032,21 +1176,29 @@ class CompiledPlan:
             else:
                 out = np.tensordot(a, b, axes=step.axes)
         elif step.kind == "bmm":
+            # same C-order normalization as the tensordot branch above:
+            # the per-slice GEMMs must see the buffers the fused walkers
+            # would stage, or a view-expressible reshape flips the BLAS
+            # dispatch and breaks cross-engine bit-identity by ulps
             if step.bmm_lhs_identity:
                 a3 = a.reshape(step.bmm_lhs_shape)
             else:
-                a3 = np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
+                a3 = np.ascontiguousarray(
+                    np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
+                )
             if step.bmm_rhs_identity:
                 b3 = b.reshape(step.bmm_rhs_shape)
             else:
-                b3 = np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
+                b3 = np.ascontiguousarray(
+                    np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
+                )
+            shape3 = (step.bmm_lhs_shape[0], step.bmm_lhs_shape[1], step.bmm_rhs_shape[2])  # type: ignore[index]
             if use_slot:
-                shape3 = (step.bmm_lhs_shape[0], step.bmm_lhs_shape[1], step.bmm_rhs_shape[2])  # type: ignore[index]
                 out3 = slots.out_for(step.slot, shape3, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
-                np.matmul(a3, b3, out=out3)
-                out = out3.reshape(step.bmm_out_shape)
             else:
-                out = np.matmul(a3, b3).reshape(step.bmm_out_shape)
+                out3 = np.empty(shape3, dtype=np.result_type(a, b))
+            _batched_gemm(a3, b3, out3)
+            out = out3.reshape(step.bmm_out_shape)
         else:
             if use_slot:
                 out = slots.out_for(step.slot, step.out_shape, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
@@ -1080,6 +1232,7 @@ def compile_plan(
     fused: bool = False,
     fused_cap: Optional[int] = None,
     fused_max_steps: Optional[int] = None,
+    tape_engine: str = "auto",
 ) -> CompiledPlan:
     """Compile ``tree`` over ``network`` for a fixed slicing set.
 
@@ -1130,8 +1283,30 @@ def compile_plan(
         selection.
     fused_max_steps:
         Optional cap on the number of steps fused into one group.
+    tape_engine:
+        Which interpreter walks the fused tape: ``"python"`` (the inlined
+        walker in this module), ``"native"`` (lower the fused sequences
+        into :class:`~repro.execution.tape.TapeProgram` form for the
+        numba kernel — required, but execution still falls back
+        bit-identically if numba is absent in the executing process), or
+        ``"auto"`` (native exactly when numba is importable).  Only
+        meaningful with ``fused``; requesting ``"native"`` on an unfused
+        plan is an error.
     """
     sliced = frozenset(sliced)
+    if tape_engine not in ("auto", "python", "native"):
+        raise PlanError(
+            f"unknown tape_engine {tape_engine!r}; "
+            "expected 'auto', 'python' or 'native'"
+        )
+    if tape_engine == "native" and not fused:
+        raise PlanError("tape_engine='native' requires a fused plan")
+    engine = "python"
+    if fused and tape_engine != "python":
+        from .tape import native_available
+
+        if tape_engine == "native" or native_available():
+            engine = "native"
     if batch_index is not None and batch_indices is not None:
         raise PlanError("pass either batch_index or batch_indices, not both")
     batch: Tuple[str, ...] = (
@@ -1333,20 +1508,23 @@ def compile_plan(
     fused_runs_cached: Tuple[FusedRun, ...] = ()
     fusion_plan = None
     step_tapes: Optional[Dict[int, Tuple]] = None
+    fusion_breaks: Dict[str, int] = {}
     if fused:
         shape_of = {
             node: tuple(size(ix) for ix in order) for node, order in orders.items()
         }
         kernel_cache: Dict[int, Tuple] = {}
-        fused_runs_full, fused_runs_cached, fusion_plan = compile_fused_runs(
-            tree,
-            steps,
-            enumerated=frozenset(enumerated),
-            dependent=dependent,
-            shape_of=shape_of,
-            cap=fused_cap,
-            max_fused_steps=fused_max_steps,
-            kernel_cache=kernel_cache,
+        fused_runs_full, fused_runs_cached, fusion_plan, fusion_breaks = (
+            compile_fused_runs(
+                tree,
+                steps,
+                enumerated=frozenset(enumerated),
+                dependent=dependent,
+                shape_of=shape_of,
+                cap=fused_cap,
+                max_fused_steps=fused_max_steps,
+                kernel_cache=kernel_cache,
+            )
         )
         step_tapes = compile_step_tapes(tree, steps, shape_of, kernel_cache)
 
@@ -1368,5 +1546,7 @@ def compile_plan(
         fused_runs_cached=fused_runs_cached,
         fusion_plan=fusion_plan,
         step_tapes=step_tapes,
+        tape_engine=engine,
+        fusion_breaks=fusion_breaks,
     )
 

@@ -186,6 +186,17 @@ class SlicedExecutor:
         :class:`~repro.execution.faultinject.FaultInjector` (testing
         hook): injects scheduled worker kills, delays and chunk failures
         at submission time.  Compiled mode only.
+    tape_engine:
+        Which interpreter walks the fused tape: ``"python"`` keeps the
+        pure-Python walker, ``"native"`` lowers the tape into the flat
+        numba-JIT program of :mod:`repro.execution.tape` (falling back
+        to the Python walker at runtime when the JIT is unavailable),
+        and ``"auto"`` (default) selects native exactly when numba is
+        importable.  Results are bit-identical across engines; the
+        choice also keys the cost model's per-step overhead lookup so
+        ``fused="auto"`` ranks caps against the engine that will
+        actually run.  Only meaningful together with ``fused``;
+        compiled mode only.
     """
 
     def __init__(
@@ -207,6 +218,7 @@ class SlicedExecutor:
         fused_cap: Optional[int] = None,
         fault_policy: Optional["FaultPolicy"] = None,
         fault_injector: Optional["FaultInjector"] = None,
+        tape_engine: str = "auto",
     ) -> None:
         self.network = network
         self.tree = tree
@@ -230,6 +242,7 @@ class SlicedExecutor:
         self.batch_indices: Tuple[str, ...] = self._normalize_batch(
             batch_index, batch_indices, mode
         )
+        self._tape_engine_request = self._normalize_tape_engine(tape_engine, fused, mode)
         self._fused, self._fused_cap = self._normalize_fused(fused, fused_cap, mode)
         self._configure_faults(fault_policy, fault_injector)
 
@@ -298,6 +311,31 @@ class SlicedExecutor:
                 raise ValueError(f"batch index {ix!r} is not in the sliced set")
         return group
 
+    def _normalize_tape_engine(
+        self,
+        tape_engine: str,
+        fused: Union[bool, str],
+        mode: str,
+    ) -> str:
+        """Validate the ``tape_engine=`` spec (resolution happens per plan)."""
+        if tape_engine not in ("auto", "python", "native"):
+            raise ValueError(
+                f"tape_engine must be 'auto', 'python' or 'native', got {tape_engine!r}"
+            )
+        if mode == "reference" and tape_engine != "auto":
+            raise ValueError("tape_engine requires the compiled mode")
+        if tape_engine == "native" and (fused is False or fused is None):
+            raise ValueError("tape_engine='native' requires fused=True or fused='auto'")
+        return tape_engine
+
+    def _cost_tape_engine(self) -> str:
+        """The engine fused plans would actually run on (cost-lookup key)."""
+        if self._tape_engine_request == "python":
+            return "python"
+        from .tape import native_available
+
+        return "native" if native_available() else "python"
+
     def _normalize_fused(
         self,
         fused: Union[bool, str],
@@ -323,6 +361,7 @@ class SlicedExecutor:
                     frozenset(self.sliced),
                     cost_model=self.cost_model,
                     backend=self._backend.name if self._backend is not None else None,
+                    tape_engine=self._cost_tape_engine(),
                 )
             if cap is None:  # nothing to fuse: stay step-by-step
                 return False, None
@@ -395,6 +434,22 @@ class SlicedExecutor:
         return self._fused_cap
 
     @property
+    def tape_engine(self) -> str:
+        """The resolved tape engine of the primary compiled plan.
+
+        ``"native"`` when the plan carries a lowered JIT program (see
+        :mod:`repro.execution.tape`), else ``"python"``.  Before any plan
+        exists (reference mode, or a still-lazy plain plan) this reports
+        the engine a fused plan *would* resolve to.
+        """
+        plan = self._batched_plan if self._batched_plan is not None else self._plan
+        if plan is not None:
+            return plan.tape_engine
+        if self.mode != "compiled" or not self._fused:
+            return "python"
+        return self._cost_tape_engine()
+
+    @property
     def plan(self) -> Optional[CompiledPlan]:
         """The compiled per-subtask plan (``None`` in reference mode).
 
@@ -461,8 +516,10 @@ class SlicedExecutor:
             branch_buffers=self._branch_buffers,
             fused=self._fused,
             fused_cap=self._fused_cap,
+            tape_engine=self._tape_engine_request if self._fused else "python",
         )
         self._cache = self._plan.new_cache() if self._cache_invariant else None
+        self._stamp_plan_stats(self._plan)
         self._snapshot_leaves()
 
     def _compile_batched_plan(self) -> None:
@@ -476,11 +533,18 @@ class SlicedExecutor:
             branch_buffers=self._branch_buffers,
             fused=self._fused,
             fused_cap=self._fused_cap,
+            tape_engine=self._tape_engine_request if self._fused else "python",
         )
         self._batched_cache = (
             self._batched_plan.new_cache() if self._cache_invariant else None
         )
+        self._stamp_plan_stats(self._batched_plan)
         self._snapshot_leaves()
+
+    def _stamp_plan_stats(self, plan: CompiledPlan) -> None:
+        """Record compile-time plan facts (fusion split reasons) in stats."""
+        if plan.fusion_breaks and not self.stats.fusion_breaks:
+            self.stats.fusion_breaks = plan.fusion_breaks
 
     def _ensure_plan(self) -> Optional[CompiledPlan]:
         """The per-subtask plan, compiling it on first use (lazy path)."""

@@ -1,0 +1,637 @@
+"""Native-speed fused tape: the §5 sub-path schedule without Python.
+
+The fused executor (:mod:`repro.execution.fusion` +
+:meth:`~repro.execution.plan.CompiledPlan.execute`) removed the
+per-step allocations from the hot path, but every tape entry still
+round-trips through the Python interpreter — tuple unpacking, attribute
+lookups, numpy wrapper calls — which at circuit-simulation tensor sizes
+costs a sizable fraction of each GEMM.  This module removes that last
+layer: the fused execution sequence is **lowered** once, at plan-compile
+time, into a flat array-of-structs :class:`TapeProgram` — an opcode
+table plus integer operand/register/axis arrays and one preallocated
+scratch arena — that a numba-``@njit`` kernel walks with zero per-step
+Python.
+
+This is the CPU analogue of the paper's §5.3.1 *thread-level* fused
+kernel (modelled analytically by
+:class:`~repro.execution.fused.ThreadLevelSimulator` in
+:mod:`repro.execution.fused`): where the Sunway kernel streams sub-path
+steps through the 64 CPEs' LDM with reduced permutation maps resident,
+the tape program streams them through a compiled loop with the same
+§5.3.1 reduced core maps baked into one concatenated index table.  Every
+operand permutation — including the Python walker's strided-``copyto``
+cases — lowers to the recursion-formula gather
+``dst[(p·C + c)·S + s] = src[(p·C + map[c])·S + s]``, which a compiled
+loop executes efficiently at any suffix size, so one op shape serves all
+permutations.  Batched (``bmm``) steps lower to a batched-GEMM op whose
+leading batch axis sits in the permutation's fixed prefix (see
+:meth:`~repro.core.permutation_map.PermutationSpec.with_leading_batch`),
+so the stored maps stay batch-invariant.
+
+Engine contract
+---------------
+* **Import-guarded**: numba (and scipy, whose ``cython_blas`` numba's
+  ``np.dot`` lowering requires) are *optional*.  Without them
+  :func:`native_available` is ``False``, plans compiled with
+  ``tape_engine="auto"`` carry no program, and explicitly requested
+  native plans fall back — bit-identically — to the Python walker at
+  execution time.
+* **Picklable**: a :class:`TapeProgram` is plain ndarrays and tuples, so
+  fused plans ship to pool workers unchanged; the JIT kernel itself is
+  process-local and compiles lazily on first use in each worker
+  (:func:`warm_kernel` lets the pool pay that at spawn instead of on the
+  first chunk).
+* **Bit-identical**: the kernel performs exactly the loads, gathers and
+  BLAS GEMMs of the Python walker, in the same order, on the same
+  operand layouts.  :func:`interpret_program` is the pure-numpy
+  executable specification of the kernel's semantics; the equivalence
+  tests pin both against the stepwise oracle.
+* **Self-disarming**: any kernel failure poisons the engine for the
+  process (:func:`run_native` returns ``False`` forever after), so a
+  broken JIT environment degrades to the Python walker instead of
+  failing runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.permutation_map import PermutationSpec, ReducedPermutationMap
+from .fusion import TAPE_COPY, TAPE_GATHER, TAPE_VIEW, FusedRun
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import PlanStats, StemSlots
+
+__all__ = [
+    "TapeProgram",
+    "interpret_program",
+    "lower_entries",
+    "native_available",
+    "run_native",
+    "warm_kernel",
+]
+
+
+#: Opcodes of the lowered program.
+OP_DOT, OP_BMM = 0, 1
+
+#: Scratch keys in the :class:`~repro.execution.plan.StemSlots` arena for
+#: the kernel's permutation staging (kept separate from the Python
+#: walker's keys so a runtime fallback never churns buffer generations).
+SCRATCH_TAPE_LHS = "tape-lhs"
+SCRATCH_TAPE_RHS = "tape-rhs"
+
+#: Dtypes numba's BLAS-backed ``np.dot`` supports; anything else runs the
+#: Python walker.
+_NATIVE_DTYPES = frozenset(("float32", "float64", "complex64", "complex128"))
+
+
+# ----------------------------------------------------------------------
+# Optional numba import + kernel definition
+# ----------------------------------------------------------------------
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+    from scipy.linalg import cython_blas as _cython_blas  # noqa: F401
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the numba-free default environment
+    _numba = None
+    _HAVE_NUMBA = False
+
+#: Set on the first kernel failure: the engine disarms itself for the
+#: rest of the process and every fused execution uses the Python walker.
+_BROKEN = False
+
+
+def native_available() -> bool:
+    """Whether the native tape engine can run in this process."""
+    return _HAVE_NUMBA and not _BROKEN
+
+
+if _HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @_numba.njit(cache=True, nogil=True, inline="always")
+    def _gather(src, dst, prefix, core, suffix, maps, offset):  # pragma: no cover
+        # the §5.3.1 recursion formula as a compiled loop:
+        #   dst[(p*C + c)*S + s] = src[(p*C + map[c])*S + s]
+        for p in range(prefix):
+            base = p * core * suffix
+            for c in range(core):
+                src_off = base + maps[offset + c] * suffix
+                dst_off = base + c * suffix
+                for s in range(suffix):
+                    dst[dst_off + s] = src[src_off + s]
+
+    @_numba.njit(cache=True, nogil=True)
+    def _walk(
+        ops, dims, lhs_perm, rhs_perm, core_maps, regs, scratch_a, scratch_b
+    ):  # pragma: no cover
+        for i in range(ops.shape[0]):
+            w = dims[i, 0]
+            m = dims[i, 1]
+            k = dims[i, 2]
+            n = dims[i, 3]
+            a = regs[ops[i, 1]]
+            b = regs[ops[i, 2]]
+            if lhs_perm[i, 0] == 1:
+                _gather(
+                    a,
+                    scratch_a,
+                    lhs_perm[i, 1],
+                    lhs_perm[i, 2],
+                    lhs_perm[i, 3],
+                    core_maps,
+                    lhs_perm[i, 4],
+                )
+                a = scratch_a
+            if rhs_perm[i, 0] == 1:
+                _gather(
+                    b,
+                    scratch_b,
+                    rhs_perm[i, 1],
+                    rhs_perm[i, 2],
+                    rhs_perm[i, 3],
+                    core_maps,
+                    rhs_perm[i, 4],
+                )
+                b = scratch_b
+            if ops[i, 0] == 0:
+                a2 = a[: m * k].reshape(m, k)
+                b2 = b[: k * n].reshape(k, n)
+                out = np.dot(a2, b2)
+                regs[ops[i, 3]] = out.reshape(m * n)
+            else:
+                a3 = a[: w * m * k].reshape(w, m, k)
+                b3 = b[: w * k * n].reshape(w, k, n)
+                out = np.empty(w * m * n, a.dtype)
+                out3 = out.reshape(w, m, n)
+                for bi in range(w):
+                    out3[bi] = np.dot(a3[bi], b3[bi])
+                regs[ops[i, 3]] = out
+
+
+# ----------------------------------------------------------------------
+# The lowered program
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TapeProgram:
+    """A fused execution sequence lowered to array-of-structs form.
+
+    All step state lives in parallel int64 tables (one row per GEMM), so
+    the kernel's walk touches no Python objects:
+
+    * ``ops[i] = (opcode, lhs_reg, rhs_reg, out_reg)`` — ``OP_DOT`` or
+      ``OP_BMM`` over a flat *register file* of 1-D buffers;
+    * ``dims[i] = (w, m, k, n)`` — GEMM extents (``w = 1`` for ``dot``);
+    * ``lhs_perm[i]`` / ``rhs_perm[i]`` =
+      ``(mode, prefix, core, suffix, map_offset)`` — ``mode 0`` passes
+      the register through (identity permutation), ``mode 1`` runs the
+      reduced-map gather whose core map lives at ``map_offset`` in the
+      shared ``core_maps`` table;
+    * ``core_maps`` — every step's §5.3.1 reduced core map, concatenated.
+
+    ``inputs`` names the ``(node, register)`` pairs the shim loads from
+    the executor's ``live`` table before the walk; ``nodes`` are the tree
+    nodes the program computes (for stats parity with the Python walker);
+    ``root``/``root_reg``/``root_shape`` locate and shape the result.
+    ``scratch_lhs``/``scratch_rhs`` size the two staging buffers
+    (elements), and the ``*_steps`` counters mirror the Python walker's
+    ``slot_writes``/``branch_writes``/``fused_steps`` accounting.
+
+    Instances contain only ndarrays and tuples: they pickle to pool
+    workers with the plan, and each process JIT-compiles the kernel
+    lazily on first use.
+    """
+
+    ops: np.ndarray
+    dims: np.ndarray
+    lhs_perm: np.ndarray
+    rhs_perm: np.ndarray
+    core_maps: np.ndarray
+    num_regs: int
+    inputs: Tuple[Tuple[int, int], ...]
+    nodes: Tuple[int, ...]
+    root: int
+    root_reg: int
+    root_shape: Tuple[int, ...]
+    scratch_lhs: int
+    scratch_rhs: int
+    slot_steps: int
+    branch_steps: int
+    fused_steps: int
+
+    @property
+    def num_steps(self) -> int:
+        """Number of GEMMs in the program."""
+        return int(self.ops.shape[0])
+
+
+class _Lowering:
+    """Builder state for one :func:`lower_entries` pass."""
+
+    def __init__(self) -> None:
+        self.rows: List[Tuple[int, int, int, int]] = []
+        self.dims: List[Tuple[int, int, int, int]] = []
+        self.lhs_perm: List[Tuple[int, int, int, int, int]] = []
+        self.rhs_perm: List[Tuple[int, int, int, int, int]] = []
+        self.map_parts: List[np.ndarray] = []
+        self.map_offset = 0
+        self.reg_of: Dict[int, int] = {}
+        self.free_regs: List[int] = []
+        self.next_reg = 0
+        self.inputs: List[Tuple[int, int]] = []
+        self.nodes: List[int] = []
+        self.scratch_lhs = 0
+        self.scratch_rhs = 0
+        self.slot_steps = 0
+        self.branch_steps = 0
+        self.fused_steps = 0
+
+    def alloc(self) -> int:
+        if self.free_regs:
+            return self.free_regs.pop()
+        reg = self.next_reg
+        self.next_reg += 1
+        return reg
+
+    def operand_reg(self, node: int) -> int:
+        reg = self.reg_of.get(node)
+        if reg is None:
+            # read but never produced by the sequence: an input (leaf
+            # slice or cached frontier intermediate).  Inputs are all
+            # loaded before the walk starts, so their registers must be
+            # fresh — a recycled register could be written by a step
+            # that runs before this operand's first read, clobbering
+            # the preloaded value.  Once freed (after its last read) the
+            # register joins the pool for later *outputs*, which is safe.
+            reg = self.next_reg
+            self.next_reg += 1
+            self.reg_of[node] = reg
+            self.inputs.append((node, reg))
+        return reg
+
+    def free_node(self, node: int) -> None:
+        reg = self.reg_of.pop(node, None)
+        if reg is not None:
+            self.free_regs.append(reg)
+
+    def perm_descriptor(self, kernel_tape: Tuple) -> Tuple[int, int, int, int, int]:
+        """Lower one flattened perm kernel to ``(mode, P, C, S, offset)``.
+
+        Identity permutations stay mode 0.  Both the walker's gather and
+        copy strategies become the reduced-map gather: the gather tape
+        already carries ``(P, C, S)`` and the core map, the copy tape
+        carries ``(perm, target_shape)`` from which the source shape —
+        and hence the same reduced map the gather would use — is
+        reconstructed.  A compiled loop has no minimum-suffix economics
+        (the walker's ``GATHER_MIN_SUFFIX`` exists because ``np.take``
+        on near-scalar rows loses to numpy's strided copy), so one op
+        shape serves every permutation.
+        """
+        mode, p1, p2, _ = kernel_tape
+        if mode == TAPE_VIEW:
+            return (0, 1, 1, 1, 0)
+        if mode == TAPE_GATHER:
+            prefix, core, suffix = p1
+            core_map = p2
+        else:
+            assert mode == TAPE_COPY
+            perm, target_shape = p1, p2
+            source_shape = [0] * len(perm)
+            for position, axis in enumerate(perm):
+                source_shape[axis] = target_shape[position]
+            reduced = ReducedPermutationMap(
+                PermutationSpec(perm=tuple(perm), shape=tuple(source_shape))
+            )
+            prefix = reduced.prefix_size
+            core = reduced.core_size
+            suffix = reduced.suffix_size
+            core_map = reduced.core_map
+        offset = self.map_offset
+        self.map_parts.append(np.asarray(core_map, dtype=np.int64))
+        self.map_offset += int(core_map.size)
+        return (1, int(prefix), int(core), int(suffix), offset)
+
+    def emit(
+        self,
+        node: int,
+        lhs: int,
+        rhs: int,
+        lhs_kernel: Tuple,
+        rhs_kernel: Tuple,
+        is_bmm: bool,
+    ) -> None:
+        lhs_out = lhs_kernel[3]
+        rhs_out = rhs_kernel[3]
+        if is_bmm:
+            w, m, k = lhs_out
+            n = rhs_out[2]
+        else:
+            w = 1
+            m, k = lhs_out
+            n = rhs_out[1]
+        lhs_reg = self.operand_reg(lhs)
+        rhs_reg = self.operand_reg(rhs)
+        lhs_desc = self.perm_descriptor(lhs_kernel)
+        rhs_desc = self.perm_descriptor(rhs_kernel)
+        if lhs_desc[0] == 1:
+            self.scratch_lhs = max(self.scratch_lhs, w * m * k)
+        if rhs_desc[0] == 1:
+            self.scratch_rhs = max(self.scratch_rhs, w * k * n)
+        out_reg = self.alloc()
+        self.rows.append((OP_BMM if is_bmm else OP_DOT, lhs_reg, rhs_reg, out_reg))
+        self.dims.append((w, m, k, n))
+        self.lhs_perm.append(lhs_desc)
+        self.rhs_perm.append(rhs_desc)
+        self.reg_of[node] = out_reg
+        self.nodes.append(node)
+
+
+def lower_entries(
+    entries: Optional[Tuple[object, ...]],
+    root: int,
+    cached: bool,
+) -> Optional[TapeProgram]:
+    """Lower one fused execution sequence into a :class:`TapeProgram`.
+
+    ``entries`` is a :meth:`CompiledPlan._interleave` sequence: inline
+    tape tuples, :class:`~repro.execution.fusion.FusedRun` objects, and
+    (for hyper-index einsum fallbacks) plain ``ContractStep`` objects.
+    Einsum steps have no GEMM form, so a sequence containing one cannot
+    be lowered — the function returns ``None`` and the plan keeps the
+    Python walker.  ``cached`` selects which free schedule drives
+    register recycling (it must match the sequence being lowered).
+    """
+    if not entries:
+        return None
+    state = _Lowering()
+    for entry in entries:
+        kind = type(entry)
+        if kind is tuple:
+            (
+                node,
+                lhs,
+                rhs,
+                lhs_kernel,
+                rhs_kernel,
+                slot,
+                _dims,
+                _out_shape,
+                is_root,
+                free_full,
+                free_cached,
+                is_bmm,
+            ) = entry
+            state.emit(node, lhs, rhs, lhs_kernel, rhs_kernel, is_bmm)
+            if slot is not None:
+                state.slot_steps += 1
+            elif not is_root:
+                state.branch_steps += 1
+            for child in free_cached if cached else free_full:
+                state.free_node(child)
+        elif kind is FusedRun:
+            free_lists = (
+                entry.tape_free_cached if cached else entry.tape_free_full
+            )
+            previous: Optional[int] = None
+            for tape_entry, frees in zip(entry.tape, free_lists):
+                (
+                    node,
+                    lhs,
+                    rhs,
+                    _stem_on_lhs,
+                    lhs_kernel,
+                    rhs_kernel,
+                    _slot,
+                    _dims,
+                    _out_shape,
+                    is_bmm,
+                ) = tape_entry
+                state.emit(node, lhs, rhs, lhs_kernel, rhs_kernel, is_bmm)
+                state.slot_steps += 1
+                state.fused_steps += 1
+                for child in frees:
+                    state.free_node(child)
+                if previous is not None:
+                    # the interior stem intermediate was consumed by this
+                    # op; the plan's free lists never mention it because
+                    # the Python walker keeps it out of ``live``
+                    state.free_node(previous)
+                previous = node
+        else:
+            return None  # einsum fallback step: no GEMM form to lower
+    root_reg = state.reg_of.get(root)
+    if root_reg is None:
+        return None
+    # the root's logical shape: its producing entry's reshape (or raw
+    # GEMM dims when no reshape was needed)
+    root_shape: Optional[Tuple[int, ...]] = None
+    for entry in entries:
+        if type(entry) is tuple and entry[0] == root:
+            root_shape = entry[7] if entry[7] is not None else entry[6]
+        elif type(entry) is FusedRun:
+            for tape_entry in entry.tape:
+                if tape_entry[0] == root:
+                    root_shape = (
+                        tape_entry[8] if tape_entry[8] is not None else tape_entry[7]
+                    )
+    if root_shape is None:
+        return None
+    return TapeProgram(
+        ops=np.asarray(state.rows, dtype=np.int64),
+        dims=np.asarray(state.dims, dtype=np.int64),
+        lhs_perm=np.asarray(state.lhs_perm, dtype=np.int64),
+        rhs_perm=np.asarray(state.rhs_perm, dtype=np.int64),
+        core_maps=(
+            np.concatenate(state.map_parts)
+            if state.map_parts
+            else np.empty(0, dtype=np.int64)
+        ),
+        num_regs=state.next_reg,
+        inputs=tuple(state.inputs),
+        nodes=tuple(state.nodes),
+        root=root,
+        root_reg=root_reg,
+        root_shape=tuple(root_shape),
+        scratch_lhs=state.scratch_lhs,
+        scratch_rhs=state.scratch_rhs,
+        slot_steps=state.slot_steps,
+        branch_steps=state.branch_steps,
+        fused_steps=state.fused_steps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference interpreter (the kernel's executable specification)
+# ----------------------------------------------------------------------
+def _stage_reference(
+    flat: np.ndarray, descriptor: np.ndarray, core_maps: np.ndarray
+) -> np.ndarray:
+    mode, prefix, core, suffix = (
+        int(descriptor[0]),
+        int(descriptor[1]),
+        int(descriptor[2]),
+        int(descriptor[3]),
+    )
+    if mode == 0:
+        return flat
+    core_map = core_maps[int(descriptor[4]) : int(descriptor[4]) + core]
+    source = flat[: prefix * core * suffix].reshape(prefix, core, suffix)
+    return np.take(source, core_map, axis=1).reshape(-1)
+
+
+def interpret_program(
+    program: TapeProgram,
+    inputs: Mapping[int, np.ndarray],
+    dtype: Optional[np.dtype] = None,
+) -> np.ndarray:
+    """Execute a lowered program in pure numpy (the kernel's reference).
+
+    Semantically identical, op for op, to the njit ``_walk`` kernel —
+    same register file, same reduced-map gathers, same per-batch-slice
+    ``np.dot`` calls — so the numba-free test environment can pin the
+    lowering against the stepwise oracle, and CI (with numba installed)
+    pins the kernel against *this*.  Returns the root array, reshaped.
+    """
+    if dtype is None:
+        dtype = np.result_type(*(inputs[node] for node, _ in program.inputs))
+    regs: List[Optional[np.ndarray]] = [None] * program.num_regs
+    for node, reg in program.inputs:
+        regs[reg] = np.ascontiguousarray(inputs[node], dtype=dtype).reshape(-1)
+    for i in range(program.num_steps):
+        opcode, lhs_reg, rhs_reg, out_reg = (int(v) for v in program.ops[i])
+        w, m, k, n = (int(v) for v in program.dims[i])
+        a = _stage_reference(regs[lhs_reg], program.lhs_perm[i], program.core_maps)
+        b = _stage_reference(regs[rhs_reg], program.rhs_perm[i], program.core_maps)
+        if opcode == OP_DOT:
+            out = np.dot(a[: m * k].reshape(m, k), b[: k * n].reshape(k, n))
+            regs[out_reg] = out.reshape(m * n)
+        else:
+            a3 = a[: w * m * k].reshape(w, m, k)
+            b3 = b[: w * k * n].reshape(w, k, n)
+            out3 = np.empty((w, m, n), dtype=a3.dtype)
+            for bi in range(w):
+                out3[bi] = np.dot(a3[bi], b3[bi])
+            regs[out_reg] = out3.reshape(-1)
+    return regs[program.root_reg].reshape(program.root_shape)
+
+
+# ----------------------------------------------------------------------
+# Native execution
+# ----------------------------------------------------------------------
+def _mark_broken() -> None:
+    global _BROKEN
+    _BROKEN = True
+
+
+def run_native(
+    program: TapeProgram,
+    live: Dict[int, np.ndarray],
+    slots: "StemSlots",
+    stats: Optional["PlanStats"],
+) -> bool:
+    """Run one lowered program through the njit kernel.
+
+    Returns ``True`` on success (``live[root]`` holds the result and the
+    stats mirror the Python walker's accounting exactly); ``False`` when
+    the native path cannot or should not run — numba absent, a prior
+    kernel failure, mixed or unsupported operand dtypes — in which case
+    ``live`` is untouched and the caller falls back to the Python
+    walker.  A kernel exception disarms the engine for the process.
+    """
+    if _BROKEN or not _HAVE_NUMBA:
+        return False
+    first = live[program.inputs[0][0]]
+    dtype = first.dtype
+    if dtype.name not in _NATIVE_DTYPES:
+        return False
+    for node, _ in program.inputs:
+        if live[node].dtype != dtype:
+            return False  # mixed dtypes: per-step result_type applies
+    try:
+        from numba.typed import List as NumbaList
+
+        placeholder = np.empty(0, dtype=dtype)
+        arrays: List[np.ndarray] = [placeholder] * program.num_regs
+        for node, reg in program.inputs:
+            flat = np.ascontiguousarray(live[node]).reshape(-1)
+            if not flat.flags.writeable:
+                # the register file is a single typed list: read-only
+                # views (e.g. memory-mapped leaves) would change its
+                # element type, so copy them out
+                flat = flat.copy()
+            arrays[reg] = flat
+        regs = NumbaList()
+        for array in arrays:
+            regs.append(array)
+        scratch_a = slots.scratch(
+            SCRATCH_TAPE_LHS, (max(program.scratch_lhs, 1),), dtype
+        )
+        scratch_b = slots.scratch(
+            SCRATCH_TAPE_RHS, (max(program.scratch_rhs, 1),), dtype
+        )
+        start = time.perf_counter() if stats is not None else 0.0
+        _walk(
+            program.ops,
+            program.dims,
+            program.lhs_perm,
+            program.rhs_perm,
+            program.core_maps,
+            regs,
+            scratch_a,
+            scratch_b,
+        )
+        live[program.root] = np.asarray(regs[program.root_reg]).reshape(
+            program.root_shape
+        )
+    except Exception:
+        _mark_broken()
+        return False
+    if stats is not None:
+        stats.tape_engine = "native"
+        counts = stats.node_counts
+        for node in program.nodes:
+            counts[node] = counts.get(node, 0) + 1
+        stats.slot_writes += program.slot_steps
+        stats.branch_writes += program.branch_steps
+        stats.fused_steps += program.fused_steps
+        stats.record_stage("fused_kernel", time.perf_counter() - start)
+    return True
+
+
+def warm_kernel(dtype: np.dtype = np.complex128) -> bool:
+    """JIT-compile the kernel for ``dtype`` by running a 1×1 program.
+
+    Pool workers call this at spawn (see ``execution/backend.py``) so
+    the one-time numba compilation cost lands in worker start-up rather
+    than the first chunk's latency.  Returns whether the kernel is
+    usable; failures disarm the engine exactly like a runtime failure.
+    """
+    if _BROKEN or not _HAVE_NUMBA:
+        return False
+    try:
+        from numba.typed import List as NumbaList
+
+        dtype = np.dtype(dtype)
+        regs = NumbaList()
+        regs.append(np.ones(1, dtype=dtype))
+        regs.append(np.ones(1, dtype=dtype))
+        regs.append(np.empty(0, dtype=dtype))
+        _walk(
+            np.asarray([[OP_DOT, 0, 1, 2]], dtype=np.int64),
+            np.asarray([[1, 1, 1, 1]], dtype=np.int64),
+            np.asarray([[0, 1, 1, 1, 0]], dtype=np.int64),
+            np.asarray([[0, 1, 1, 1, 0]], dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            regs,
+            np.empty(1, dtype=dtype),
+            np.empty(1, dtype=dtype),
+        )
+    except Exception:
+        _mark_broken()
+        return False
+    return True

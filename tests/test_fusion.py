@@ -373,6 +373,86 @@ class TestScratchArena:
         assert c64.dtype == np.complex64  # old view untouched, just retired
 
 
+class TestBatchedGemmFusion:
+    """The ``bmm`` extension: batch sweeps run inside fused runs."""
+
+    def test_batched_plan_fuses_bmm_steps(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(
+            tn, tree, frozenset(sliced), fused=True, batch_indices=[sliced[0]]
+        )
+        assert plan.fused_runs
+        # tape entry layout: index 9 is the is_bmm flag
+        bmm_entries = [
+            entry for run in plan.fused_runs for entry in run.tape if entry[9]
+        ]
+        assert bmm_entries, "no batched-GEMM step landed inside a fused run"
+
+    def test_batched_fused_matches_batched_stepwise(self, case, sliced):
+        tn, tree = case
+        for group in ([sliced[0]], sliced[:2]):
+            expected = SlicedExecutor(
+                tn, tree, sliced, batch_indices=group
+            ).amplitude()
+            actual = SlicedExecutor(
+                tn, tree, sliced, batch_indices=group, fused=True
+            ).amplitude()
+            assert actual == expected, group
+
+    @given(batch_size=st.integers(min_value=1, max_value=3))
+    @SETTINGS
+    def test_property_any_batch_group(self, batch_size):
+        tn, tree = _case()
+        sliced = sorted(tn.inner_indices())[:4]
+        group = sliced[:batch_size]
+        expected = SlicedExecutor(
+            tn, tree, sliced, batch_indices=group
+        ).amplitude()
+        actual = SlicedExecutor(
+            tn, tree, sliced, batch_indices=group, fused=True
+        ).amplitude()
+        assert actual == expected
+
+
+class TestFusionBreaks:
+    """Split reasons surface on the plan and in ``PlanStats``."""
+
+    KINDS = {"missing-step", "einsum", "no-layout", "no-slot", "short-chain"}
+
+    def test_tight_cap_reports_short_chains(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(
+            tn, tree, frozenset(sliced), fused=True, fused_cap=1
+        )
+        assert plan.fusion_breaks.get("short-chain", 0) > 0
+        assert set(plan.fusion_breaks) <= self.KINDS
+
+    def test_loose_cap_reports_none(self, case, sliced):
+        tn, tree = case
+        plan = compile_plan(tn, tree, frozenset(sliced), fused=True)
+        assert set(plan.fusion_breaks) <= self.KINDS
+
+    def test_breaks_land_in_executor_stats(self, case, sliced):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, sliced, fused=True, fused_cap=1)
+        assert executor.stats.fusion_breaks == executor.plan.fusion_breaks
+        assert executor.stats.fusion_breaks.get("short-chain", 0) > 0
+
+    def test_stats_merge_keeps_first_breaks_and_latest_engine(self):
+        from repro.execution import PlanStats
+
+        merged = PlanStats()
+        merged.fusion_breaks = {"short-chain": 2}
+        worker = PlanStats()
+        worker.fusion_breaks = {"einsum": 1}
+        worker.tape_engine = "native"
+        merged.merge(worker)
+        # compile-time facts keep the first non-empty record; the engine
+        # reflects what actually ran (worker wins)
+        assert merged.fusion_breaks == {"short-chain": 2}
+        assert merged.tape_engine == "native"
+
+
 class TestFusionCostModel:
     """Cost-model-ranked cap selection."""
 

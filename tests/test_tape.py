@@ -1,0 +1,519 @@
+"""Tests of the native tape engine (§5.3.1 lowered to a flat program).
+
+The fused execution sequence lowers into a :class:`TapeProgram` — opcode
+table, operand/register tables, permutation descriptors, concatenated
+reduced maps — that a numba kernel walks with no per-step Python.  Numba
+is an *optional* dependency, so these tests pin the machinery that must
+hold either way:
+
+* the lowering itself (register allocation, perm descriptors, scratch
+  sizing, pickling) is pure numpy and is tested directly;
+* :func:`interpret_program` — the kernel's executable specification —
+  must be bit-identical to the stepwise oracle on every assignment; the
+  CI leg that installs numba pins the njit kernel against the same
+  contract;
+* engine selection (``tape_engine="auto"|"python"|"native"``) and the
+  graceful fallback when numba is absent or the kernel is disarmed;
+* a fake native engine (``run_native`` monkeypatched to the reference
+  interpreter) drives the full executor stack — caching, batching,
+  chunked backends, fault recovery — through the native code path in a
+  numba-free environment.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_brickwork_circuit
+from repro.execution import (
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    PlanError,
+    PlanStats,
+    SharedMemoryProcessPoolBackend,
+    SlicedExecutor,
+    StemSlots,
+    TapeProgram,
+    ThreadPoolBackend,
+    compile_plan,
+    interpret_program,
+    native_available,
+)
+from repro.execution import tape as tape_module
+from repro.execution.tape import OP_BMM, OP_DOT, run_native, warm_kernel
+from repro.paths import GreedyOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _case(num_qubits=6, depth=4, seed=13):
+    circ = random_brickwork_circuit(num_qubits, depth, seed=seed)
+    tn = amplitude_network(circ, [0] * num_qubits)
+    simplify_network(tn)
+    tree = GreedyOptimizer(seed=1).tree(tn)
+    return tn, tree
+
+
+@pytest.fixture(scope="module")
+def case():
+    return _case()
+
+
+@pytest.fixture(scope="module")
+def sliced(case):
+    tn, _ = case
+    return sorted(tn.inner_indices())[:4]
+
+
+@pytest.fixture(scope="module")
+def stepwise_value(case, sliced):
+    tn, tree = case
+    return SlicedExecutor(tn, tree, sliced).amplitude()
+
+
+def _native_plan(tn, tree, sliced, **kwargs):
+    return compile_plan(
+        tn, tree, frozenset(sliced), fused=True, tape_engine="native", **kwargs
+    )
+
+
+def _leaf_inputs(plan, network, assignment):
+    return {
+        ls.node: plan._load_leaf(network, ls, assignment)
+        for ls in plan._leaf_steps
+    }
+
+
+def _fake_run_native(program, live, slots, stats):
+    """A drop-in ``run_native``: the reference interpreter as the kernel.
+
+    Mirrors the real engine's contract — writes ``live[root]``, stamps
+    the same stats — so the full executor stack exercises the native
+    dispatch path without numba.
+    """
+    inputs = {node: live[node] for node, _ in program.inputs}
+    live[program.root] = interpret_program(program, inputs)
+    if stats is not None:
+        stats.tape_engine = "native"
+        counts = stats.node_counts
+        for node in program.nodes:
+            counts[node] = counts.get(node, 0) + 1
+        stats.slot_writes += program.slot_steps
+        stats.branch_writes += program.branch_steps
+        stats.fused_steps += program.fused_steps
+        stats.record_stage("fused_kernel", 0.0)
+    return True
+
+
+class TestLowering:
+    """Structure of the lowered array-of-structs program."""
+
+    def test_fused_plan_lowers(self, case, sliced):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        assert plan.tape_engine == "native"
+        full, cached = plan.native_programs
+        assert isinstance(full, TapeProgram)
+        assert full.num_steps == len(full.ops) > 0
+        assert full.root == tree.root
+
+    def test_table_invariants(self, case, sliced):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        for program in plan.native_programs:
+            if program is None:
+                continue
+            n = program.num_steps
+            assert program.ops.shape == (n, 4)
+            assert program.dims.shape == (n, 4)
+            assert program.lhs_perm.shape == (n, 5)
+            assert program.rhs_perm.shape == (n, 5)
+            for i in range(n):
+                opcode, lhs_reg, rhs_reg, out_reg = program.ops[i]
+                assert opcode in (OP_DOT, OP_BMM)
+                for reg in (lhs_reg, rhs_reg, out_reg):
+                    assert 0 <= reg < program.num_regs
+                for descriptor in (program.lhs_perm[i], program.rhs_perm[i]):
+                    mode, prefix, core, suffix, offset = (
+                        int(v) for v in descriptor
+                    )
+                    assert mode in (0, 1)
+                    if mode == 1:
+                        # the reduced map lives inside the shared pool
+                        assert 0 <= offset
+                        assert offset + core <= len(program.core_maps)
+
+    def test_input_registers_are_fresh(self, case, sliced):
+        """Inputs preload before the walk, so their registers must never
+        be written by an op that runs before the input's last read."""
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        for program in plan.native_programs:
+            if program is None:
+                continue
+            regs = [reg for _, reg in program.inputs]
+            assert len(set(regs)) == len(regs)
+            for _, reg in program.inputs:
+                reads = [
+                    i
+                    for i in range(program.num_steps)
+                    if reg in (program.ops[i][1], program.ops[i][2])
+                ]
+                writes = [
+                    i
+                    for i in range(program.num_steps)
+                    if program.ops[i][3] == reg
+                ]
+                if writes:
+                    first_write = min(writes)
+                    # every read before the first write reads the input;
+                    # the input must have been fully consumed by then
+                    consumed_by = max(
+                        (i for i in reads if i < first_write), default=-1
+                    )
+                    assert consumed_by < first_write
+
+    def test_scratch_covers_staged_operands(self, case, sliced):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        for program in plan.native_programs:
+            if program is None:
+                continue
+            need_lhs = need_rhs = 0
+            for i in range(program.num_steps):
+                for side, descriptor in (
+                    ("lhs", program.lhs_perm[i]),
+                    ("rhs", program.rhs_perm[i]),
+                ):
+                    mode, prefix, core, suffix, _ = (int(v) for v in descriptor)
+                    if mode == 0:
+                        continue
+                    size = prefix * core * suffix
+                    if side == "lhs":
+                        need_lhs = max(need_lhs, size)
+                    else:
+                        need_rhs = max(need_rhs, size)
+            assert program.scratch_lhs >= need_lhs
+            assert program.scratch_rhs >= need_rhs
+
+    def test_program_pickles(self, case, sliced):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        program = plan.native_programs[0]
+        clone = pickle.loads(pickle.dumps(program))
+        assert np.array_equal(clone.ops, program.ops)
+        assert np.array_equal(clone.dims, program.dims)
+        assert np.array_equal(clone.core_maps, program.core_maps)
+        assert clone.inputs == program.inputs
+        assert clone.root_shape == program.root_shape
+        assignment = {ix: 0 for ix in sliced}
+        inputs = _leaf_inputs(plan, tn, assignment)
+        expected = interpret_program(program, inputs)
+        actual = interpret_program(clone, inputs)
+        assert np.array_equal(expected, actual)
+
+
+class TestInterpreterEquivalence:
+    """The reference interpreter vs the stepwise oracle, bit for bit."""
+
+    def test_every_assignment_matches_stepwise(self, case, sliced):
+        tn, tree = case
+        stepwise = compile_plan(tn, tree, frozenset(sliced))
+        plan = _native_plan(tn, tree, sliced)
+        program = plan.native_programs[0]
+        slots = StemSlots()
+        import itertools
+
+        sizes = {ix: tree.index_size(ix) for ix in sliced}
+        for values in itertools.product(*[range(sizes[ix]) for ix in sliced]):
+            assignment = dict(zip(sliced, values))
+            expected = stepwise.execute(
+                tn, assignment, slots=slots
+            ).require_data()
+            inputs = _leaf_inputs(plan, tn, assignment)
+            actual = interpret_program(program, inputs)
+            assert np.array_equal(expected, actual), assignment
+
+    def test_batched_program_has_bmm_ops(self, case, sliced):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced, batch_indices=[sliced[0]])
+        program = plan.native_programs[0]
+        if program is None:
+            pytest.skip("batched sequence not lowerable on this tree")
+        opcodes = {int(op[0]) for op in program.ops}
+        assert OP_BMM in opcodes
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @SETTINGS
+    def test_property_seeds(self, seed):
+        tn, tree = _case(num_qubits=5, depth=3, seed=seed)
+        sliced = sorted(tn.inner_indices())[:3]
+        stepwise = SlicedExecutor(tn, tree, sliced).amplitude()
+        plan = _native_plan(tn, tree, sliced)
+        program = plan.native_programs[0]
+        if program is None:
+            # einsum fallback in the sequence: nothing to lower, and the
+            # executor transparently keeps the Python walker
+            fused = SlicedExecutor(
+                tn, tree, sliced, fused=True, tape_engine="native"
+            )
+            assert fused.amplitude() == stepwise
+            return
+        slots = StemSlots()
+        oracle = compile_plan(tn, tree, frozenset(sliced))
+        import itertools
+
+        sizes = {ix: tree.index_size(ix) for ix in sliced}
+        for values in itertools.product(*[range(sizes[ix]) for ix in sliced]):
+            assignment = dict(zip(sliced, values))
+            expected = oracle.execute(tn, assignment, slots=slots).require_data()
+            actual = interpret_program(
+                program, _leaf_inputs(plan, tn, assignment)
+            )
+            assert np.array_equal(expected, actual)
+
+
+class TestEngineSelection:
+    """``tape_engine`` resolution, validation, and graceful fallback."""
+
+    def test_bad_engine_rejected_by_compile(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(PlanError, match="tape_engine"):
+            compile_plan(tn, tree, frozenset(sliced), fused=True, tape_engine="llvm")
+
+    def test_native_requires_fused_plan(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(PlanError, match="fused"):
+            compile_plan(tn, tree, frozenset(sliced), tape_engine="native")
+
+    def test_bad_engine_rejected_by_executor(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(ValueError, match="tape_engine"):
+            SlicedExecutor(tn, tree, sliced, fused=True, tape_engine="llvm")
+
+    def test_executor_native_requires_fused(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(ValueError, match="fused"):
+            SlicedExecutor(tn, tree, sliced, tape_engine="native")
+
+    def test_reference_mode_rejects_engine(self, case, sliced):
+        tn, tree = case
+        with pytest.raises(ValueError, match="compiled"):
+            SlicedExecutor(
+                tn, tree, sliced, mode="reference", tape_engine="python"
+            )
+
+    def test_auto_resolves_by_availability(self, case, sliced, monkeypatch):
+        tn, tree = case
+        monkeypatch.setattr(tape_module, "native_available", lambda: False)
+        plan = compile_plan(
+            tn, tree, frozenset(sliced), fused=True, tape_engine="auto"
+        )
+        assert plan.tape_engine == "python"
+        assert plan.native_programs == (None, None)
+        monkeypatch.setattr(tape_module, "native_available", lambda: True)
+        plan = compile_plan(
+            tn, tree, frozenset(sliced), fused=True, tape_engine="auto"
+        )
+        assert plan.tape_engine == "native"
+        assert plan.native_programs[0] is not None
+
+    def test_runtime_fallback_is_bit_identical(
+        self, case, sliced, stepwise_value, monkeypatch
+    ):
+        """``run_native`` declining (numba absent, kernel disarmed, bad
+        dtype) must leave the Python walker's result untouched."""
+        tn, tree = case
+        monkeypatch.setattr(tape_module, "run_native", lambda *args: False)
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused=True, tape_engine="native"
+        )
+        assert executor.plan.tape_engine == "native"
+        assert executor.amplitude() == stepwise_value
+        assert executor.stats.tape_engine == "python"
+        assert executor.stats.fused_steps > 0
+
+    def test_run_native_declines_when_disarmed(self, case, sliced, monkeypatch):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        program = plan.native_programs[0]
+        live = _leaf_inputs(plan, tn, {ix: 0 for ix in sliced})
+        monkeypatch.setattr(tape_module, "_BROKEN", True)
+        assert run_native(program, live, StemSlots(), PlanStats()) is False
+        assert not native_available()
+
+    def test_kernel_failure_disarms_engine(self, case, sliced, monkeypatch):
+        """Any exception inside the native path poisons the engine for
+        the process — later calls decline instead of retrying."""
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        program = plan.native_programs[0]
+        live = _leaf_inputs(plan, tn, {ix: 0 for ix in sliced})
+        monkeypatch.setattr(tape_module, "_BROKEN", False)
+        monkeypatch.setattr(tape_module, "_HAVE_NUMBA", True)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel fault")
+
+        monkeypatch.setattr(tape_module, "_walk", boom, raising=False)
+        before = dict(live)
+        assert run_native(program, live, StemSlots(), None) is False
+        assert tape_module._BROKEN is True
+        # a disarmed engine must not have produced a partial root
+        assert set(live) == set(before)
+
+    def test_warm_kernel_tracks_availability(self):
+        assert warm_kernel(np.complex128) == native_available()
+
+
+class TestFakeNativeEngine:
+    """The full executor stack through the native dispatch path."""
+
+    @pytest.fixture(autouse=True)
+    def fake_native(self, monkeypatch):
+        monkeypatch.setattr(tape_module, "run_native", _fake_run_native)
+
+    def test_serial_bit_identical(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused=True, tape_engine="native"
+        )
+        assert executor.amplitude() == stepwise_value
+        assert executor.stats.tape_engine == "native"
+        assert executor.stats.fused_steps > 0
+
+    def test_uncached_bit_identical(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=True,
+            tape_engine="native",
+            cache_invariant=False,
+        )
+        assert executor.amplitude() == stepwise_value
+
+    def test_node_counts_match_stepwise(self, case, sliced):
+        tn, tree = case
+        plain = SlicedExecutor(tn, tree, sliced)
+        native = SlicedExecutor(
+            tn, tree, sliced, fused=True, tape_engine="native"
+        )
+        plain.run()
+        native.run()
+        assert native.stats.node_counts == plain.stats.node_counts
+
+    def test_batched_matches_python_engine(self, case, sliced):
+        """Both tape engines on the same batched plan: exact equality."""
+        tn, tree = case
+        for group in ([sliced[0]], sliced[:2]):
+            python_engine = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                fused=True,
+                batch_indices=group,
+                tape_engine="python",
+            ).amplitude()
+            native_engine = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                fused=True,
+                batch_indices=group,
+                tape_engine="native",
+            ).amplitude()
+            assert native_engine == python_engine, group
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        chunk_size=st.integers(min_value=1, max_value=4),
+        batch=st.booleans(),
+    )
+    @SETTINGS
+    def test_property_chunks_and_batches(self, seed, chunk_size, batch):
+        tn, tree = _case(num_qubits=5, depth=3, seed=seed)
+        sliced = sorted(tn.inner_indices())[:3]
+        stepwise = SlicedExecutor(tn, tree, sliced).amplitude()
+        kwargs = {"batch_indices": sliced[:1]} if batch else {}
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=True,
+            tape_engine="native",
+            backend=ThreadPoolBackend(max_workers=2, chunk_size=chunk_size),
+            **kwargs,
+        )
+        value = executor.amplitude()
+        if batch:
+            # batch sweeps accumulate in a different order than the
+            # enumerated loop: engines agree exactly, stepwise only approx
+            python_engine = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                fused=True,
+                tape_engine="python",
+                **kwargs,
+            ).amplitude()
+            assert value == python_engine
+            assert value == pytest.approx(stepwise, abs=1e-10)
+        else:
+            assert value == stepwise
+
+
+class TestNativeThroughPool:
+    """Native plans ship to pool workers and survive fault recovery."""
+
+    def test_plan_pickles_with_programs(self, case, sliced):
+        tn, tree = case
+        plan = _native_plan(tn, tree, sliced)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.tape_engine == "native"
+        program = clone.native_programs[0]
+        assert program is not None
+        assert np.array_equal(program.ops, plan.native_programs[0].ops)
+
+    def test_pool_execution_bit_identical(self, case, sliced, stepwise_value):
+        tn, tree = case
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=True,
+            tape_engine="native",
+            backend=SharedMemoryProcessPoolBackend(max_workers=2),
+        )
+        assert executor.amplitude() == stepwise_value
+
+    def test_fault_recovery_bit_identical(self, case, sliced, stepwise_value):
+        tn, tree = case
+        injector = FaultInjector([FaultSpec("kill-worker", chunk=2)])
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=True,
+            tape_engine="native",
+            backend=SharedMemoryProcessPoolBackend(max_workers=2),
+            fault_policy=FaultPolicy.retrying(max_retries=2),
+            fault_injector=injector,
+        )
+        with executor.session():
+            assert executor.amplitude() == stepwise_value
+        assert executor.stats.faults >= 1
+        assert executor.stats.retries >= 1
+        assert injector.fired == [(2, "kill-worker")]
