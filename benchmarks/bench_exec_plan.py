@@ -777,3 +777,106 @@ def test_tape_engine_matrix(tape_workload, record_result):
             f"native tape kernel is {native_vs_stepwise:.3f}x the step-by-step "
             f"path (gate: > {NATIVE_MIN_VS_STEPWISE})"
         )
+
+
+#: Interleaved best-of-N repeats of the per-module steady-state sweep.
+MODULE_REPEATS = int(os.environ.get("REPRO_BENCH_MODULE_REPEATS", "5"))
+
+
+def test_module_matrix(exec_workload, record_result):
+    """The same sliced workload through every importable array module.
+
+    The numpy row is the seam's bit-identity anchor (its value must equal
+    the plain default executor exactly); torch/cupy rows run where the
+    module imports (the CI ``tests-torch`` leg installs CPU torch) and
+    are allclose-gated.  Steady-state per-module seconds, values and
+    per-module calibration samples land in
+    ``BENCH_exec_plan.json["modules"]`` so the calibrated cost model can
+    fit ``"<backend>+<engine>+<module>"`` coefficients from a CI run.
+    """
+    from repro.execution import resolve_array_module
+
+    network, tree, sliced = exec_workload
+    baseline = SlicedExecutor(network, tree, sliced, fused=True)
+    baseline_value = baseline.amplitude()
+
+    executors = {}
+    skipped = []
+    for name in ("numpy", "torch", "cupy"):
+        try:
+            module = resolve_array_module(name)
+        except ImportError:
+            skipped.append(name)
+            continue
+        executors[name] = SlicedExecutor(
+            network, tree, sliced, fused=True, array_module=module
+        )
+
+    values = {name: executor.amplitude() for name, executor in executors.items()}
+    # the numpy module IS the default path — bitwise, not approx
+    assert values["numpy"] == baseline_value
+    for name, value in values.items():
+        assert value == pytest.approx(baseline_value, abs=1e-8), name
+
+    def measure_steady(repeats):
+        best = {name: float("inf") for name in executors}
+        for _ in range(repeats):
+            for name, executor in executors.items():
+                start = time.perf_counter()
+                executor.run()
+                best[name] = min(best[name], time.perf_counter() - start)
+        return best
+
+    steady = measure_steady(MODULE_REPEATS)
+
+    rows = [{"module": name, "seconds": steady[name]} for name in executors]
+    record_result(
+        "exec_plan_modules",
+        format_table(
+            rows,
+            title=(
+                f"EXEC_MODULES: array-module seam, fused plan, serial backend "
+                f"(available: {', '.join(executors)}"
+                + (f"; absent: {', '.join(skipped)}" if skipped else "")
+                + ")"
+            ),
+            precision=4,
+        ),
+    )
+
+    section = {
+        "available": sorted(executors),
+        "skipped": sorted(skipped),
+        "steady_state_seconds": dict(steady),
+        "numpy_bit_identical": True,
+        "calibration": calibration_payload(
+            {
+                f"serial+{executor.tape_engine}+{name}": executor.stats
+                for name, executor in executors.items()
+            },
+            tree,
+            frozenset(sliced),
+        ),
+    }
+    # the per-module samples must round-trip through the fit: non-numpy
+    # rows land module-qualified keys, the numpy row keeps the plain one
+    model = CalibratedCostModel.from_bench_json(
+        {"calibration": section["calibration"]}
+    )
+    for name in executors:
+        expected = (
+            "serial"
+            if name == "numpy" and executors[name].tape_engine == "python"
+            else (
+                f"serial+{executors[name].tape_engine}"
+                if name == "numpy"
+                else f"serial+{executors[name].tape_engine}+{name}"
+            )
+        )
+        assert expected in model.backends, (expected, model.backends)
+
+    results_path = RESULTS_DIR / "BENCH_exec_plan.json"
+    point = json.loads(results_path.read_text()) if results_path.exists() else {}
+    point["modules"] = section
+    RESULTS_DIR.mkdir(exist_ok=True)
+    results_path.write_text(json.dumps(point, indent=2) + "\n")

@@ -284,12 +284,26 @@ class ReducedPermutationMap:
         core_source = int(self._core_map[core]) if self.core_size > 1 else 0
         return (prefix * self.core_size + core_source) * self.suffix_size + suffix
 
-    def permute(self, array: np.ndarray) -> np.ndarray:
-        """Apply the permutation using only the reduced map (vectorised)."""
-        flat = np.asarray(array).reshape(-1)
-        out = flat.reshape(self.prefix_size, self.core_size, self.suffix_size)
-        permuted = out[:, self._core_map, :] if self.core_size > 1 else out
-        return permuted.reshape(self.spec.target_shape)
+    def permute(self, array: np.ndarray, module=None) -> np.ndarray:
+        """Apply the permutation using only the reduced map (vectorised).
+
+        The gather along the core axis goes through ``module`` (an
+        :class:`~repro.execution.array_module.ArrayModule`, passed in so
+        this core-layer module never imports the execution package) when
+        one is given; the default is the equivalent host ``np.take``.
+        """
+        if module is None:
+            flat = np.asarray(array).reshape(-1)
+            out = flat.reshape(self.prefix_size, self.core_size, self.suffix_size)
+            if self.core_size > 1:
+                out = np.take(out, self._core_map, axis=1)
+            return out.reshape(self.spec.target_shape)
+        out = module.reshape(
+            array, (self.prefix_size, self.core_size, self.suffix_size)
+        )
+        if self.core_size > 1:
+            out = module.take(out, self._core_map, 1)
+        return module.reshape(out, self.spec.target_shape)
 
 
 def standard_contraction_permutation(

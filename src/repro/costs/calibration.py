@@ -86,6 +86,15 @@ class CalibrationRecord:
         very different per-step dispatch costs, so each fits its own
         coefficient key (see :attr:`key`) instead of polluting one
         global per-step overhead.
+    array_module:
+        The execution substrate that produced the samples (``"numpy"``
+        the default, ``"torch"``, ``"cupy"``, ...).  Non-numpy modules
+        stage leaves/roots across the host boundary *inside* the timed
+        per-subtask window (leaf loads happen after ``execute`` starts
+        its timer), so their fitted coefficients absorb the transfer
+        seconds — which is exactly why each module fits its own
+        ``"<backend>+<engine>+<module>"`` key instead of polluting the
+        host coefficients.
     """
 
     backend: str
@@ -93,6 +102,7 @@ class CalibrationRecord:
     num_steps: int
     seconds: Tuple[float, ...]
     tape_engine: str = "python"
+    array_module: str = "numpy"
 
     def __post_init__(self) -> None:
         if not self.seconds:
@@ -109,10 +119,16 @@ class CalibrationRecord:
     def key(self) -> str:
         """The coefficient key these samples fit.
 
-        The plain backend name for the Python walker (keeping every
-        pre-tape calibration artifact valid), ``"<backend>+<engine>"``
-        otherwise — e.g. ``"serial+native"``.
+        The plain backend name for the Python walker on numpy (keeping
+        every pre-tape calibration artifact valid),
+        ``"<backend>+<engine>"`` for the native engine — e.g.
+        ``"serial+native"`` — and the full
+        ``"<backend>+<engine>+<module>"`` for non-numpy substrates —
+        e.g. ``"serial+python+torch"``.
         """
+        if self.array_module not in ("numpy", "", None):
+            engine = self.tape_engine or "python"
+            return f"{self.backend}+{engine}+{self.array_module}"
         if self.tape_engine in ("python", "", None):
             return self.backend
         return f"{self.backend}+{self.tape_engine}"
@@ -160,6 +176,7 @@ class CalibrationRecord:
             num_steps=num_steps,
             seconds=tuple(stats.subtask_seconds),
             tape_engine=getattr(stats, "tape_engine", None) or "python",
+            array_module=getattr(stats, "array_module", None) or "numpy",
         )
 
 
@@ -263,10 +280,14 @@ class CalibratedCostModel(CostModel):
         """
         name = backend if backend is not None else self.default_backend
         fitted = self.coefficients.get(name)
-        if fitted is None and "+" in name:
-            # engine-keyed request with no engine-specific fit: the plain
-            # backend coefficients are the closest measured substitute
-            fitted = self.coefficients.get(name.partition("+")[0])
+        # progressive fallback for qualified keys: drop trailing
+        # components ("backend+engine+module" → "backend+engine" →
+        # "backend") until a fitted key matches — the plain backend
+        # coefficients are the closest measured substitute
+        probe = name
+        while fitted is None and "+" in probe:
+            probe = probe.rpartition("+")[0]
+            fitted = self.coefficients.get(probe)
         if fitted is None:
             if self.fallback is not None:
                 return self.fallback.subtask_seconds(tree, sliced, backend=backend)
@@ -346,9 +367,13 @@ class CalibratedCostModel(CostModel):
         for name, entry in backends.items():
             if not entry.get("subtask_seconds"):
                 continue
-            # keys may be engine-qualified ("serial+native"); the entry's
-            # own tape_engine field wins when both are present
-            base, _, key_engine = name.partition("+")
+            # keys may be engine- and module-qualified ("serial+native",
+            # "serial+python+torch"); the entry's own tape_engine /
+            # array_module fields win when both are present
+            parts = name.split("+")
+            base = parts[0]
+            key_engine = parts[1] if len(parts) > 1 else ""
+            key_module = parts[2] if len(parts) > 2 else ""
             records.append(
                 CalibrationRecord(
                     backend=base,
@@ -356,6 +381,7 @@ class CalibratedCostModel(CostModel):
                     num_steps=num_steps,
                     seconds=tuple(entry["subtask_seconds"]),
                     tape_engine=entry.get("tape_engine") or key_engine or "python",
+                    array_module=entry.get("array_module") or key_module or "numpy",
                 )
             )
         return cls.fit(
@@ -408,6 +434,7 @@ def calibration_payload(
             ),
             "stage_seconds": dict(stats.stage_seconds),
             "tape_engine": getattr(stats, "tape_engine", None) or "python",
+            "array_module": getattr(stats, "array_module", None) or "numpy",
         }
     return {
         "subtask_flops": dependent_flops,

@@ -106,15 +106,18 @@ def _per_group_overhead(
     cost_model: Optional[CostModel],
     backend: Optional[str],
     tape_engine: Optional[str] = None,
+    array_module: Optional[str] = None,
 ) -> float:
     """The calibrated per-step dispatch overhead, when one is fitted.
 
-    The lookup is engine-aware: with ``tape_engine="native"`` the
-    ``"<backend>+native"`` coefficients are preferred (the JIT walker's
-    per-step dispatch is far cheaper than the Python walker's, so one
-    global overhead would mis-rank caps for whichever engine it wasn't
-    fitted on), falling back to the plain backend key when no
-    engine-specific calibration exists.
+    The lookup is engine- and module-aware: with a non-numpy
+    ``array_module`` the full ``"<backend>+<engine>+<module>"``
+    coefficients are preferred, then (numpy or unfitted modules) with
+    ``tape_engine="native"`` the ``"<backend>+native"`` coefficients
+    (the JIT walker's per-step dispatch is far cheaper than the Python
+    walker's, so one global overhead would mis-rank caps for whichever
+    engine it wasn't fitted on), falling back to the plain backend key
+    when no qualified calibration exists.
     """
     coefficients = getattr(cost_model, "coefficients", None)
     if not coefficients:
@@ -123,6 +126,8 @@ def _per_group_overhead(
     if name is None:
         return 0.0
     candidates = []
+    if array_module and array_module != "numpy":
+        candidates.append(f"{name}+{tape_engine or 'python'}+{array_module}")
     if tape_engine and tape_engine != "python":
         candidates.append(f"{name}+{tape_engine}")
     candidates.append(name)
@@ -140,6 +145,7 @@ def rank_fusion_caps(
     cost_model: Optional[CostModel] = None,
     backend: Optional[str] = None,
     tape_engine: Optional[str] = None,
+    array_module: Optional[str] = None,
 ) -> List[Tuple[int, float]]:
     """Candidate caps sorted by predicted fused seconds (best first).
 
@@ -166,7 +172,7 @@ def rank_fusion_caps(
             }
         )
     analytic = _analytic_of(cost_model)
-    overhead = _per_group_overhead(cost_model, backend, tape_engine)
+    overhead = _per_group_overhead(cost_model, backend, tape_engine, array_module)
     scored = [
         (
             cap,
@@ -186,6 +192,7 @@ def select_fusion_cap(
     cost_model: Optional[CostModel] = None,
     backend: Optional[str] = None,
     tape_engine: Optional[str] = None,
+    array_module: Optional[str] = None,
 ) -> Optional[int]:
     """The cost-model-ranked working-set cap, or ``None`` when nothing fuses.
 
@@ -202,6 +209,7 @@ def select_fusion_cap(
         cost_model=cost_model,
         backend=backend,
         tape_engine=tape_engine,
+        array_module=array_module,
     )
     if not ranked:
         return None

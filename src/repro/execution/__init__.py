@@ -46,7 +46,14 @@ other (and, for small circuits, against the dense state-vector simulator):
     numba is absent (it is an *optional* dependency) or any kernel issue
     arises, execution falls back to the bit-identical Python walker,
   - *pluggable scheduling* (``backend=``): the subtasks run through an
-    :class:`ExecutionBackend` (see the guide below).
+    :class:`ExecutionBackend` (see the guide below),
+  - *pluggable kernels* (``array_module=``): every hot-path array
+    operation dispatches through an :class:`ArrayModule`
+    (:mod:`repro.execution.array_module`) — the default
+    :class:`NumpyModule` is bit-identical to the pre-seam numpy calls,
+    while :class:`TorchModule` / :class:`CupyModule` run the same plan on
+    another substrate with leaves, slicing and accumulation staged on the
+    host (see the module docstring for the host-staging contract).
 
 Backend selection guide
 -----------------------
@@ -145,6 +152,14 @@ through the arena's size-bucketed free list (bit-identical values; the
 flag only changes where output buffers come from).
 """
 
+from .array_module import (
+    NUMPY_MODULE,
+    ArrayModule,
+    CupyModule,
+    NumpyModule,
+    TorchModule,
+    resolve_array_module,
+)
 from .backend import (
     ExecutionBackend,
     ExecutionSession,
@@ -187,6 +202,12 @@ from .scaling import (
 )
 
 __all__ = [
+    "ArrayModule",
+    "CupyModule",
+    "NumpyModule",
+    "NUMPY_MODULE",
+    "TorchModule",
+    "resolve_array_module",
     "ExecutionBackend",
     "ExecutionSession",
     "NullExecutionSession",

@@ -1,0 +1,498 @@
+"""The array-module seam: device-pluggable kernels behind one boundary.
+
+Every hot-path kernel of the execution layer — the :class:`StemSlots`
+arena allocations, the stepwise ``transpose → reshape → dot`` staging,
+the fused tape walker's permutation gathers, the batched-GEMM sweeps —
+used to call ``np.*`` directly.  This module factors those call sites
+behind an :class:`ArrayModule`: a small namespace object exposing exactly
+the operations the compiled plans consume (``empty``,
+``ascontiguousarray``, ``transpose``, ``reshape``, ``dot(out=)``,
+``take``, ``copyto``, ``einsum``, ``tensordot``, ``result_type``, the
+``batched_gemm`` entry point, and ``to_host``/``from_host`` staging),
+plus dtype and device identity.  ``compile_plan(...,
+array_module=)`` / ``SlicedExecutor(..., array_module=)`` thread an
+instance through every layer, so plans can execute on any substrate with
+this surface — numpy (the default), CuPy on a CUDA device, or torch CPU
+tensors through their numpy interop.
+
+**Host-staging contract at the shared-memory boundary.**  Network leaf
+tensors, the published shared-memory segments of
+:class:`~repro.execution.backend.ExecutionSession`, and every accumulated
+result are *host-side numpy arrays* — always.  A non-numpy module stages
+per subtask instead: :meth:`ArrayModule.from_host` moves each sliced leaf
+onto the module's substrate inside ``CompiledPlan._load_leaf``, the whole
+contraction runs on module arrays, and :meth:`ArrayModule.to_host` moves
+the root back before the backend's ordered accumulation.  Segments
+therefore never hold device memory, worker processes never need a device
+context, and the transfer cost lands inside the timed per-subtask window
+— which is exactly where the calibration layer's per-module coefficient
+keys (``"<backend>+<engine>+<module>"``, see
+:mod:`repro.costs.calibration`) price it.  Because device arrays cannot
+cross the pickled/shm boundary, non-numpy modules are rejected on
+:class:`~repro.execution.backend.SharedMemoryProcessPoolBackend` until
+device-aware sessions exist (see
+:func:`~repro.execution.backend.validate_execution_args`).
+
+For :class:`NumpyModule` every method is the numpy function itself (or
+the identity, for the staging pair), so the seamed hot path executes the
+very same C kernels in the very same order as the pre-seam code — the
+refactor is **bit-identical** with the default module on every engine,
+backend and fault path.  Non-numpy modules are allclose-gated instead:
+their BLAS accumulates in a different order, so equality is numerical,
+not bitwise.
+
+The native numba tape engine (:mod:`repro.execution.tape`) operates on
+raw numpy buffers and stays numpy-only: with a non-numpy module
+``tape_engine="auto"`` resolves to the Python walker and ``"native"`` is
+rejected at compile time.
+
+``CupyModule``/``TorchModule`` are import-guarded the way QTensor lazily
+imports cupy: constructing one raises a clear ``ImportError`` when the
+library is absent, and nothing in this package imports either library at
+module scope.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayModule",
+    "CupyModule",
+    "NumpyModule",
+    "TorchModule",
+    "numpy_batched_gemm",
+    "resolve_array_module",
+]
+
+
+def numpy_batched_gemm(a3: np.ndarray, b3: np.ndarray, out3: np.ndarray) -> None:
+    """Slicewise 2-D GEMM — the one ``bmm`` primitive every engine shares.
+
+    ``np.matmul`` over a 3-D stack is *not* bitwise identical to a loop
+    of 2-D GEMMs (its batched path accumulates differently), and the
+    numba tape kernel (:mod:`repro.execution.tape`) can only express the
+    loop — so the stepwise walker, the fused Python walker and the native
+    kernel all contract the batch axis this way, keeping every
+    backend/engine combination bit-identical.
+    """
+    if a3.dtype != out3.dtype:
+        a3 = a3.astype(out3.dtype)
+    if b3.dtype != out3.dtype:
+        b3 = b3.astype(out3.dtype)
+    for i in range(out3.shape[0]):
+        np.dot(a3[i], b3[i], out=out3[i])
+
+
+class ArrayModule:
+    """Protocol for execution substrates the compiled plans run on.
+
+    Implementations supply array construction, layout and GEMM kernels
+    with numpy semantics (C-order staging, ``out=`` writes) plus the
+    host staging pair.  Arrays handed between the methods of one module
+    are always that module's native array type; dtype objects likewise
+    flow in the module's native currency (``a.dtype`` of its arrays and
+    the output of :meth:`result_type`), with :meth:`dtype_key` providing
+    a hashable string form for the arena's free-list buckets.
+    """
+
+    #: Module identity — the third component of calibration keys.
+    name: str = "abstract"
+    #: Where the module's arrays live (``"cpu"`` or ``"cuda"``).
+    device: str = "cpu"
+    #: Whether the native numba tape kernel can walk this module's
+    #: buffers directly (raw numpy only).
+    supports_native_tape: bool = False
+
+    @property
+    def is_host(self) -> bool:
+        """Whether arrays are plain host numpy (no staging, shm-safe)."""
+        return self.name == "numpy"
+
+    # -- construction and layout ---------------------------------------
+    def empty(self, shape, dtype):
+        raise NotImplementedError
+
+    def ascontiguousarray(self, a):
+        raise NotImplementedError
+
+    def transpose(self, a, axes):
+        raise NotImplementedError
+
+    def reshape(self, a, shape):
+        raise NotImplementedError
+
+    def take(self, a, indices, axis, out=None):
+        raise NotImplementedError
+
+    def copyto(self, dst, src):
+        raise NotImplementedError
+
+    def asarray(self, a, dtype=None):
+        raise NotImplementedError
+
+    # -- contraction kernels -------------------------------------------
+    def dot(self, a, b, out=None):
+        raise NotImplementedError
+
+    def batched_gemm(self, a3, b3, out3) -> None:
+        """In-place slicewise GEMM over the leading batch axis."""
+        raise NotImplementedError
+
+    def tensordot(self, a, b, axes):
+        raise NotImplementedError
+
+    def einsum(self, a, sub_a, b, sub_b, sub_out, out=None):
+        """Interleaved integer-sublist pairwise einsum (hyper-index fallback)."""
+        raise NotImplementedError
+
+    # -- dtype and buffer identity -------------------------------------
+    def result_type(self, a, b):
+        raise NotImplementedError
+
+    def dtype_key(self, dtype) -> str:
+        """Hashable identity of a module-native dtype (free-list buckets)."""
+        raise NotImplementedError
+
+    def size_of(self, a) -> int:
+        """Element count of a module array."""
+        raise NotImplementedError
+
+    def nbytes_of(self, a) -> int:
+        """Byte size of a module array."""
+        raise NotImplementedError
+
+    def owner_of(self, a):
+        """The array owning ``a``'s buffer (walks the view chain)."""
+        raise NotImplementedError
+
+    # -- host staging ---------------------------------------------------
+    def to_host(self, a) -> np.ndarray:
+        """A host numpy array of ``a`` (identity for the numpy module)."""
+        raise NotImplementedError
+
+    def from_host(self, a):
+        """A module array of host data ``a`` (identity for numpy)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, device={self.device!r})"
+
+
+class NumpyModule(ArrayModule):
+    """The default host substrate: every kernel *is* the numpy function.
+
+    ``to_host``/``from_host`` are the identity (no copy), so a plan
+    seamed through this module performs byte-for-byte the same operations
+    — same C kernels, same call order, same aliasing — as the pre-seam
+    code.  The existing cross-engine/cross-backend bit-identity contract
+    therefore carries over unchanged.
+    """
+
+    name = "numpy"
+    device = "cpu"
+    supports_native_tape = True
+
+    #: The raw namespace, for callers that want ``xp.*`` style access.
+    xp = np
+
+    empty = staticmethod(np.empty)
+    ascontiguousarray = staticmethod(np.ascontiguousarray)
+    # the unbound C method descriptors, not the ``np.*`` Python wrappers:
+    # ``np.take``/``np.transpose``/``np.reshape`` delegate to exactly
+    # these (bit-identical), but each wrapper frame costs real time in
+    # the per-step tape loop — the pre-seam code called the methods
+    # directly, and the seam must not slow that hot path down
+    transpose = staticmethod(np.ndarray.transpose)
+    reshape = staticmethod(np.ndarray.reshape)
+    take = staticmethod(np.ndarray.take)
+    copyto = staticmethod(np.copyto)
+    asarray = staticmethod(np.asarray)
+    dot = staticmethod(np.dot)
+    tensordot = staticmethod(np.tensordot)
+    batched_gemm = staticmethod(numpy_batched_gemm)
+    result_type = staticmethod(np.result_type)
+    # C-level attribute access for the arena's per-step buffer checks
+    size_of = staticmethod(operator.attrgetter("size"))
+    nbytes_of = staticmethod(operator.attrgetter("nbytes"))
+
+    @staticmethod
+    def einsum(a, sub_a, b, sub_b, sub_out, out=None):
+        if out is None:
+            return np.einsum(a, sub_a, b, sub_b, sub_out)
+        np.einsum(a, sub_a, b, sub_b, sub_out, out=out)
+        return out
+
+    # C-level: the arena's free-list keys always pass real ``np.dtype``
+    # instances (``a.dtype`` / ``result_type(...)``), for which
+    # ``np.dtype(d).str == d.str`` — and the recycling path runs once per
+    # fused branch step, so the wrapper frame would be measurable
+    dtype_key = staticmethod(operator.attrgetter("str"))
+
+    @staticmethod
+    def owner_of(a):
+        # walk to the owning ndarray; stop at non-ndarray bases (e.g. the
+        # mmap behind a shared-memory view) — those are foreign by
+        # definition, arena loans are always backed by plain ndarrays
+        owner = a
+        while isinstance(owner.base, np.ndarray):
+            owner = owner.base
+        return owner
+
+    @staticmethod
+    def to_host(a) -> np.ndarray:
+        return a
+
+    @staticmethod
+    def from_host(a):
+        return a
+
+
+#: The process-wide default module every plan and arena binds unless told
+#: otherwise.  A singleton so identity checks (``module is NUMPY_MODULE``)
+#: stay cheap on the hot path.
+NUMPY_MODULE = NumpyModule()
+
+
+class CupyModule(ArrayModule):
+    """CUDA substrate through CuPy's numpy-compatible namespace.
+
+    Import-guarded: constructing one without an importable ``cupy``
+    raises ``ImportError`` immediately with an actionable message.
+    Leaves stage host→device per subtask and the root stages back — the
+    shared-memory boundary stays host-side (see the module docstring).
+    """
+
+    name = "cupy"
+    device = "cuda"
+    supports_native_tape = False
+
+    def __init__(self) -> None:
+        try:
+            import cupy  # noqa: PLC0415 - lazy by design
+        except ImportError as error:  # pragma: no cover - env-dependent
+            raise ImportError(
+                "array_module='cupy' requires the cupy package (and a CUDA "
+                "device); install cupy or use the default numpy module"
+            ) from error
+        self.xp = cupy
+
+    def empty(self, shape, dtype):
+        return self.xp.empty(shape, dtype=dtype)
+
+    def ascontiguousarray(self, a):
+        return self.xp.ascontiguousarray(a)
+
+    def transpose(self, a, axes):
+        return self.xp.transpose(a, axes)
+
+    def reshape(self, a, shape):
+        return self.xp.reshape(a, shape)
+
+    def take(self, a, indices, axis, out=None):
+        return self.xp.take(a, self.xp.asarray(indices), axis=axis, out=out)
+
+    def copyto(self, dst, src):
+        self.xp.copyto(dst, src)
+
+    def asarray(self, a, dtype=None):
+        return self.xp.asarray(a, dtype=dtype)
+
+    def dot(self, a, b, out=None):
+        return self.xp.dot(a, b, out=out)
+
+    def batched_gemm(self, a3, b3, out3) -> None:
+        if a3.dtype != out3.dtype:
+            a3 = a3.astype(out3.dtype)
+        if b3.dtype != out3.dtype:
+            b3 = b3.astype(out3.dtype)
+        for i in range(out3.shape[0]):
+            self.xp.dot(a3[i], b3[i], out=out3[i])
+
+    def tensordot(self, a, b, axes):
+        return self.xp.tensordot(a, b, axes=axes)
+
+    def einsum(self, a, sub_a, b, sub_b, sub_out, out=None):
+        result = self.xp.einsum(a, sub_a, b, sub_b, sub_out)
+        if out is None:
+            return result
+        self.xp.copyto(out, result)
+        return out
+
+    def result_type(self, a, b):
+        return np.result_type(a.dtype, b.dtype)
+
+    def dtype_key(self, dtype) -> str:
+        return np.dtype(dtype).str
+
+    def size_of(self, a) -> int:
+        return a.size
+
+    def nbytes_of(self, a) -> int:
+        return a.nbytes
+
+    def owner_of(self, a):
+        owner = a
+        while getattr(owner, "base", None) is not None:
+            owner = owner.base
+        return owner
+
+    def to_host(self, a) -> np.ndarray:
+        return self.xp.asnumpy(a)
+
+    def from_host(self, a):
+        return self.xp.asarray(a)
+
+
+class TorchModule(ArrayModule):
+    """Torch substrate through CPU tensors and their numpy interop.
+
+    The CPU leg exists so the seam is exercisable in CI without a GPU:
+    ``from_host`` wraps host arrays via ``torch.from_numpy`` (zero-copy
+    when contiguous and writable) and ``to_host`` hands back ``.numpy()``
+    views.  Construction is import-guarded like :class:`CupyModule`.
+    Torch's BLAS groups its accumulations differently from numpy's, so
+    results through this module are allclose to the numpy path, not
+    bit-identical — the seam equivalence suite gates it accordingly.
+    """
+
+    name = "torch"
+    supports_native_tape = False
+
+    def __init__(self, device: str = "cpu") -> None:
+        try:
+            import torch  # noqa: PLC0415 - lazy by design
+        except ImportError as error:  # pragma: no cover - env-dependent
+            raise ImportError(
+                "array_module='torch' requires the torch package; install "
+                "torch (CPU wheels suffice) or use the default numpy module"
+            ) from error
+        self.xp = torch
+        self.device = device
+
+    def _torch_dtype(self, dtype):
+        if isinstance(dtype, self.xp.dtype):
+            return dtype
+        # generic numpy→torch dtype mapping via the interop itself
+        return self.xp.from_numpy(np.empty(0, dtype=np.dtype(dtype))).dtype
+
+    def empty(self, shape, dtype):
+        return self.xp.empty(shape, dtype=self._torch_dtype(dtype), device=self.device)
+
+    def ascontiguousarray(self, a):
+        return a.contiguous()
+
+    def transpose(self, a, axes):
+        return a.permute(axes)
+
+    def reshape(self, a, shape):
+        return a.reshape(shape)
+
+    def take(self, a, indices, axis, out=None):
+        index = self.xp.as_tensor(
+            np.ascontiguousarray(indices), device=a.device
+        )
+        if out is None:
+            return self.xp.index_select(a, axis, index)
+        self.xp.index_select(a, axis, index, out=out)
+        return out
+
+    def copyto(self, dst, src):
+        dst.copy_(src)
+
+    def asarray(self, a, dtype=None):
+        tensor = self.xp.as_tensor(a, device=self.device)
+        if dtype is not None:
+            tensor = tensor.to(self._torch_dtype(dtype))
+        return tensor
+
+    def dot(self, a, b, out=None):
+        return self.xp.mm(a, b, out=out)
+
+    def batched_gemm(self, a3, b3, out3) -> None:
+        if a3.dtype != out3.dtype:
+            a3 = a3.to(out3.dtype)
+        if b3.dtype != out3.dtype:
+            b3 = b3.to(out3.dtype)
+        for i in range(out3.shape[0]):
+            self.xp.mm(a3[i], b3[i], out=out3[i])
+
+    def tensordot(self, a, b, axes):
+        return self.xp.tensordot(a, b, dims=(list(axes[0]), list(axes[1])))
+
+    def einsum(self, a, sub_a, b, sub_b, sub_out, out=None):
+        # torch.einsum lacks the interleaved integer-sublist form with
+        # out=; hyper-index fallback steps are rare, so round-trip them
+        # through the host einsum
+        result = self.from_host(
+            np.einsum(self.to_host(a), sub_a, self.to_host(b), sub_b, sub_out)
+        )
+        if out is None:
+            return result
+        out.copy_(result)
+        return out
+
+    def result_type(self, a, b):
+        return self.xp.result_type(a, b)
+
+    def dtype_key(self, dtype) -> str:
+        return str(dtype)
+
+    def size_of(self, a) -> int:
+        return a.numel()
+
+    def nbytes_of(self, a) -> int:
+        return a.numel() * a.element_size()
+
+    def owner_of(self, a):
+        owner = a
+        while getattr(owner, "_base", None) is not None:
+            owner = owner._base
+        return owner
+
+    def to_host(self, a) -> np.ndarray:
+        return a.detach().cpu().numpy()
+
+    def from_host(self, a):
+        host = np.ascontiguousarray(a)
+        if not host.flags.writeable:
+            # torch.from_numpy refuses (or warns on) read-only buffers
+            # such as shared-memory views; stage through an owned copy
+            host = host.copy()
+        tensor = self.xp.from_numpy(host)
+        if self.device != "cpu":  # pragma: no cover - needs a GPU
+            tensor = tensor.to(self.device)
+        return tensor
+
+
+def resolve_array_module(
+    module: Union[str, ArrayModule, None],
+) -> ArrayModule:
+    """Resolve an ``array_module=`` spec to a module instance.
+
+    ``None`` and ``"numpy"`` yield the process-wide :data:`NUMPY_MODULE`
+    singleton; ``"cupy"``/``"torch"`` construct the import-guarded
+    modules (raising ``ImportError`` when the library is absent); an
+    :class:`ArrayModule` instance passes through unchanged.
+    """
+    if module is None:
+        return NUMPY_MODULE
+    if isinstance(module, ArrayModule):
+        return module
+    if isinstance(module, str):
+        if module == "numpy":
+            return NUMPY_MODULE
+        if module == "cupy":
+            return CupyModule()
+        if module == "torch":
+            return TorchModule()
+        raise ValueError(
+            f"unknown array module {module!r}; expected 'numpy', 'cupy', "
+            "'torch' or an ArrayModule instance"
+        )
+    raise TypeError(
+        f"array_module must be a name or ArrayModule instance, got {module!r}"
+    )

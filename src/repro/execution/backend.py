@@ -93,16 +93,38 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Shared validation (SlicedExecutor, CorrelatedSampler, TreeExecutor)
 # ----------------------------------------------------------------------
+def _check_module_backend(module, backend: "ExecutionBackend") -> None:
+    """Reject array-module/backend combinations that cannot work yet.
+
+    Non-numpy modules hold device (or foreign-substrate) arrays that
+    cannot cross the pickled / shared-memory boundary of the process
+    pool, so they are rejected loudly instead of silently running on the
+    host.  Raises ``ValueError`` naming the supported combinations.
+    """
+    if module is None or getattr(module, "is_host", True):
+        return
+    if isinstance(backend, SharedMemoryProcessPoolBackend):
+        raise ValueError(
+            f"array_module={module.name!r} is not supported on "
+            "SharedMemoryProcessPoolBackend: shared-memory segments are "
+            "host-side and workers have no device context. Supported "
+            "combinations: numpy × (serial | threads | process pool); "
+            f"{module.name} × (serial | threads)"
+        )
+
+
 def validate_execution_args(
     mode: str,
     backend: Optional["ExecutionBackend"] = None,
     max_workers: Optional[int] = None,
+    array_module=None,
 ) -> None:
-    """Validate the mode/parallelism combination with uniform errors.
+    """Validate the mode/parallelism/substrate combination uniformly.
 
     Every entry point (sliced executor, tree executor, sampler, planner)
     funnels through this so that the reference mode rejects parallel
-    execution with the same ``ValueError`` everywhere.
+    execution — and a device ``array_module`` rejects the shared-memory
+    process pool — with the same ``ValueError`` everywhere.
     """
     if mode not in ("compiled", "reference"):
         raise ValueError(f"unknown execution mode {mode!r}")
@@ -113,11 +135,20 @@ def validate_execution_args(
             raise ValueError("max_workers requires the compiled mode")
         if backend is not None:
             raise ValueError("backend requires the compiled mode")
+        if array_module is not None and not getattr(array_module, "is_host", True):
+            raise ValueError(
+                f"array_module={getattr(array_module, 'name', array_module)!r} "
+                "requires the compiled mode; the reference walker is "
+                "host-numpy only"
+            )
+    if backend is not None:
+        _check_module_backend(array_module, backend)
 
 
 def resolve_backend(
     backend: Optional["ExecutionBackend"] = None,
     max_workers: Optional[int] = None,
+    array_module=None,
 ) -> "ExecutionBackend":
     """Resolve the ``backend=`` / legacy ``max_workers=`` pair to a backend.
 
@@ -126,10 +157,13 @@ def resolve_backend(
     ``ThreadPoolBackend(max_workers)`` and a value <= 1 to
     ``SerialBackend``.  Passing both arguments is an error regardless of
     the values (``max_workers=0`` is not a way to sneak past the check).
+    When ``array_module`` is given, the resolved backend is checked
+    against it (device modules cannot run on the shared-memory pool).
     """
     if backend is not None:
         if max_workers is not None:
             raise ValueError("pass either backend= or max_workers=, not both")
+        _check_module_backend(array_module, backend)
         return backend
     if max_workers is not None:
         warnings.warn(
@@ -742,7 +776,9 @@ def _install_worker_state(payload: Tuple) -> "_WorkerState":
         # the worker falls back to the Python walker
         from .tape import warm_kernel
 
-        warm_kernel(getattr(state.plan, "_dtype", None) or np.complex128)
+        # warm for the plan's actual dtype (explicit override or the
+        # dtype derived from the leaves), not an assumed complex128
+        warm_kernel(getattr(state.plan, "dtype", None) or np.complex128)
     return state
 
 

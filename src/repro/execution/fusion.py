@@ -142,9 +142,15 @@ class PermKernel:
         return self.strategy == "view"
 
     def apply(
-        self, array: np.ndarray, scratch_key: str, slots: "StemSlots"
+        self, array: np.ndarray, scratch_key: str, slots: "StemSlots", module=None
     ) -> np.ndarray:
-        """The permuted 2-D GEMM operand (view or scratch-backed copy)."""
+        """The permuted 2-D GEMM operand (view or scratch-backed copy).
+
+        ``module`` selects the execution substrate
+        (:class:`~repro.execution.array_module.ArrayModule`); the default
+        is host numpy, which performs the identical calls the pre-seam
+        code did.
+        """
         if self.strategy == "view":
             return array.reshape(self.out2d)
         if self.strategy == "gather":
@@ -156,10 +162,16 @@ class PermKernel:
                 (self.prefix_size, self.core_size, self.suffix_size),
                 array.dtype,
             )
-            np.take(source, self.core_map, axis=1, out=target)
+            if module is None:
+                np.take(source, self.core_map, axis=1, out=target)
+            else:
+                module.take(source, self.core_map, 1, target)
             return target.reshape(self.out2d)
         target = slots.scratch(scratch_key, self.target_shape, array.dtype)
-        np.copyto(target, np.transpose(array, self.perm))
+        if module is None:
+            np.copyto(target, np.transpose(array, self.perm))
+        else:
+            module.copyto(target, module.transpose(array, self.perm))
         return target.reshape(self.out2d)
 
 

@@ -77,6 +77,12 @@ from ..core.stem import stem_slot_schedule
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .array_module import (
+    NUMPY_MODULE,
+    ArrayModule,
+    resolve_array_module,
+)
+from .array_module import numpy_batched_gemm as _batched_gemm
 from .fusion import (
     SCRATCH_LHS,
     SCRATCH_RHS,
@@ -139,6 +145,14 @@ class PlanStats:
         engine stamps ``"python"`` here if the kernel was unavailable or
         failed at runtime, so the fallback is observable, and the
         calibration layer keys per-engine coefficients off this field.
+    array_module:
+        Name of the :class:`~repro.execution.array_module.ArrayModule`
+        the kernels executed on (``"numpy"``, ``"torch"``, ``"cupy"``,
+        ...), or ``None`` before any ``execute`` call.  The calibration
+        layer keys per-module coefficients off this field (the third
+        component of ``"backend+engine+module"`` keys), which is how
+        host↔device staging time — spent inside the timed per-subtask
+        window — gets priced per substrate.
     fusion_breaks:
         Compile-time diagnostics from the fusion pass: why stem steps
         stayed *outside* fused runs, as a ``reason -> count`` dict (see
@@ -188,6 +202,7 @@ class PlanStats:
     branch_writes: int = 0
     fused_steps: int = 0
     tape_engine: Optional[str] = None
+    array_module: Optional[str] = None
     fusion_breaks: Dict[str, int] = field(default_factory=dict)
     subtask_seconds: List[float] = field(default_factory=list)
     subtask_seconds_sum: float = 0.0
@@ -243,6 +258,8 @@ class PlanStats:
             # workers report what actually ran; their observation wins
             # over a compile-time stamp on the coordinator's stats
             self.tape_engine = other.tape_engine
+        if other.array_module is not None:
+            self.array_module = other.array_module
         if not self.fusion_breaks and other.fusion_breaks:
             self.fusion_breaks = dict(other.fusion_breaks)
         room = MAX_TIMING_SAMPLES - len(self.subtask_seconds)
@@ -283,13 +300,22 @@ class StemSlots:
 
     Buffers are grown (never shrunk) on demand and re-typed when the
     requested dtype changes, so one arena serves plans of any size.
+
+    Every buffer is allocated from the arena's bound
+    :class:`~repro.execution.array_module.ArrayModule` (host numpy by
+    default), so slots, branch loans and scratch all live on the plan's
+    execution substrate.  :meth:`bind_module` rebinds the arena — plans
+    call it at the top of ``execute`` — dropping all held buffers when
+    the substrate actually changes (buffers of one module are useless to
+    another).
     """
 
-    __slots__ = ("_buffers", "_free", "_loans", "_scratch", "_scratch_views")
+    __slots__ = ("_buffers", "_free", "_loans", "_scratch", "_scratch_views", "_module")
 
-    def __init__(self) -> None:
+    def __init__(self, module: Optional[ArrayModule] = None) -> None:
+        self._module: ArrayModule = module if module is not None else NUMPY_MODULE
         self._buffers: List[Optional[np.ndarray]] = [None, None]
-        # (dtype str, bucket size) -> stack of flat buffers of that size
+        # (dtype key, bucket size) -> stack of flat buffers of that size
         self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
         # id of the flat buffer backing each outstanding loan
         self._loans: Dict[int, np.ndarray] = {}
@@ -299,6 +325,22 @@ class StemSlots:
         # so the fused hot loop skips the slice/reshape on every reuse
         self._scratch_views: Dict[Tuple, np.ndarray] = {}
 
+    @property
+    def array_module(self) -> ArrayModule:
+        """The module every arena buffer is allocated from."""
+        return self._module
+
+    def bind_module(self, module: ArrayModule) -> None:
+        """Bind the arena to ``module``, dropping buffers on a change."""
+        if module is self._module:
+            return
+        self._module = module
+        self._buffers = [None, None]
+        self._free = {}
+        self._loans = {}
+        self._scratch = {}
+        self._scratch_views = {}
+
     def out_for(
         self, slot: int, shape: Tuple[int, ...], dtype: np.dtype
     ) -> np.ndarray:
@@ -307,8 +349,8 @@ class StemSlots:
         for dim in shape:
             size *= dim
         buffer = self._buffers[slot]
-        if buffer is None or buffer.size < size or buffer.dtype != dtype:
-            buffer = np.empty(max(size, 1), dtype=dtype)
+        if buffer is None or self._module.size_of(buffer) < size or buffer.dtype != dtype:
+            buffer = self._module.empty(max(size, 1), dtype)
             self._buffers[slot] = buffer
         return buffer[:size].reshape(shape)
 
@@ -336,8 +378,8 @@ class StemSlots:
         for dim in shape:
             size *= dim
         buffer = self._scratch.get(key)
-        if buffer is None or buffer.size < size or buffer.dtype != dtype:
-            buffer = np.empty(max(size, 1), dtype=dtype)
+        if buffer is None or self._module.size_of(buffer) < size or buffer.dtype != dtype:
+            buffer = self._module.empty(max(size, 1), dtype)
             self._scratch[key] = buffer
             for stale in [k for k in views if k[0] == key]:
                 del views[stale]
@@ -348,7 +390,7 @@ class StemSlots:
     @property
     def scratch_bytes(self) -> int:
         """Total bytes currently held by the named scratch buffers."""
-        return sum(b.nbytes for b in self._scratch.values())
+        return sum(self._module.nbytes_of(b) for b in self._scratch.values())
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -362,33 +404,36 @@ class StemSlots:
         for dim in shape:
             size *= dim
         bucket = self._bucket(size)
-        key = (np.dtype(dtype).str, bucket)
+        module = self._module
+        key = (module.dtype_key(dtype), bucket)
         stack = self._free.get(key)
-        flat = stack.pop() if stack else np.empty(bucket, dtype=dtype)
+        flat = stack.pop() if stack else module.empty(bucket, dtype)
         self._loans[id(flat)] = flat
         return flat[:size].reshape(shape)
 
     def release_branch(self, array: np.ndarray) -> None:
         """Return a loaned buffer to its bucket; ignores foreign arrays."""
-        owner = array
-        # walk to the owning ndarray; stop at non-ndarray bases (e.g. the
-        # mmap behind a shared-memory view) — those are foreign by
-        # definition, loans are always backed by plain ndarrays
-        while isinstance(owner.base, np.ndarray):
-            owner = owner.base
+        module = self._module
+        owner = module.owner_of(array)
         flat = self._loans.pop(id(owner), None)
         if flat is not None:
-            self._free.setdefault((flat.dtype.str, flat.size), []).append(flat)
+            self._free.setdefault(
+                (module.dtype_key(flat.dtype), module.size_of(flat)), []
+            ).append(flat)
 
     @property
     def free_list_bytes(self) -> int:
         """Total bytes currently parked in the branch free list."""
-        return sum(b.nbytes for stack in self._free.values() for b in stack)
+        return sum(
+            self._module.nbytes_of(b) for stack in self._free.values() for b in stack
+        )
 
     @property
     def allocated_bytes(self) -> int:
         """Total bytes currently held by the two slots."""
-        return sum(b.nbytes for b in self._buffers if b is not None)
+        return sum(
+            self._module.nbytes_of(b) for b in self._buffers if b is not None
+        )
 
 
 @dataclass(frozen=True)
@@ -463,24 +508,6 @@ class ContractStep:
     bmm_rhs_identity: bool = False
 
 
-def _batched_gemm(a3: np.ndarray, b3: np.ndarray, out3: np.ndarray) -> None:
-    """Slicewise 2-D GEMM — the one ``bmm`` primitive every engine shares.
-
-    ``np.matmul`` over a 3-D stack is *not* bitwise identical to a loop
-    of 2-D GEMMs (its batched path accumulates differently), and the
-    numba tape kernel (:mod:`repro.execution.tape`) can only express the
-    loop — so the stepwise walker, the fused Python walker and the native
-    kernel all contract the batch axis this way, keeping every
-    backend/engine combination bit-identical.
-    """
-    if a3.dtype != out3.dtype:
-        a3 = a3.astype(out3.dtype)
-    if b3.dtype != out3.dtype:
-        b3 = b3.astype(out3.dtype)
-    for i in range(out3.shape[0]):
-        np.dot(a3[i], b3[i], out=out3[i])
-
-
 class CompiledPlan:
     """A contraction tree compiled against one network and slicing set.
 
@@ -509,8 +536,17 @@ class CompiledPlan:
         step_tapes: Optional[Dict[int, Tuple]] = None,
         tape_engine: str = "python",
         fusion_breaks: Optional[Dict[str, int]] = None,
+        array_module: Optional[ArrayModule] = None,
+        derived_dtype: Optional[np.dtype] = None,
     ) -> None:
         self._tree = tree
+        self._module: ArrayModule = (
+            array_module if array_module is not None else NUMPY_MODULE
+        )
+        # dtype inferred from the network's leaf tensors at compile time
+        # (satellite of the explicit _dtype override); drives kernel
+        # warming and pre-calibration sizing, never leaf casting
+        self._derived_dtype = derived_dtype
         self._branch_buffers = bool(branch_buffers)
         # fused plans always recycle off-stem outputs through the free
         # list: every tensordot step carries the explicit GEMM layout, so
@@ -568,7 +604,7 @@ class CompiledPlan:
         self._native_full = None
         self._native_cached = None
         self._tape_engine = "python"
-        if fused and tape_engine == "native":
+        if fused and tape_engine == "native" and self._module.supports_native_tape:
             from .tape import lower_entries
 
             self._native_full = lower_entries(self._exec_full, tree.root, cached=False)
@@ -611,6 +647,26 @@ class CompiledPlan:
     def batch_indices(self) -> Tuple[str, ...]:
         """The sliced indices kept as live batch axes, in canonical order."""
         return self._batch_indices
+
+    @property
+    def array_module(self) -> ArrayModule:
+        """The execution substrate every kernel of this plan runs on."""
+        return self._module
+
+    @property
+    def dtype(self) -> Optional[np.dtype]:
+        """The dtype execution runs in.
+
+        The explicit compile-time override when one was given, else the
+        dtype derived from the network's concrete leaf tensors
+        (``np.result_type`` over all of them), else ``None`` when every
+        leaf was abstract at compile time.  Kernel warming and
+        pre-calibration sizing read this instead of assuming complex128,
+        so complex64 circuits run end-to-end at half the working set.
+        """
+        if self._dtype is not None:
+            return self._dtype
+        return self._derived_dtype
 
     @property
     def branch_buffers(self) -> bool:
@@ -825,8 +881,13 @@ class CompiledPlan:
                 )
         if stats is not None:
             stats.executions += 1
+            stats.array_module = self._module.name
             if self._batch_indices:
                 stats.batched_executions += 1
+        if slots is not None:
+            # identity check on the common path; on a change the arena
+            # drops buffers of the previous substrate
+            slots.bind_module(self._module)
         release = self._recycle_branches and slots is not None
 
         if cache is None:
@@ -877,10 +938,15 @@ class CompiledPlan:
             stats.record_subtask_time(elapsed)
             stats.record_stage("execute", elapsed)
 
-        data = live[self._tree.root]
+        # stage the root back to the host before anything downstream sees
+        # it: accumulation, sessions and shared-memory segments are
+        # host-numpy by contract (identity, hence bit-identical, for the
+        # numpy module)
+        data = self._module.to_host(live[self._tree.root])
         if cache is not None and self._tree.root in self._frontier:
             # the root itself is cached (nothing is slice-dependent): hand
             # out a copy so callers cannot corrupt the shared cache buffer
+            # (for device modules to_host may alias the cached buffer)
             data = data.copy()
         if self._root_perm is not None:
             data = np.transpose(data, self._root_perm)
@@ -905,7 +971,10 @@ class CompiledPlan:
         if self._dtype is not None:
             # convert after slicing so the cast copies only the slice
             data = np.asarray(data, dtype=self._dtype)
-        return data
+        # slice host-side (leaves and segments are host arrays by
+        # contract), then stage the slice onto the execution substrate;
+        # the numpy module's from_host is the identity
+        return self._module.from_host(data)
 
     def _try_native(
         self,
@@ -953,9 +1022,14 @@ class CompiledPlan:
         out_for = slots.out_for
         take_branch = slots.take_branch
         scratch = slots.scratch
-        dot = np.dot
-        batched = _batched_gemm
-        copyto = np.copyto
+        xp = self._module
+        dot = xp.dot
+        batched = xp.batched_gemm
+        copyto = xp.copyto
+        take = xp.take
+        transpose = xp.transpose
+        empty = xp.empty
+        result_type = xp.result_type
         for entry in entries:
             kind = type(entry)
             if kind is tuple:
@@ -979,32 +1053,32 @@ class CompiledPlan:
                     a2 = a.reshape(l_out2d)
                 elif l_mode == 1:
                     staged = scratch(SCRATCH_LHS, l_p1, a.dtype)
-                    a.reshape(l_p1).take(l_p2, axis=1, out=staged)
+                    take(a.reshape(l_p1), l_p2, 1, staged)
                     a2 = staged.reshape(l_out2d)
                 else:
                     staged = scratch(SCRATCH_LHS, l_p2, a.dtype)
-                    copyto(staged, a.transpose(l_p1))
+                    copyto(staged, transpose(a, l_p1))
                     a2 = staged.reshape(l_out2d)
                 if r_mode == 0:
                     b2 = b.reshape(r_out2d)
                 elif r_mode == 1:
                     staged = scratch(SCRATCH_RHS, r_p1, b.dtype)
-                    b.reshape(r_p1).take(r_p2, axis=1, out=staged)
+                    take(b.reshape(r_p1), r_p2, 1, staged)
                     b2 = staged.reshape(r_out2d)
                 else:
                     staged = scratch(SCRATCH_RHS, r_p2, b.dtype)
-                    copyto(staged, b.transpose(r_p1))
+                    copyto(staged, transpose(b, r_p1))
                     b2 = staged.reshape(r_out2d)
                 adt = a.dtype
                 bdt = b.dtype
-                dtype = adt if adt == bdt else np.result_type(a, b)
+                dtype = adt if adt == bdt else result_type(a, b)
                 if slot is not None:
                     out2 = out_for(slot, mn, dtype)
                     if timed:
                         stats.slot_writes += 1  # type: ignore[union-attr]
                 elif is_root:
                     # handed to the caller: never a recycled buffer
-                    out2 = np.empty(mn, dtype)
+                    out2 = empty(mn, dtype)
                 else:
                     out2 = take_branch(mn, dtype)
                     if timed:
@@ -1054,9 +1128,13 @@ class CompiledPlan:
         start = time.perf_counter() if timed else 0.0
         out_for = slots.out_for
         scratch = slots.scratch
-        dot = np.dot
-        batched = _batched_gemm
-        copyto = np.copyto
+        xp = self._module
+        dot = xp.dot
+        batched = xp.batched_gemm
+        copyto = xp.copyto
+        take = xp.take
+        transpose = xp.transpose
+        result_type = xp.result_type
         running = live[run.first_stem]
         free_lists = run.tape_free_cached if cached else run.tape_free_full  # type: ignore[attr-defined]
         node = run.first_stem
@@ -1081,25 +1159,25 @@ class CompiledPlan:
                 a2 = a.reshape(l_out2d)
             elif l_mode == 1:
                 staged = scratch(SCRATCH_LHS, l_p1, a.dtype)
-                a.reshape(l_p1).take(l_p2, axis=1, out=staged)
+                take(a.reshape(l_p1), l_p2, 1, staged)
                 a2 = staged.reshape(l_out2d)
             else:
                 staged = scratch(SCRATCH_LHS, l_p2, a.dtype)
-                copyto(staged, a.transpose(l_p1))
+                copyto(staged, transpose(a, l_p1))
                 a2 = staged.reshape(l_out2d)
             if r_mode == 0:
                 b2 = b.reshape(r_out2d)
             elif r_mode == 1:
                 staged = scratch(SCRATCH_RHS, r_p1, b.dtype)
-                b.reshape(r_p1).take(r_p2, axis=1, out=staged)
+                take(b.reshape(r_p1), r_p2, 1, staged)
                 b2 = staged.reshape(r_out2d)
             else:
                 staged = scratch(SCRATCH_RHS, r_p2, b.dtype)
-                copyto(staged, b.transpose(r_p1))
+                copyto(staged, transpose(b, r_p1))
                 b2 = staged.reshape(r_out2d)
             adt = a.dtype
             bdt = b.dtype
-            out2 = out_for(slot, mn, adt if adt == bdt else np.result_type(a, b))
+            out2 = out_for(slot, mn, adt if adt == bdt else result_type(a, b))
             if is_bmm:
                 batched(a2, b2, out2)
             else:
@@ -1128,6 +1206,7 @@ class CompiledPlan:
     ) -> None:
         a = live[step.lhs]
         b = live[step.rhs]
+        xp = self._module
         use_slot = slots is not None and step.slot is not None
         # branch steps draw from the arena's size-bucketed free list; the
         # root is excluded because its buffer is handed to the caller
@@ -1156,25 +1235,25 @@ class CompiledPlan:
                 if step.td_lhs_identity:
                     a2 = a.reshape(m, k)
                 else:
-                    a2 = np.ascontiguousarray(
-                        np.transpose(a, step.td_perm_lhs).reshape(m, k)
+                    a2 = xp.ascontiguousarray(
+                        xp.transpose(a, step.td_perm_lhs).reshape(m, k)
                     )
                 if step.td_rhs_identity:
                     b2 = b.reshape(k, n)
                 else:
-                    b2 = np.ascontiguousarray(
-                        np.transpose(b, step.td_perm_rhs).reshape(k, n)
+                    b2 = xp.ascontiguousarray(
+                        xp.transpose(b, step.td_perm_rhs).reshape(k, n)
                     )
                 if use_slot:
-                    out2 = slots.out_for(step.slot, (m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                    out2 = slots.out_for(step.slot, (m, n), xp.result_type(a, b))  # type: ignore[union-attr, arg-type]
                 else:
-                    out2 = slots.take_branch((m, n), np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                    out2 = slots.take_branch((m, n), xp.result_type(a, b))  # type: ignore[union-attr, arg-type]
                     if stats is not None:
                         stats.branch_writes += 1
-                np.dot(a2, b2, out=out2)
+                xp.dot(a2, b2, out=out2)
                 out = out2 if out2.shape == step.out_shape else out2.reshape(step.out_shape)
             else:
-                out = np.tensordot(a, b, axes=step.axes)
+                out = xp.tensordot(a, b, step.axes)
         elif step.kind == "bmm":
             # same C-order normalization as the tensordot branch above:
             # the per-slice GEMMs must see the buffers the fused walkers
@@ -1183,28 +1262,28 @@ class CompiledPlan:
             if step.bmm_lhs_identity:
                 a3 = a.reshape(step.bmm_lhs_shape)
             else:
-                a3 = np.ascontiguousarray(
-                    np.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
+                a3 = xp.ascontiguousarray(
+                    xp.transpose(a, step.bmm_perm_lhs).reshape(step.bmm_lhs_shape)
                 )
             if step.bmm_rhs_identity:
                 b3 = b.reshape(step.bmm_rhs_shape)
             else:
-                b3 = np.ascontiguousarray(
-                    np.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
+                b3 = xp.ascontiguousarray(
+                    xp.transpose(b, step.bmm_perm_rhs).reshape(step.bmm_rhs_shape)
                 )
             shape3 = (step.bmm_lhs_shape[0], step.bmm_lhs_shape[1], step.bmm_rhs_shape[2])  # type: ignore[index]
             if use_slot:
-                out3 = slots.out_for(step.slot, shape3, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                out3 = slots.out_for(step.slot, shape3, xp.result_type(a, b))  # type: ignore[union-attr, arg-type]
             else:
-                out3 = np.empty(shape3, dtype=np.result_type(a, b))
-            _batched_gemm(a3, b3, out3)
+                out3 = xp.empty(shape3, xp.result_type(a, b))
+            xp.batched_gemm(a3, b3, out3)
             out = out3.reshape(step.bmm_out_shape)
         else:
             if use_slot:
-                out = slots.out_for(step.slot, step.out_shape, np.result_type(a, b))  # type: ignore[union-attr, arg-type]
-                np.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out, out=out)
+                out = slots.out_for(step.slot, step.out_shape, xp.result_type(a, b))  # type: ignore[union-attr, arg-type]
+                xp.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out, out=out)
             else:
-                out = np.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out)
+                out = xp.einsum(a, step.sub_lhs, b, step.sub_rhs, step.sub_out)
         if use_slot and stats is not None:
             stats.slot_writes += 1
         live[step.node] = out
@@ -1233,6 +1312,7 @@ def compile_plan(
     fused_cap: Optional[int] = None,
     fused_max_steps: Optional[int] = None,
     tape_engine: str = "auto",
+    array_module=None,
 ) -> CompiledPlan:
     """Compile ``tree`` over ``network`` for a fixed slicing set.
 
@@ -1291,9 +1371,20 @@ def compile_plan(
         bit-identically if numba is absent in the executing process), or
         ``"auto"`` (native exactly when numba is importable).  Only
         meaningful with ``fused``; requesting ``"native"`` on an unfused
-        plan is an error.
+        plan is an error.  The native kernel walks raw numpy buffers, so
+        with a non-numpy ``array_module`` ``"auto"`` resolves to the
+        Python walker and ``"native"`` is rejected.
+    array_module:
+        The execution substrate every kernel of the plan runs on: an
+        :class:`~repro.execution.array_module.ArrayModule` instance or a
+        name (``"numpy"``/``"cupy"``/``"torch"``); ``None`` means host
+        numpy, which is bit-identical to the pre-seam behaviour.  Leaves
+        are staged onto the module per subtask and the root staged back —
+        see :mod:`repro.execution.array_module` for the host-staging
+        contract.
     """
     sliced = frozenset(sliced)
+    module = resolve_array_module(array_module)
     if tape_engine not in ("auto", "python", "native"):
         raise PlanError(
             f"unknown tape_engine {tape_engine!r}; "
@@ -1303,10 +1394,18 @@ def compile_plan(
         raise PlanError("tape_engine='native' requires a fused plan")
     engine = "python"
     if fused and tape_engine != "python":
-        from .tape import native_available
+        if not module.supports_native_tape:
+            # the numba kernel walks raw numpy buffers only
+            if tape_engine == "native":
+                raise PlanError(
+                    "tape_engine='native' requires the numpy array module; "
+                    f"module {module.name!r} runs the Python tape walker"
+                )
+        else:
+            from .tape import native_available
 
-        if tape_engine == "native" or native_available():
-            engine = "native"
+            if tape_engine == "native" or native_available():
+                engine = "native"
     if batch_index is not None and batch_indices is not None:
         raise PlanError("pass either batch_index or batch_indices, not both")
     batch: Tuple[str, ...] = (
@@ -1319,6 +1418,23 @@ def compile_plan(
             raise PlanError(f"batch index {ix!r} is not in the sliced set")
     batch_set = frozenset(batch)
     enumerated = sliced - batch_set
+
+    # derive the execution dtype from the concrete leaves when no
+    # explicit override was given: kernel warming and pre-calibration
+    # sizing then follow the leaves (complex64 circuits run end-to-end
+    # at half the working set) instead of assuming complex128
+    derived_dtype: Optional[np.dtype] = None
+    if dtype is None:
+        # reduce pairwise over the distinct dtypes (np.result_type caps
+        # its argument count at NPY_MAXARGS; leaf counts do not)
+        for tid in tree.leaf_tids:
+            data = network.tensor(tid).data
+            if data is None:
+                continue
+            if derived_dtype is None:
+                derived_dtype = data.dtype
+            elif data.dtype != derived_dtype:
+                derived_dtype = np.result_type(derived_dtype, data.dtype)
 
     dependent = slice_dependent_nodes(tree, enumerated)
 
@@ -1548,5 +1664,7 @@ def compile_plan(
         step_tapes=step_tapes,
         tape_engine=engine,
         fusion_breaks=fusion_breaks,
+        array_module=module,
+        derived_dtype=derived_dtype,
     )
 

@@ -236,6 +236,13 @@ class CorrelatedSampler:
         open_index_of_qubit: Dict[int, str] = {}
         from ..tensornet.tensor import Tensor
 
+        # basis vectors follow the network's dtype (complex64 circuits
+        # must not get upcast through result_type by complex128 kets)
+        basis_dtype = np.dtype(np.complex128)
+        for tensor in network.tensors().values():
+            if tensor.data is not None:
+                basis_dtype = tensor.data.dtype
+                break
         for qubit, index in result.output_index_of_qubit.items():
             if qubit in self.open_qubits:
                 open_index_of_qubit[qubit] = index
@@ -243,7 +250,7 @@ class CorrelatedSampler:
             bit = int(base_bitstring[qubit])
             data = None
             if concrete:
-                data = np.array([1.0, 0.0] if bit == 0 else [0.0, 1.0], dtype=np.complex128)
+                data = np.array([1.0, 0.0] if bit == 0 else [0.0, 1.0], dtype=basis_dtype)
             network.add_tensor(
                 Tensor((index,), data=data, sizes={index: 2}, tags=("output", f"qubit:{qubit}"))
             )

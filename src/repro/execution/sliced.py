@@ -62,6 +62,7 @@ import numpy as np
 from ..tensornet.contraction_tree import ContractionTree
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
+from .array_module import ArrayModule, resolve_array_module
 from .backend import ExecutionBackend, resolve_backend, validate_execution_args
 from .contract import TreeExecutor
 from .plan import CompiledPlan, PlanStats, compile_plan
@@ -197,6 +198,17 @@ class SlicedExecutor:
         ``fused="auto"`` ranks caps against the engine that will
         actually run.  Only meaningful together with ``fused``;
         compiled mode only.
+    array_module:
+        The execution substrate the compiled plans' kernels run on: an
+        :class:`~repro.execution.array_module.ArrayModule` instance or a
+        name (``"numpy"``/``"cupy"``/``"torch"``).  The default (host
+        numpy) is bit-identical to the pre-seam behaviour on every
+        engine and backend.  Non-numpy modules stage leaves onto the
+        substrate per subtask and the root back to the host (results are
+        numerically equal, not bitwise — their BLAS accumulates in a
+        different order), force the Python tape walker, and are rejected
+        on the shared-memory process pool, whose segments are host-side
+        by contract.  Compiled mode only.
     """
 
     def __init__(
@@ -219,6 +231,7 @@ class SlicedExecutor:
         fault_policy: Optional["FaultPolicy"] = None,
         fault_injector: Optional["FaultInjector"] = None,
         tape_engine: str = "auto",
+        array_module=None,
     ) -> None:
         self.network = network
         self.tree = tree
@@ -227,12 +240,22 @@ class SlicedExecutor:
         bad = [ix for ix in self.sliced if ix not in inner]
         if bad:
             raise ValueError(f"sliced indices {bad} are not inner indices of the network")
-        validate_execution_args(mode, backend=backend, max_workers=max_workers)
+        self._array_module = resolve_array_module(array_module)
+        validate_execution_args(
+            mode,
+            backend=backend,
+            max_workers=max_workers,
+            array_module=self._array_module,
+        )
         self.mode = mode
         self._sizes = {ix: network.size_of(ix) for ix in self.sliced}
         self._dtype = np.dtype(dtype) if dtype is not None else None
         self._cache_invariant = bool(cache_invariant)
-        self._backend = resolve_backend(backend, max_workers) if mode == "compiled" else None
+        self._backend = (
+            resolve_backend(backend, max_workers, array_module=self._array_module)
+            if mode == "compiled"
+            else None
+        )
         self.cost_model = cost_model
         self._memory_target_rank = (
             int(memory_target_rank) if memory_target_rank is not None else None
@@ -326,11 +349,20 @@ class SlicedExecutor:
             raise ValueError("tape_engine requires the compiled mode")
         if tape_engine == "native" and (fused is False or fused is None):
             raise ValueError("tape_engine='native' requires fused=True or fused='auto'")
+        if tape_engine == "native" and not self._array_module.supports_native_tape:
+            raise ValueError(
+                "tape_engine='native' requires the numpy array module; "
+                f"array_module={self._array_module.name!r} runs the Python "
+                "tape walker"
+            )
         return tape_engine
 
     def _cost_tape_engine(self) -> str:
         """The engine fused plans would actually run on (cost-lookup key)."""
         if self._tape_engine_request == "python":
+            return "python"
+        if not self._array_module.supports_native_tape:
+            # the numba kernel walks raw numpy buffers only
             return "python"
         from .tape import native_available
 
@@ -362,6 +394,7 @@ class SlicedExecutor:
                     cost_model=self.cost_model,
                     backend=self._backend.name if self._backend is not None else None,
                     tape_engine=self._cost_tape_engine(),
+                    array_module=self._array_module.name,
                 )
             if cap is None:  # nothing to fuse: stay step-by-step
                 return False, None
@@ -412,6 +445,11 @@ class SlicedExecutor:
     def backend(self) -> Optional[ExecutionBackend]:
         """The execution backend (``None`` in reference mode)."""
         return self._backend
+
+    @property
+    def array_module(self) -> ArrayModule:
+        """The execution substrate the compiled plans run on."""
+        return self._array_module
 
     @property
     def fault_policy(self) -> Optional["FaultPolicy"]:
@@ -517,6 +555,7 @@ class SlicedExecutor:
             fused=self._fused,
             fused_cap=self._fused_cap,
             tape_engine=self._tape_engine_request if self._fused else "python",
+            array_module=self._array_module,
         )
         self._cache = self._plan.new_cache() if self._cache_invariant else None
         self._stamp_plan_stats(self._plan)
@@ -534,6 +573,7 @@ class SlicedExecutor:
             fused=self._fused,
             fused_cap=self._fused_cap,
             tape_engine=self._tape_engine_request if self._fused else "python",
+            array_module=self._array_module,
         )
         self._batched_cache = (
             self._batched_plan.new_cache() if self._cache_invariant else None

@@ -1,0 +1,529 @@
+"""The array-module seam: pluggable kernels, bit-identity, and pricing.
+
+The seam's contract has two halves, and both are tested here:
+
+* the default :class:`NumpyModule` path is **bit-identical** to the
+  pre-seam numpy calls — pinned against hard-coded golden amplitudes
+  recorded at the pre-seam HEAD and with a hypothesis property comparing
+  seamed execution to the default across seeds, modes and chunk sizes;
+* non-numpy modules run the same compiled plan through the host-staging
+  contract (leaves/accumulation host-side, kernels on the module) and are
+  allclose-gated — exercised with :class:`TorchModule` when torch is
+  installed (the CI ``tests-torch`` leg) and with a numpy-backed fake
+  "device" module everywhere else.
+
+The satellites ride along: backend/module validation errors, dtype
+derivation from the leaves, module-qualified calibration keys with
+progressive fallback, and the :class:`DeviceSpec` analytic pricing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_brickwork_circuit
+from repro.costs.calibration import CalibratedCostModel, CalibrationRecord
+from repro.costs.model import AnalyticCostModel
+from repro.execution import (
+    NUMPY_MODULE,
+    ArrayModule,
+    NumpyModule,
+    PlanError,
+    SerialBackend,
+    SharedMemoryProcessPoolBackend,
+    SlicedExecutor,
+    ThreadPoolBackend,
+    TorchModule,
+    compile_plan,
+    resolve_array_module,
+    validate_execution_args,
+)
+from repro.hardware.spec import GENERIC_GPU, DeviceSpec
+from repro.paths import GreedyOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: Amplitudes recorded at the pre-seam HEAD (commit 2bd9333) with the
+#: recipe of :func:`_case` — the NumpyModule path must reproduce these
+#: bit for bit, on every mode.
+GOLDEN = {
+    13: complex(0.029431242362886093, 0.03588207209882284),
+    29: complex(-0.09231979847578695, -0.062205940336102605),
+    47: complex(0.026284952525787646, 0.003410798205459625),
+}
+
+
+def _case(seed=13, num_qubits=6, depth=4):
+    circ = random_brickwork_circuit(num_qubits, depth, seed=seed)
+    bits = tuple(int(b) for b in np.random.default_rng(seed).integers(0, 2, num_qubits))
+    tn = amplitude_network(circ, list(bits))
+    simplify_network(tn)
+    tree = GreedyOptimizer(seed=1).tree(tn)
+    sliced = sorted(tn.inner_indices())[:3]
+    return tn, tree, sliced
+
+
+def _cast_network(tn, dtype):
+    """Cast every concrete leaf of ``tn`` to ``dtype`` in place."""
+    for tid, tensor in tn.tensors().items():
+        if tensor.data is not None:
+            tn.replace_tensor(tid, tensor.with_data(tensor.data.astype(dtype)))
+
+
+class FakeDeviceModule(NumpyModule):
+    """A numpy-backed module that *reports* as a non-host device.
+
+    Every kernel is the real numpy one (so execution works and stays
+    bit-identical), but ``name``/``device`` make the validation, engine
+    resolution and calibration layers treat it as an accelerator — the
+    device plumbing is testable without any GPU or torch install.
+    """
+
+    name = "fake"
+    device = "cuda"
+    supports_native_tape = False
+
+
+# ----------------------------------------------------------------------
+# tentpole: NumpyModule bit-identity
+# ----------------------------------------------------------------------
+class TestNumpyModuleBitIdentity:
+    @pytest.mark.parametrize("seed", sorted(GOLDEN))
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_matches_pre_seam_goldens_exactly(self, seed, fused):
+        tn, tree, sliced = _case(seed)
+        amp = SlicedExecutor(tn, tree, sliced, fused=fused).amplitude()
+        assert amp == GOLDEN[seed]  # bitwise, no tolerance
+
+    @pytest.mark.parametrize("seed", sorted(GOLDEN))
+    def test_explicit_module_matches_goldens_exactly(self, seed):
+        tn, tree, sliced = _case(seed)
+        amp = SlicedExecutor(
+            tn, tree, sliced, array_module=NumpyModule()
+        ).amplitude()
+        assert amp == GOLDEN[seed]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        fused=st.booleans(),
+        chunk_size=st.integers(min_value=1, max_value=5),
+    )
+    @SETTINGS
+    def test_seamed_execution_is_bitwise_default(self, seed, fused, chunk_size):
+        """Explicit NumpyModule + threads + fusion ≡ default stepwise serial."""
+        tn, tree, sliced = _case(seed, num_qubits=5, depth=3)
+        baseline = SlicedExecutor(tn, tree, sliced).amplitude()
+        seamed = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=fused,
+            array_module="numpy",
+            backend=ThreadPoolBackend(max_workers=2, chunk_size=chunk_size),
+        ).amplitude()
+        assert seamed == baseline
+
+    def test_stats_record_the_module(self):
+        tn, tree, sliced = _case()
+        executor = SlicedExecutor(tn, tree, sliced)
+        executor.amplitude()
+        assert executor.stats.array_module == "numpy"
+        assert executor.array_module is NUMPY_MODULE
+
+
+# ----------------------------------------------------------------------
+# tentpole: a non-host module through the host-staging contract
+# ----------------------------------------------------------------------
+class TestFakeDeviceModule:
+    @pytest.mark.parametrize("fused", [False, True])
+    @pytest.mark.parametrize(
+        "backend", [None, lambda: ThreadPoolBackend(max_workers=2)]
+    )
+    def test_device_module_matches_goldens(self, fused, backend):
+        tn, tree, sliced = _case()
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=fused,
+            array_module=FakeDeviceModule(),
+            backend=backend() if backend is not None else None,
+        )
+        # the fake module's kernels ARE numpy, so even the allclose gate
+        # is exact here — what's exercised is the staging/dispatch path
+        assert executor.amplitude() == GOLDEN[13]
+        assert executor.stats.array_module == "fake"
+
+    def test_auto_engine_resolves_to_python_walker(self):
+        tn, tree, sliced = _case()
+        executor = SlicedExecutor(
+            tn, tree, sliced, fused=True, array_module=FakeDeviceModule()
+        )
+        executor.amplitude()
+        plan = executor.plan
+        assert plan.array_module.name == "fake"
+        assert plan._tape_engine == "python"
+
+    def test_explicit_native_engine_is_rejected(self):
+        tn, tree, sliced = _case()
+        with pytest.raises(ValueError, match="numpy array module"):
+            SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                fused=True,
+                tape_engine="native",
+                array_module=FakeDeviceModule(),
+            )
+        with pytest.raises(PlanError, match="numpy array module"):
+            compile_plan(
+                tn,
+                tree,
+                sliced,
+                fused=True,
+                tape_engine="native",
+                array_module=FakeDeviceModule(),
+            )
+
+
+# ----------------------------------------------------------------------
+# satellite 1: backend × module validation
+# ----------------------------------------------------------------------
+class TestBackendModuleValidation:
+    def test_process_pool_rejects_device_module(self):
+        tn, tree, sliced = _case()
+        backend = SharedMemoryProcessPoolBackend(max_workers=2)
+        with pytest.raises(ValueError, match="Supported combinations"):
+            SlicedExecutor(
+                tn, tree, sliced, backend=backend, array_module=FakeDeviceModule()
+            )
+
+    def test_validate_execution_args_names_the_module(self):
+        backend = SharedMemoryProcessPoolBackend(max_workers=2)
+        with pytest.raises(ValueError, match="'fake'"):
+            validate_execution_args(
+                "compiled", backend=backend, array_module=FakeDeviceModule()
+            )
+
+    def test_reference_mode_rejects_device_module(self):
+        with pytest.raises(ValueError, match="host-numpy"):
+            validate_execution_args("reference", array_module=FakeDeviceModule())
+
+    def test_host_module_is_fine_everywhere(self):
+        backend = SharedMemoryProcessPoolBackend(max_workers=2)
+        validate_execution_args("compiled", backend=backend, array_module=NUMPY_MODULE)
+        validate_execution_args("compiled", backend=SerialBackend(), array_module=None)
+
+    def test_serial_and_threads_accept_device_module(self):
+        validate_execution_args(
+            "compiled", backend=SerialBackend(), array_module=FakeDeviceModule()
+        )
+        validate_execution_args(
+            "compiled",
+            backend=ThreadPoolBackend(max_workers=2),
+            array_module=FakeDeviceModule(),
+        )
+
+    def test_resolve_array_module_errors(self):
+        with pytest.raises(ValueError, match="unknown array module"):
+            resolve_array_module("no-such-module")
+        with pytest.raises(TypeError):
+            resolve_array_module(42)
+        assert resolve_array_module(None) is NUMPY_MODULE
+        assert resolve_array_module("numpy") is NUMPY_MODULE
+        module = FakeDeviceModule()
+        assert resolve_array_module(module) is module
+
+
+# ----------------------------------------------------------------------
+# satellite 2/3: dtype derivation and the dtype matrix
+# ----------------------------------------------------------------------
+class TestDtypeMatrix:
+    @pytest.mark.parametrize("dtype", [np.complex64, np.complex128])
+    @pytest.mark.parametrize("fused", [False, True])
+    @pytest.mark.parametrize(
+        "make_backend", [None, lambda: ThreadPoolBackend(max_workers=2)]
+    )
+    def test_dtype_runs_end_to_end(self, dtype, fused, make_backend):
+        tn, tree, sliced = _case()
+        _cast_network(tn, dtype)
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            fused=fused,
+            tape_engine="auto",
+            backend=make_backend() if make_backend is not None else None,
+        )
+        result = executor.run()
+        assert result.data.dtype == np.dtype(dtype)
+        tolerance = 1e-5 if dtype == np.complex64 else 1e-12
+        assert complex(result.data.reshape(())) == pytest.approx(
+            GOLDEN[13], rel=tolerance, abs=tolerance
+        )
+
+    @pytest.mark.parametrize("dtype", [np.complex64, np.complex128])
+    def test_modes_agree_bitwise_per_dtype(self, dtype):
+        tn, tree, sliced = _case(seed=29)
+        _cast_network(tn, dtype)
+        stepwise = SlicedExecutor(tn, tree, sliced).amplitude()
+        fused = SlicedExecutor(tn, tree, sliced, fused=True).amplitude()
+        threads = SlicedExecutor(
+            tn, tree, sliced, fused=True, backend=ThreadPoolBackend(max_workers=2)
+        ).amplitude()
+        assert fused == stepwise
+        assert threads == stepwise
+
+    def test_plan_dtype_derived_from_leaves(self):
+        tn, tree, sliced = _case()
+        _cast_network(tn, np.complex64)
+        plan = compile_plan(tn, tree, sliced)
+        assert plan.dtype == np.dtype(np.complex64)
+
+    def test_explicit_dtype_wins_over_derived(self):
+        tn, tree, sliced = _case()
+        plan = compile_plan(tn, tree, sliced, dtype=np.complex64)
+        assert plan.dtype == np.dtype(np.complex64)
+
+    def test_mixed_leaves_derive_result_type(self):
+        tn, tree, sliced = _case()
+        _cast_network(tn, np.complex64)
+        # upcast a single leaf: the derived dtype must follow result_type
+        tid, tensor = next(
+            (t, x) for t, x in tn.tensors().items() if x.data is not None
+        )
+        tn.replace_tensor(tid, tensor.with_data(tensor.data.astype(np.complex128)))
+        plan = compile_plan(tn, tree, sliced)
+        assert plan.dtype == np.dtype(np.complex128)
+
+
+# ----------------------------------------------------------------------
+# satellite 3/5: TorchModule (runs on the CI tests-torch leg)
+# ----------------------------------------------------------------------
+class TestTorchModule:
+    @pytest.fixture(autouse=True)
+    def _torch(self):
+        pytest.importorskip("torch")
+
+    @pytest.mark.parametrize("seed", sorted(GOLDEN))
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_allclose_to_goldens(self, seed, fused):
+        tn, tree, sliced = _case(seed)
+        amp = SlicedExecutor(
+            tn, tree, sliced, fused=fused, array_module="torch"
+        ).amplitude()
+        assert amp == pytest.approx(GOLDEN[seed], rel=1e-10, abs=1e-12)
+
+    def test_threads_allclose_to_serial(self):
+        tn, tree, sliced = _case()
+        serial = SlicedExecutor(
+            tn, tree, sliced, array_module="torch"
+        ).amplitude()
+        threads = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            array_module="torch",
+            backend=ThreadPoolBackend(max_workers=2),
+        ).amplitude()
+        assert threads == pytest.approx(serial, rel=1e-12, abs=1e-14)
+
+    def test_complex64_through_torch(self):
+        tn, tree, sliced = _case()
+        _cast_network(tn, np.complex64)
+        result = SlicedExecutor(
+            tn, tree, sliced, fused=True, array_module="torch"
+        ).run()
+        assert result.data.dtype == np.dtype(np.complex64)
+        assert complex(result.data.reshape(())) == pytest.approx(
+            GOLDEN[13], rel=1e-5, abs=1e-5
+        )
+
+    def test_process_pool_rejected(self):
+        tn, tree, sliced = _case()
+        with pytest.raises(ValueError, match="Supported combinations"):
+            SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                array_module="torch",
+                backend=SharedMemoryProcessPoolBackend(max_workers=2),
+            )
+
+    def test_module_roundtrip_helpers(self):
+        module = TorchModule()
+        host = np.arange(6, dtype=np.complex128).reshape(2, 3)
+        dev = module.from_host(host)
+        assert module.to_host(dev).tolist() == host.tolist()
+        assert module.size_of(dev) == 6
+        assert module.nbytes_of(dev) == host.nbytes
+
+
+# ----------------------------------------------------------------------
+# satellite: calibration keys and fallback
+# ----------------------------------------------------------------------
+class TestModuleCalibration:
+    def _record(self, backend="serial", engine="python", module="numpy"):
+        return CalibrationRecord(
+            backend=backend,
+            subtask_flops=1e6,
+            num_steps=10,
+            seconds=(1e-3, 1.1e-3),
+            tape_engine=engine,
+            array_module=module,
+        )
+
+    def test_key_shapes(self):
+        assert self._record().key == "serial"
+        assert self._record(engine="native").key == "serial+native"
+        assert self._record(module="torch").key == "serial+python+torch"
+        assert (
+            self._record(engine="native", module="cupy").key == "serial+native+cupy"
+        )
+
+    def test_stats_produce_module_qualified_records(self):
+        tn, tree, sliced = _case()
+        executor = SlicedExecutor(tn, tree, sliced, array_module=FakeDeviceModule())
+        executor.amplitude()
+        record = executor.calibration_record()
+        assert record.array_module == "fake"
+        assert record.key == "serial+python+fake"
+
+    def test_progressive_fallback_drops_components(self):
+        model = CalibratedCostModel.fit([self._record()])
+        tn, tree, sliced = _case()
+        base = model.subtask_seconds(tree, sliced, backend="serial")
+        # no torch coefficients: "serial+python+torch" → "serial+python"
+        # → "serial", landing on the host fit rather than erroring
+        assert model.subtask_seconds(
+            tree, sliced, backend="serial+python+torch"
+        ) == base
+
+    def test_module_coefficients_win_over_fallback(self):
+        slow = CalibrationRecord(
+            backend="serial",
+            subtask_flops=1e6,
+            num_steps=10,
+            seconds=(2e-3,),
+            array_module="torch",
+        )
+        model = CalibratedCostModel.fit([self._record(), slow])
+        tn, tree, sliced = _case()
+        host = model.subtask_seconds(tree, sliced, backend="serial")
+        device = model.subtask_seconds(tree, sliced, backend="serial+python+torch")
+        assert device > host
+
+    def test_bench_json_roundtrip(self):
+        payload = {
+            "calibration": {
+                "subtask_flops": 1e6,
+                "num_steps": 10,
+                "backends": {
+                    "serial": {"subtask_seconds": [1e-3]},
+                    "serial+python+torch": {"subtask_seconds": [5e-3]},
+                },
+            }
+        }
+        model = CalibratedCostModel.from_bench_json(payload)
+        assert set(model.backends) == {"serial", "serial+python+torch"}
+
+
+# ----------------------------------------------------------------------
+# satellite 6: device-spec analytic pricing
+# ----------------------------------------------------------------------
+class TestDevicePricing:
+    def test_device_spec_defaults(self):
+        assert GENERIC_GPU.effective_flops == pytest.approx(
+            GENERIC_GPU.device_flops * GENERIC_GPU.gemm_peak_fraction
+        )
+        fat = GENERIC_GPU.with_overrides(pcie_bandwidth=50e9)
+        assert fat.staging_seconds(1e9) == pytest.approx(0.02)
+        assert GENERIC_GPU.staging_seconds(0.0) == 0.0
+
+    def test_module_qualified_backend_prices_device(self):
+        tn, tree, sliced = _case()
+        model = AnalyticCostModel()
+        host = model.subtask_seconds(tree, frozenset(sliced))
+        device = model.subtask_seconds(
+            tree, frozenset(sliced), backend="serial+python+torch"
+        )
+        assert device != host
+        assert device >= model.staging_seconds(tree, frozenset(sliced)) > 0.0
+
+    def test_numpy_qualified_backend_stays_host(self):
+        tn, tree, sliced = _case()
+        model = AnalyticCostModel()
+        host = model.subtask_seconds(tree, frozenset(sliced))
+        assert (
+            model.subtask_seconds(
+                tree, frozenset(sliced), backend="serial+python+numpy"
+            )
+            == host
+        )
+        assert (
+            model.subtask_seconds(tree, frozenset(sliced), backend="serial+native")
+            == host
+        )
+
+    def test_slower_pcie_raises_the_prediction(self):
+        tn, tree, sliced = _case()
+        fast = AnalyticCostModel()
+        slow = AnalyticCostModel(
+            device_spec=GENERIC_GPU.with_overrides(pcie_bandwidth=1e6)
+        )
+        key = "serial+python+torch"
+        assert slow.subtask_seconds(
+            tree, frozenset(sliced), backend=key
+        ) > fast.subtask_seconds(tree, frozenset(sliced), backend=key)
+
+    def test_calibrated_fallback_reaches_device_pricing(self):
+        record = CalibrationRecord(
+            backend="threads", subtask_flops=1e6, num_steps=10, seconds=(1e-3,)
+        )
+        analytic = AnalyticCostModel()
+        model = CalibratedCostModel.fit([record], fallback=analytic)
+        tn, tree, sliced = _case()
+        # "serial+python+torch" has no fit and no droppable prefix match,
+        # so the analytic fallback prices it — with the device roofline
+        predicted = model.subtask_seconds(
+            tree, frozenset(sliced), backend="serial+python+torch"
+        )
+        assert predicted == analytic.subtask_seconds(
+            tree, frozenset(sliced), backend="serial+python+torch"
+        )
+
+
+class TestArrayModuleProtocol:
+    def test_abstract_module_raises(self):
+        module = ArrayModule()
+        with pytest.raises(NotImplementedError):
+            module.empty((2, 2), np.complex128)
+
+    def test_numpy_module_identity_staging(self):
+        a = np.arange(4.0)
+        assert NUMPY_MODULE.to_host(a) is a
+        assert NUMPY_MODULE.from_host(a) is a
+        assert NUMPY_MODULE.is_host
+        assert not FakeDeviceModule().is_host
+
+    def test_owner_walks_views(self):
+        base = np.arange(12.0)
+        view = base.reshape(3, 4)[1:]
+        assert NUMPY_MODULE.owner_of(view) is base
+
+    def test_batched_gemm_matches_loop_of_dots(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((4, 3, 5)) + 1j * rng.standard_normal((4, 3, 5))
+        b = rng.standard_normal((4, 5, 2)) + 1j * rng.standard_normal((4, 5, 2))
+        out = np.empty((4, 3, 2), dtype=np.complex128)
+        NUMPY_MODULE.batched_gemm(a, b, out)
+        expected = np.stack([np.dot(a[i], b[i]) for i in range(4)])
+        assert (out == expected).all()
