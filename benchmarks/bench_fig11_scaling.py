@@ -5,28 +5,70 @@ and weak scaling results (16 subtasks on each node)".  Because slicing makes
 the subtasks embarrassingly parallel (one all-reduce at the end), both
 curves are nearly ideal on the real machine.
 
-The per-subtask execution time fed to the process-level scheduler comes from
-the thread-level simulator applied to the benchmark workload's fused plan,
-so the scaling curves regenerated here follow exactly the same pipeline as
-the paper's runs (plan → slice → fuse → distribute).
+Two legs regenerate the figure:
+
+* **Projected** (``test_fig11_strong_scaling`` / ``test_fig11_weak_scaling``)
+  — the per-subtask execution time fed to the process-level scheduler comes
+  from the thread-level simulator applied to the benchmark workload's fused
+  plan, so the curves follow exactly the same pipeline as the paper's runs
+  (plan → slice → fuse → distribute) at the paper's node counts.
+* **Measured** (``test_fig11_measured_strong_scaling``) — the same sweep
+  against a *real* :class:`~repro.execution.DistributedBackend`: N localhost
+  worker processes per point, bit-identity verified against serial inside
+  :func:`~repro.execution.measure_strong_scaling`, and every measured wall
+  time paired with the calibrated cost model's prediction for that worker
+  count.  The measured-vs-projected rows land in
+  ``results/fig11_measured_scaling.txt`` and a trajectory point is appended
+  to ``results/BENCH_distributed.json`` — which
+  ``benchmarks/check_distributed_scaling.py`` gates in CI (2-worker speedup
+  > 1.0, prediction within 25%).  No timing assertions run in-process, so
+  the bench stays green on single-core boxes.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.analysis import format_table
-from repro.core import SecondarySlicer
+from repro.circuits import grid_circuit
+from repro.core import LifetimeSliceFinder, SecondarySlicer
 from repro.execution import (
     ProcessScheduler,
     ThreadLevelSimulator,
+    measure_strong_scaling,
     strong_scaling,
     weak_scaling,
 )
+from repro.paths import HyperOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 STRONG_SUBTASKS = 65536
 WEAK_SUBTASKS_PER_NODE = 16
 NODE_COUNTS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+#: Gated mode (CI's distributed leg): a workload whose per-subtask compute
+#: dominates the socket round-trip, sized so real multi-worker speedup is
+#: measurable — the checker's gates only make sense against this profile.
+GATED = os.environ.get("REPRO_BENCH_GATED", "") not in ("", "0")
+DIST_ROWS = int(os.environ.get("REPRO_BENCH_DIST_ROWS", "4"))
+DIST_COLS = int(os.environ.get("REPRO_BENCH_DIST_COLS", "5" if GATED else "4"))
+DIST_CYCLES = int(os.environ.get("REPRO_BENCH_DIST_CYCLES", "10" if GATED else "8"))
+DIST_RANK_DROP = int(os.environ.get("REPRO_BENCH_DIST_RANK_DROP", "6" if GATED else "5"))
+DIST_SEED = int(os.environ.get("REPRO_BENCH_DIST_SEED", "3"))
+DIST_REPEATS = int(os.environ.get("REPRO_BENCH_DIST_REPEATS", "3" if GATED else "1"))
+DIST_WORKER_COUNTS = tuple(
+    int(entry)
+    for entry in os.environ.get(
+        "REPRO_BENCH_DIST_WORKERS", "1,2,4" if GATED else "1,2"
+    ).split(",")
+)
 
 
 @pytest.fixture(scope="module")
@@ -90,3 +132,90 @@ def test_fig11_weak_scaling(benchmark, scheduler, record_result):
     record_result("fig11_weak_scaling", text)
 
     assert all(p.efficiency > 0.7 for p in points), "weak scaling should stay near-ideal"
+
+
+# ----------------------------------------------------------------------
+# measured strong scaling against the real distributed backend
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def measured_workload():
+    """Concrete network + tree + sliced set for the real distributed sweep."""
+    circuit = grid_circuit(DIST_ROWS, DIST_COLS, cycles=DIST_CYCLES, seed=DIST_SEED)
+    network = amplitude_network(circuit, [0] * circuit.num_qubits, concrete=True)
+    simplify_network(network)
+    tree = HyperOptimizer(max_trials=8, seed=1).search(network)
+    target = max(tree.max_rank() - DIST_RANK_DROP, 4)
+    slicing = LifetimeSliceFinder(target).find(tree)
+    inner = network.inner_indices()
+    sliced = tuple(ix for ix in slicing.sliced if ix in inner)
+    return network, tree, sliced
+
+
+def _measured_row(point):
+    return {
+        "workers": point.num_workers,
+        "subtasks": point.num_subtasks,
+        "measured_s": point.elapsed_seconds,
+        "projected_s": point.predicted_seconds,
+        "compute_s": point.compute_seconds,
+        "comms_s": point.comms_seconds,
+        "speedup": point.speedup,
+        "efficiency": point.efficiency,
+        "rel_err": point.relative_error,
+    }
+
+
+def test_fig11_measured_strong_scaling(measured_workload, record_result):
+    network, tree, sliced = measured_workload
+    points = measure_strong_scaling(
+        network,
+        tree,
+        sliced,
+        worker_counts=DIST_WORKER_COUNTS,
+        repeats=DIST_REPEATS,
+    )
+    rows = [_measured_row(p) for p in points]
+    text = format_table(
+        rows,
+        title=(
+            f"FIG11a (measured): strong scaling over {len(DIST_WORKER_COUNTS)} "
+            f"localhost worker counts, {points[0].num_subtasks} subtasks "
+            "(measured vs calibrated projection; bit-identity to serial "
+            "verified per point)"
+        ),
+        precision=4,
+    )
+    record_result("fig11_measured_scaling", text)
+
+    # trajectory: one appended entry per run, so worker-count × wall-seconds
+    # curves stay comparable across commits; the CI checker gates the
+    # latest entry (speedup + prediction error) on multi-core runners
+    trajectory_path = RESULTS_DIR / "BENCH_distributed.json"
+    history = (
+        json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    )
+    history.append(
+        {
+            "timestamp": time.time(),
+            "gated": GATED,
+            "cpu_count": os.cpu_count(),
+            "workload": {
+                "rows": DIST_ROWS,
+                "cols": DIST_COLS,
+                "cycles": DIST_CYCLES,
+                "rank_drop": DIST_RANK_DROP,
+                "seed": DIST_SEED,
+                "repeats": DIST_REPEATS,
+            },
+            "points": rows,
+        }
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trajectory_path.write_text(json.dumps(history, indent=2) + "\n")
+
+    # structural gates only — the sweep already verified bit-identity per
+    # point, and timing gates (speedup > 1.0, <= 25% prediction error)
+    # belong to check_distributed_scaling.py where the core count is known
+    assert [p.num_workers for p in points] == list(DIST_WORKER_COUNTS)
+    assert all(p.elapsed_seconds > 0.0 for p in points)
+    assert all(p.predicted_seconds > 0.0 for p in points)

@@ -1,0 +1,105 @@
+"""CI gate: real distributed execution must beat serial and match the model.
+
+Run after the measured scaling bench::
+
+    PYTHONPATH=src python benchmarks/check_distributed_scaling.py \
+        benchmarks/results/BENCH_distributed.json
+
+Validates the **latest** trajectory entry
+``test_fig11_measured_strong_scaling`` appended (CI appends its own entry
+right before this gate runs, so the latest one always reflects the
+current commit on the current runner):
+
+* the sweep covered at least ``REPRO_DIST_MIN_COUNTS`` distinct worker
+  counts (default 3 — the acceptance floor for the calibrated-prediction
+  comparison) including a serial-baseline-relative 2-worker point;
+* the 2-worker point's speedup over the serial reference exceeds
+  ``REPRO_DIST_MIN_SPEEDUP`` (default 1.0): farming subtasks to two real
+  localhost worker processes must pay for its socket round-trips;
+* every point's measured wall time matches the calibrated cost model's
+  prediction within ``REPRO_DIST_MAX_RELERR`` (default 0.25).
+
+The gates are meaningful only on multi-core runners against the gated
+workload (``REPRO_BENCH_GATED=1``), which is how CI invokes the bench;
+quick single-core entries appended from developer machines are never the
+latest entry in CI.  Checks raise explicitly (no ``assert``), so the
+gate also holds under ``python -O``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+MIN_COUNTS = int(os.environ.get("REPRO_DIST_MIN_COUNTS", "3"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_DIST_MIN_SPEEDUP", "1.0"))
+MAX_RELERR = float(os.environ.get("REPRO_DIST_MAX_RELERR", "0.25"))
+
+
+class ScalingGateError(RuntimeError):
+    """A distributed-scaling regression (or a sweep too thin to gate)."""
+
+
+def check(path: Path) -> None:
+    history = json.loads(path.read_text())
+    if not history:
+        raise ScalingGateError(f"{path} holds no trajectory entries")
+    entry = history[-1]
+    points = entry.get("points") or []
+    counts = sorted({int(p["workers"]) for p in points})
+    print(
+        f"latest entry: workers={counts} gated={entry.get('gated')} "
+        f"cpus={entry.get('cpu_count')}"
+    )
+    for point in points:
+        print(
+            f"  {point['workers']:>2} workers: measured {point['measured_s']:.4f}s "
+            f"projected {point['projected_s']:.4f}s speedup {point['speedup']:.2f}x "
+            f"rel_err {point['rel_err']:.3f}"
+        )
+
+    if len(counts) < MIN_COUNTS:
+        raise ScalingGateError(
+            f"sweep covered {len(counts)} worker counts {counts}; the "
+            f"calibrated-prediction comparison needs >= {MIN_COUNTS}"
+        )
+    two = [p for p in points if int(p["workers"]) == 2]
+    if not two:
+        raise ScalingGateError(f"sweep {counts} has no 2-worker point to gate")
+    speedup = float(two[0]["speedup"])
+    if speedup <= MIN_SPEEDUP:
+        raise ScalingGateError(
+            f"2-worker speedup over serial is {speedup:.3f}x "
+            f"(gate: > {MIN_SPEEDUP}): distributed execution lost to the "
+            "serial baseline"
+        )
+    worst = max(points, key=lambda p: float(p["rel_err"]))
+    if float(worst["rel_err"]) > MAX_RELERR:
+        raise ScalingGateError(
+            f"{worst['workers']}-worker measured time {worst['measured_s']:.4f}s "
+            f"diverges from the calibrated prediction "
+            f"{worst['projected_s']:.4f}s by {float(worst['rel_err']):.1%} "
+            f"(gate: <= {MAX_RELERR:.0%})"
+        )
+    print(
+        f"distributed scaling gate passed: 2-worker speedup {speedup:.2f}x, "
+        f"worst prediction error {float(worst['rel_err']):.1%}"
+    )
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        check(Path(argv[1]))
+    except ScalingGateError as exc:
+        print(f"distributed scaling gate FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

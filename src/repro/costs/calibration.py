@@ -95,6 +95,17 @@ class CalibrationRecord:
         seconds — which is exactly why each module fits its own
         ``"<backend>+<engine>+<module>"`` key instead of polluting the
         host coefficients.
+    comms_seconds_per_subtask:
+        Mean per-subtask communication overhead measured by the
+        distributed coordinator (chunk round-trip wall time not covered
+        by the workers' own compute samples: serialization, transfer,
+        dispatch).  Zero for the in-process backends, where nothing
+        crosses a wire — their samples already cover all costs.
+    payload_bytes_per_subtask:
+        Mean steady-state bytes shipped per subtask (chunk frames out
+        plus contribution frames back; one-time broadcasts excluded).
+        Diagnostic companion of the comms term — lets scaling analyses
+        relate overhead seconds to wire bytes.
     """
 
     backend: str
@@ -103,6 +114,8 @@ class CalibrationRecord:
     seconds: Tuple[float, ...]
     tape_engine: str = "python"
     array_module: str = "numpy"
+    comms_seconds_per_subtask: float = 0.0
+    payload_bytes_per_subtask: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.seconds:
@@ -170,6 +183,9 @@ class CalibrationRecord:
         else:
             subtask_flops = CostModel.subtask_flops(tree, sliced)
             num_steps = len(tree.internal_nodes())
+        timed = getattr(stats, "timed_subtasks", 0) or len(stats.subtask_seconds)
+        comms_seconds = float(getattr(stats, "comms_seconds", 0.0))
+        comms_bytes = float(getattr(stats, "comms_bytes", 0))
         return cls(
             backend=backend,
             subtask_flops=subtask_flops,
@@ -177,20 +193,35 @@ class CalibrationRecord:
             seconds=tuple(stats.subtask_seconds),
             tape_engine=getattr(stats, "tape_engine", None) or "python",
             array_module=getattr(stats, "array_module", None) or "numpy",
+            comms_seconds_per_subtask=comms_seconds / timed if timed else 0.0,
+            payload_bytes_per_subtask=comms_bytes / timed if timed else 0.0,
         )
 
 
 @dataclass(frozen=True)
 class BackendCoefficients:
-    """Fitted per-backend coefficients of the two-term linear model."""
+    """Fitted per-backend coefficients of the linear model.
+
+    Two regressed terms (throughput per flop, dispatch per step) plus an
+    additive per-subtask *communication* constant measured — not fitted —
+    from the distributed coordinator's round-trip accounting.  The
+    constant is 0.0 for in-process backends, keeping their predictions
+    exactly the pre-distributed two-term values.
+    """
 
     seconds_per_flop: float
     seconds_per_step: float
     samples: int
+    comms_seconds_per_subtask: float = 0.0
+    payload_bytes_per_subtask: float = 0.0
 
     def predict(self, flops: float, num_steps: int) -> float:
         """Predicted subtask seconds at ``flops`` / ``num_steps``."""
-        return self.seconds_per_flop * flops + self.seconds_per_step * num_steps
+        return (
+            self.seconds_per_flop * flops
+            + self.seconds_per_step * num_steps
+            + self.comms_seconds_per_subtask
+        )
 
 
 def _fit_backend(records: List[CalibrationRecord]) -> BackendCoefficients:
@@ -209,14 +240,26 @@ def _fit_backend(records: List[CalibrationRecord]) -> BackendCoefficients:
             times.append(sample)
     a = np.asarray(rows, dtype=np.float64)
     y = np.asarray(times, dtype=np.float64)
+    # the comms terms are measured constants, not regressors: average them
+    # across records weighted by how many samples each contributed
+    comms_seconds = float(
+        sum(r.comms_seconds_per_subtask * len(r.seconds) for r in records) / len(times)
+    )
+    payload_bytes = float(
+        sum(r.payload_bytes_per_subtask * len(r.seconds) for r in records) / len(times)
+    )
     if len({row for row in rows}) >= 2:
         coefficients, *_ = np.linalg.lstsq(a, y, rcond=None)
         per_flop, per_step = (float(c) for c in coefficients)
         if per_flop >= 0 and per_step >= 0:
-            return BackendCoefficients(per_flop, per_step, len(times))
+            return BackendCoefficients(
+                per_flop, per_step, len(times), comms_seconds, payload_bytes
+            )
     # degenerate (or sign-flipped) fit: attribute everything to throughput
     per_flop = float(np.sum(y * a[:, 0]) / np.sum(a[:, 0] ** 2))
-    return BackendCoefficients(max(per_flop, 0.0), 0.0, len(times))
+    return BackendCoefficients(
+        max(per_flop, 0.0), 0.0, len(times), comms_seconds, payload_bytes
+    )
 
 
 class CalibratedCostModel(CostModel):
@@ -382,6 +425,12 @@ class CalibratedCostModel(CostModel):
                     seconds=tuple(entry["subtask_seconds"]),
                     tape_engine=entry.get("tape_engine") or key_engine or "python",
                     array_module=entry.get("array_module") or key_module or "numpy",
+                    comms_seconds_per_subtask=float(
+                        entry.get("comms_seconds_per_subtask", 0.0)
+                    ),
+                    payload_bytes_per_subtask=float(
+                        entry.get("payload_bytes_per_subtask", 0.0)
+                    ),
                 )
             )
         return cls.fit(
@@ -425,16 +474,19 @@ def calibration_payload(
             # uncached run on a workload with an invariant fraction:
             # mislabelled samples would bias the fit
             continue
+        timed = getattr(stats, "timed_subtasks", 0) or len(samples)
+        comms_seconds = float(getattr(stats, "comms_seconds", 0.0))
+        comms_bytes = float(getattr(stats, "comms_bytes", 0))
         backends[name] = {
             "subtask_seconds": samples[:MAX_SAMPLES_PERSISTED],
             # exact aggregates — the sample list itself is bounded
             "subtask_seconds_mean": float(stats.mean_subtask_seconds),
-            "subtask_seconds_count": int(
-                getattr(stats, "timed_subtasks", 0) or len(samples)
-            ),
+            "subtask_seconds_count": int(timed),
             "stage_seconds": dict(stats.stage_seconds),
             "tape_engine": getattr(stats, "tape_engine", None) or "python",
             "array_module": getattr(stats, "array_module", None) or "numpy",
+            "comms_seconds_per_subtask": comms_seconds / timed if timed else 0.0,
+            "payload_bytes_per_subtask": comms_bytes / timed if timed else 0.0,
         }
     return {
         "subtask_flops": dependent_flops,

@@ -76,6 +76,15 @@ Backend                         Use when
                                 cache and the leaf buffers once via
                                 ``multiprocessing.shared_memory`` and then stream
                                 chunks with no interpreter contention.
+``DistributedBackend``          More subtask work than one node: chunks stream
+                                over TCP sockets (or MPI) to remote worker
+                                *processes* after a one-time plan/leaf/cache
+                                broadcast — localhost workers are spawned
+                                automatically, multi-node workers are reached via
+                                ``"distributed:host:port,..."`` — see
+                                :mod:`repro.execution.distributed` for topology,
+                                failure semantics and the measured strong-scaling
+                                sweep (:func:`measure_strong_scaling`).
 =============================== =====================================================
 
 The legacy ``max_workers=N`` argument survives as a deprecated shim on
@@ -171,6 +180,17 @@ from .backend import (
     validate_execution_args,
 )
 from .contract import TreeExecutor, contract_tree
+from .distributed import (
+    ClusterTransport,
+    DistributedBackend,
+    DistributedSession,
+    DistributedWorkerError,
+    LocalSocketTransport,
+    MpiTransport,
+    SocketTransport,
+    TransportClosed,
+    TransportError,
+)
 from .faultinject import FaultInjector, FaultSpec, InjectedFault
 from .fusion import FusedOp, FusedRun, PermKernel, compile_fused_runs
 from .plan import (
@@ -195,8 +215,10 @@ from .sampling import CorrelatedSampleBatch, CorrelatedSampler, linear_xeb_fidel
 from .scaling import (
     GORDON_BELL_2021_PFLOPS,
     HeadlineProjection,
+    MeasuredScalingPoint,
     ProcessScheduler,
     ScalingPoint,
+    measure_strong_scaling,
     strong_scaling,
     weak_scaling,
 )
@@ -216,6 +238,15 @@ __all__ = [
     "ThreadPoolBackend",
     "resolve_backend",
     "validate_execution_args",
+    "ClusterTransport",
+    "DistributedBackend",
+    "DistributedSession",
+    "DistributedWorkerError",
+    "LocalSocketTransport",
+    "MpiTransport",
+    "SocketTransport",
+    "TransportClosed",
+    "TransportError",
     "ChunkTimeoutError",
     "FaultError",
     "FaultInjector",
@@ -249,8 +280,10 @@ __all__ = [
     "ThreadTiming",
     "GORDON_BELL_2021_PFLOPS",
     "HeadlineProjection",
+    "MeasuredScalingPoint",
     "ProcessScheduler",
     "ScalingPoint",
+    "measure_strong_scaling",
     "strong_scaling",
     "weak_scaling",
 ]

@@ -29,6 +29,12 @@ Backends:
   ``multiprocessing.shared_memory`` *once*, then streams subtask chunks;
   this sidesteps the interpreter entirely and wins for many small subtasks
   whose per-task Python overhead would serialize a thread pool.
+* :class:`~repro.execution.distributed.DistributedBackend` (in
+  :mod:`repro.execution.distributed`) — the multi-node generalization:
+  subtask chunks stream over sockets (or MPI) to remote worker processes
+  after a one-time plan/leaf/cache broadcast; also reachable through the
+  ``"distributed"`` / ``"distributed:host:port,..."`` string specs of
+  :func:`resolve_backend`.
 
 Each worker (and each backend's serial loop) owns a private
 :class:`~repro.execution.plan.StemSlots` arena, so the stem's running
@@ -61,7 +67,7 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import wait as futures_wait
 from multiprocessing import shared_memory
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -108,14 +114,51 @@ def _check_module_backend(module, backend: "ExecutionBackend") -> None:
             f"array_module={module.name!r} is not supported on "
             "SharedMemoryProcessPoolBackend: shared-memory segments are "
             "host-side and workers have no device context. Supported "
-            "combinations: numpy × (serial | threads | process pool); "
+            "combinations: numpy × (serial | threads | process pool | "
+            f"distributed); {module.name} × (serial | threads)"
+        )
+    # duck-typed so this module never imports execution.distributed
+    # (which imports this module)
+    if getattr(backend, "is_distributed", False):
+        raise ValueError(
+            f"array_module={module.name!r} is not supported on "
+            "DistributedBackend: broadcast payloads and contribution "
+            "frames are host-side pickles and remote workers have no "
+            "device context. Supported combinations: numpy × (serial | "
+            "threads | process pool | distributed); "
             f"{module.name} × (serial | threads)"
         )
 
 
+def _backend_from_spec(spec: str) -> "ExecutionBackend":
+    """Build a backend from a string spec.
+
+    ``"distributed"`` spawns the default localhost worker set;
+    ``"distributed:hostA:9001,hostB:9001"`` connects to pre-started
+    workers at the listed addresses (see
+    :mod:`repro.execution.distributed`).  Imported lazily so the plain
+    in-process backends never load the distributed machinery.
+    """
+    name, _, rest = spec.partition(":")
+    if name == "distributed":
+        from .distributed import DistributedBackend
+
+        if not rest:
+            return DistributedBackend()
+        addresses = [entry.strip() for entry in rest.split(",") if entry.strip()]
+        if not addresses:
+            raise ValueError(f"backend spec {spec!r} lists no worker addresses")
+        return DistributedBackend(addresses=addresses)
+    raise ValueError(
+        f"unknown backend spec {spec!r} (expected 'distributed' or "
+        "'distributed:host:port,...'; in-process backends are passed as "
+        "instances)"
+    )
+
+
 def validate_execution_args(
     mode: str,
-    backend: Optional["ExecutionBackend"] = None,
+    backend: Union["ExecutionBackend", str, None] = None,
     max_workers: Optional[int] = None,
     array_module=None,
 ) -> None:
@@ -124,10 +167,15 @@ def validate_execution_args(
     Every entry point (sliced executor, tree executor, sampler, planner)
     funnels through this so that the reference mode rejects parallel
     execution — and a device ``array_module`` rejects the shared-memory
-    process pool — with the same ``ValueError`` everywhere.
+    process pool and the distributed backend — with the same
+    ``ValueError`` everywhere.  String backend specs are validated by
+    building the backend they name (construction is lazy: no worker is
+    spawned until the first run).
     """
     if mode not in ("compiled", "reference"):
         raise ValueError(f"unknown execution mode {mode!r}")
+    if isinstance(backend, str):
+        backend = _backend_from_spec(backend)
     if backend is not None and max_workers is not None:
         raise ValueError("pass either backend= or max_workers=, not both")
     if mode == "reference":
@@ -146,11 +194,16 @@ def validate_execution_args(
 
 
 def resolve_backend(
-    backend: Optional["ExecutionBackend"] = None,
+    backend: Union["ExecutionBackend", str, None] = None,
     max_workers: Optional[int] = None,
     array_module=None,
 ) -> "ExecutionBackend":
     """Resolve the ``backend=`` / legacy ``max_workers=`` pair to a backend.
+
+    ``backend`` may also be a string spec: ``"distributed"`` builds a
+    :class:`~repro.execution.distributed.DistributedBackend` spawning the
+    default localhost worker set, and ``"distributed:host:port,..."`` one
+    connecting to pre-started workers at the listed addresses.
 
     ``max_workers`` is a deprecated shim kept for the pre-backend API:
     any non-``None`` value warns exactly once, a value > 1 maps to
@@ -158,11 +211,14 @@ def resolve_backend(
     ``SerialBackend``.  Passing both arguments is an error regardless of
     the values (``max_workers=0`` is not a way to sneak past the check).
     When ``array_module`` is given, the resolved backend is checked
-    against it (device modules cannot run on the shared-memory pool).
+    against it (device modules cannot run on the shared-memory pool or
+    the distributed backend).
     """
     if backend is not None:
         if max_workers is not None:
             raise ValueError("pass either backend= or max_workers=, not both")
+        if isinstance(backend, str):
+            backend = _backend_from_spec(backend)
         _check_module_backend(array_module, backend)
         return backend
     if max_workers is not None:

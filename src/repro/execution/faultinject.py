@@ -27,6 +27,11 @@ kind                      worker-side effect                 recovery path
                           segment attach                      re-install
 ``"poison-pickle"``       raises ``pickle.UnpicklingError``   chunk retry
                           as a corrupt chunk payload would
+``"drop-connection"``     severs the worker's coordinator     rebalance onto
+                          socket mid-chunk, then exits — the  survivors /
+                          cut-network-link analogue for the   respawn
+                          distributed backend (elsewhere it
+                          behaves like ``"kill-worker"``)
 ========================= ============================================== =
 
 Injection is **opt-in** end to end: backends consult an injector only
@@ -51,6 +56,7 @@ FAULT_KINDS = (
     "delay-chunk",
     "fail-segment-attach",
     "poison-pickle",
+    "drop-connection",
 )
 
 #: A picklable directive: ``(kind, seconds)``.
@@ -209,4 +215,11 @@ def apply_directive(directive: Optional[Directive], in_process: bool = False) ->
         raise InjectedFault("injected shared-memory segment attach failure")
     if kind == "poison-pickle":
         raise pickle.UnpicklingError("injected poisoned chunk payload")
+    if kind == "drop-connection":
+        # the distributed worker intercepts this kind *before* calling
+        # apply_directive so it can shut its socket down first; on the
+        # other substrates a dropped connection degenerates to a death
+        if in_process:
+            raise InjectedFault("injected dropped connection (thread substrate: raised)")
+        os._exit(1)
     raise ValueError(f"unknown fault directive kind {kind!r}")

@@ -189,6 +189,20 @@ class PlanStats:
         Wall time spent inside recovery actions — pool rebuilds, segment
         republication, retry backoff — excluded from the per-subtask
         timing samples so calibration never fits fault overhead.
+    comms_seconds:
+        Wall time of chunk round-trips *not* covered by the workers' own
+        per-subtask compute samples — serialization, transfer, dispatch
+        — as measured by the distributed coordinator.  Zero on the
+        in-process backends.  The calibrated cost model turns this into
+        a per-subtask communication term.
+    comms_bytes:
+        Steady-state bytes shipped for chunks (chunk frames out plus
+        result frames back).  One-time broadcast payloads are *not*
+        counted here — they are session state, not per-chunk cost — the
+        session tracks them separately (``broadcast_bytes``).
+    chunk_roundtrips:
+        Number of completed coordinator→worker→coordinator chunk
+        round-trips the comms aggregates cover.
     """
 
     node_counts: Dict[int, int] = field(default_factory=dict)
@@ -212,6 +226,9 @@ class PlanStats:
     faults: int = 0
     degraded_to: Optional[str] = None
     recovery_seconds: float = 0.0
+    comms_seconds: float = 0.0
+    comms_bytes: int = 0
+    chunk_roundtrips: int = 0
 
     def record_step(self, node: int) -> None:
         self.node_counts[node] = self.node_counts.get(node, 0) + 1
@@ -274,6 +291,9 @@ class PlanStats:
         if self.degraded_to is None:
             self.degraded_to = other.degraded_to
         self.recovery_seconds += other.recovery_seconds
+        self.comms_seconds += other.comms_seconds
+        self.comms_bytes += other.comms_bytes
+        self.chunk_roundtrips += other.chunk_roundtrips
 
 
 class StemSlots:

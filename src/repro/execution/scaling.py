@@ -23,23 +23,45 @@ the per-subtask time from a :class:`~repro.costs.CostModel` — when that
 model is a :class:`~repro.costs.CalibratedCostModel` fitted from real
 runs, the §6.2 projections become self-calibrating, per backend, from
 measured data.
+
+With the distributed backend (:mod:`repro.execution.distributed`) the
+curve is no longer only modelled: :func:`measure_strong_scaling` runs the
+same workload against N real localhost workers per point, verifies every
+point bit-identical to the serial reference, fits a calibrated model
+(whose distributed coefficients include the measured per-subtask
+communication term) and reports measured-vs-predicted
+:class:`MeasuredScalingPoint` rows.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, AbstractSet, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..hardware.spec import COMPLEX64_BYTES, SW26010PRO, SunwaySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..costs.model import CostModel
     from ..tensornet.contraction_tree import ContractionTree
+    from ..tensornet.network import TensorNetwork
+    from .backend import ExecutionBackend
 
 __all__ = [
+    "MeasuredScalingPoint",
     "ProcessScheduler",
     "ScalingPoint",
+    "measure_strong_scaling",
     "strong_scaling",
     "weak_scaling",
     "HeadlineProjection",
@@ -288,6 +310,203 @@ def weak_scaling(
                 speedup=elapsed and base_time / elapsed,
                 efficiency=efficiency,
                 sustained_flops=scheduler.sustained_flops(num_subtasks, nodes),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class MeasuredScalingPoint:
+    """One *measured* point of a strong-scaling sweep over real workers.
+
+    Attributes
+    ----------
+    num_workers:
+        Distributed workers the point ran against.
+    num_subtasks:
+        Total subtasks executed (fixed across the sweep — strong scaling).
+    elapsed_seconds:
+        Measured wall time of one full run (best of ``repeats``).
+    predicted_seconds:
+        What the calibrated cost model — fitted from this sweep's own
+        per-subtask and communication measurements — predicts for this
+        worker count through :meth:`ProcessScheduler.from_cost_model`.
+    compute_seconds:
+        Workers' own per-subtask compute time, summed across workers
+        (per run, averaged over repeats).
+    comms_seconds:
+        Measured communication overhead of the chunk round-trips (per
+        run, averaged over repeats).
+    speedup:
+        Serial reference time / :attr:`elapsed_seconds`.
+    efficiency:
+        ``speedup / num_workers``.
+    relative_error:
+        ``|elapsed - predicted| / elapsed`` — how well the calibrated
+        projection matches the measurement at this worker count.
+    """
+
+    num_workers: int
+    num_subtasks: int
+    elapsed_seconds: float
+    predicted_seconds: float
+    compute_seconds: float
+    comms_seconds: float
+    speedup: float
+    efficiency: float
+    relative_error: float
+
+
+def measure_strong_scaling(
+    network: "TensorNetwork",
+    tree: "ContractionTree",
+    sliced: AbstractSet[str],
+    worker_counts: Sequence[int] = (1, 2, 4),
+    *,
+    repeats: int = 1,
+    chunk_size: Optional[int] = None,
+    backend_factory: Optional[Callable[[int], "ExecutionBackend"]] = None,
+    spec: SunwaySpec = SW26010PRO,
+    result_bytes: Optional[float] = None,
+    executor_kwargs: Optional[Dict] = None,
+    verify_against_serial: bool = True,
+) -> List[MeasuredScalingPoint]:
+    """Measured strong-scaling sweep against N real localhost workers.
+
+    For each worker count the workload runs on a
+    :class:`~repro.execution.distributed.DistributedBackend` inside a
+    persistent session (one cold run pays worker spawn + broadcast, then
+    the best of ``repeats`` warm runs is the measurement).  Every
+    distributed result is checked bit-identical to a serial reference
+    run, the per-run calibration records — whose communication terms the
+    coordinator measured — fit a
+    :class:`~repro.costs.CalibratedCostModel`, and each point carries the
+    model's own prediction via :meth:`ProcessScheduler.from_cost_model`,
+    so the return value is directly a measured-vs-projected fig-11 row
+    set.
+
+    Parameters
+    ----------
+    network / tree / sliced:
+        The workload, exactly as for
+        :class:`~repro.execution.SlicedExecutor`.
+    worker_counts:
+        Distributed worker counts to measure (``1`` is a genuine
+        one-worker remote run, not a local shortcut).
+    repeats:
+        Warm timed runs per point; the minimum is reported.
+    chunk_size:
+        Forwarded to the backend (default: ~4 chunks per worker).
+    backend_factory:
+        ``worker count -> backend`` override (tests use it to shim the
+        transport); default builds
+        ``DistributedBackend(num_workers=n, chunk_size=chunk_size)``.
+    spec / result_bytes:
+        Forwarded to the predicting scheduler; ``result_bytes`` defaults
+        to the workload's actual root-contribution size.
+    executor_kwargs:
+        Extra :class:`~repro.execution.SlicedExecutor` arguments (e.g.
+        ``fused=True``, ``tape_engine="native"``).
+    verify_against_serial:
+        Disable only when the serial reference itself is too slow to run
+        (the sweep then trusts the backend's internal ordered fold).
+
+    Returns one :class:`MeasuredScalingPoint` per worker count, in order.
+    """
+    import numpy as np
+
+    from ..costs.calibration import CalibratedCostModel
+    from .distributed import DistributedBackend
+    from .sliced import SlicedExecutor
+
+    if not worker_counts:
+        raise ValueError("worker_counts must not be empty")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    kwargs = dict(executor_kwargs or {})
+
+    # serial reference: the bit-identity oracle and the speedup baseline
+    serial_executor = SlicedExecutor(network, tree, sliced, **kwargs)
+    reference = serial_executor.run()  # warm (plan compile + cache)
+    serial_seconds = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reference = serial_executor.run()
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+    # shape-preserving copy: ascontiguousarray would promote a 0-d
+    # amplitude to shape (1,) and break the exact comparison below
+    reference_data = np.array(reference.require_data(), copy=True)
+    num_subtasks = serial_executor.num_subtasks
+
+    records = []
+    measured: List[Tuple[int, float, float, float]] = []
+    for count in worker_counts:
+        if backend_factory is not None:
+            backend = backend_factory(count)
+        else:
+            backend = DistributedBackend(num_workers=count, chunk_size=chunk_size)
+        executor = SlicedExecutor(network, tree, sliced, backend=backend, **kwargs)
+        try:
+            with executor.session():
+                result = executor.run()  # cold: spawn + broadcast
+                if verify_against_serial and not np.array_equal(
+                    reference_data, np.asarray(result.require_data())
+                ):
+                    raise RuntimeError(
+                        f"distributed result diverged from serial at "
+                        f"{count} workers"
+                    )
+                compute_before = executor.stats.subtask_seconds_sum
+                comms_before = executor.stats.comms_seconds
+                elapsed = math.inf
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    result = executor.run()
+                    elapsed = min(elapsed, time.perf_counter() - start)
+                if verify_against_serial and not np.array_equal(
+                    reference_data, np.asarray(result.require_data())
+                ):
+                    raise RuntimeError(
+                        f"distributed result diverged from serial at "
+                        f"{count} workers (warm run)"
+                    )
+                compute = (
+                    executor.stats.subtask_seconds_sum - compute_before
+                ) / repeats
+                comms = (executor.stats.comms_seconds - comms_before) / repeats
+            records.append(executor.calibration_record())
+            measured.append((count, elapsed, compute, comms))
+        finally:
+            backend.close()
+
+    model = CalibratedCostModel.fit(records)
+    scheduler = ProcessScheduler.from_cost_model(
+        model,
+        tree,
+        frozenset(sliced),
+        backend=records[0].key,
+        result_bytes=(
+            float(reference_data.nbytes) if result_bytes is None else result_bytes
+        ),
+        spec=spec,
+    )
+    points: List[MeasuredScalingPoint] = []
+    for count, elapsed, compute, comms in measured:
+        predicted = scheduler.elapsed_seconds(num_subtasks, count)
+        speedup = serial_seconds / elapsed if elapsed else 0.0
+        points.append(
+            MeasuredScalingPoint(
+                num_workers=count,
+                num_subtasks=num_subtasks,
+                elapsed_seconds=elapsed,
+                predicted_seconds=predicted,
+                compute_seconds=compute,
+                comms_seconds=comms,
+                speedup=speedup,
+                efficiency=speedup / count if count else 0.0,
+                relative_error=(
+                    abs(elapsed - predicted) / elapsed if elapsed else math.inf
+                ),
             )
         )
     return points

@@ -1,0 +1,269 @@
+"""Remote worker entrypoint for the distributed execution backend.
+
+Run one of::
+
+    python -m repro.execution.worker --connect HOST:PORT   # dial a coordinator
+    python -m repro.execution.worker --listen HOST:PORT    # await coordinators
+    python -m repro.execution.worker --mpi                 # MPI rank worker
+
+``--connect`` is what :class:`~repro.execution.distributed.LocalSocketTransport`
+spawns: the worker dials the coordinator's listener, sends a ``hello``
+frame, then serves chunk frames until EOF or a ``shutdown`` frame.
+``--listen`` inverts the direction for multi-node use: start one listener
+per node, point the coordinator's
+:class:`~repro.execution.distributed.SocketTransport` at the addresses;
+the listener serves one coordinator at a time and re-accepts after each
+session, so a long-lived node survives many runs.  ``--mpi`` serves the
+same frames over ``mpi4py`` point-to-point messages from rank 0
+(requires launching under ``mpiexec``).
+
+The frame protocol is defined in :mod:`repro.execution.distributed`.  A
+worker holds one plan generation and one data generation at a time; the
+coordinator syncs a lagging worker right before its next chunk, so a
+generation-mismatched chunk frame means lost sync and is answered with an
+``error`` frame rather than a stale-state computation.
+
+Faults: chunk exceptions are reported as ``("error", (chunk id,
+repr(exc), traceback))`` frames — the worker survives and keeps serving.
+An injected ``"drop-connection"`` directive severs the socket *before*
+the generic :func:`~repro.execution.faultinject.apply_directive` handling
+and exits, modelling a cut network link rather than a clean error reply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import traceback
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..tensornet.tensor import Tensor
+from .backend import _LeafStore, _owned_contribution
+from .distributed import TransportClosed, TransportError, recv_frame, send_frame
+from .faultinject import apply_directive
+from .plan import CompiledPlan, PlanStats, StemSlots
+
+__all__ = ["WorkerRuntime", "main", "serve"]
+
+
+class WorkerRuntime:
+    """Per-connection execution state: installed plan, data, arena."""
+
+    def __init__(self) -> None:
+        self.plan: Optional[CompiledPlan] = None
+        self.sum_batch_axes = 0
+        self.network: Optional[_LeafStore] = None
+        self.cache: Optional[Dict[int, np.ndarray]] = None
+        self.plan_generation = -1
+        self.data_generation = -1
+        self.slots = StemSlots()
+
+    def install_plan(self, generation: int, blob: bytes) -> None:
+        self.plan, self.sum_batch_axes = pickle.loads(blob)
+        self.plan_generation = generation
+        # payload layouts belong to a plan generation: a new plan
+        # invalidates any installed data until the next data frame
+        self.network = None
+        self.cache = None
+        self.data_generation = -1
+        self.slots = StemSlots()
+        if self.plan is not None and self.plan.tape_engine == "native":
+            # JIT the tape kernel now so numba compilation lands in
+            # bring-up, not in the first chunk's round-trip time
+            from .tape import warm_kernel
+
+            warm_kernel(getattr(self.plan, "dtype", None) or np.complex128)
+
+    def install_data(self, generation: int, blob: bytes) -> None:
+        leaves, cache = pickle.loads(blob)
+        self.network = _LeafStore(
+            {
+                tid: Tensor(indices, data=array)
+                for tid, (indices, array) in leaves.items()
+            }
+        )
+        self.cache = cache
+        self.data_generation = generation
+
+    def run_chunk(
+        self,
+        chunk_id: int,
+        plan_generation: int,
+        data_generation: int,
+        items: List[Tuple[int, Mapping[str, int]]],
+    ) -> Tuple[List[np.ndarray], PlanStats]:
+        if self.plan is None or plan_generation != self.plan_generation:
+            raise RuntimeError(
+                f"worker holds plan generation {self.plan_generation}, "
+                f"chunk {chunk_id} needs {plan_generation}"
+            )
+        if self.network is None or data_generation != self.data_generation:
+            raise RuntimeError(
+                f"worker holds data generation {self.data_generation}, "
+                f"chunk {chunk_id} needs {data_generation}"
+            )
+        local_stats = PlanStats()
+        results: List[np.ndarray] = []
+        for _, assignment in items:
+            tensor = self.plan.execute(
+                self.network,  # type: ignore[arg-type]
+                assignment,
+                cache=self.cache,
+                stats=local_stats,
+                slots=self.slots,
+            )
+            results.append(_owned_contribution(tensor, self.sum_batch_axes))
+        return results, local_stats
+
+
+def serve(sock: socket.socket) -> None:
+    """Serve one coordinator connection until EOF or shutdown."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    runtime = WorkerRuntime()
+    send_frame(sock, ("hello", os.getpid()))
+    while True:
+        try:
+            message, _ = recv_frame(sock)
+        except TransportClosed:
+            return  # coordinator is gone; nothing left to serve
+        kind, payload = message
+        if kind == "shutdown":
+            return
+        if kind == "plan":
+            runtime.install_plan(*payload)
+        elif kind == "data":
+            runtime.install_data(*payload)
+        elif kind == "chunk":
+            chunk_id, plan_generation, data_generation, items, directive = payload
+            if directive is not None and directive[0] == "drop-connection":
+                # model a cut link, not a clean error reply: sever the
+                # socket first so the coordinator sees EOF mid-chunk,
+                # then die the way a partitioned node does
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:  # pragma: no cover - already severed
+                    pass
+                sock.close()
+                os._exit(1)
+            try:
+                apply_directive(directive)
+                results, local_stats = runtime.run_chunk(
+                    chunk_id, plan_generation, data_generation, items
+                )
+            except Exception as exc:
+                # the original exception class may not unpickle on the
+                # coordinator — ship repr + traceback text instead
+                reply = ("error", (chunk_id, repr(exc), traceback.format_exc()))
+            else:
+                reply = ("result", (chunk_id, results, local_stats))
+            try:
+                send_frame(sock, reply)
+            except TransportClosed:
+                # the coordinator gave up on us (e.g. chunk timeout severed
+                # the link); exit quietly instead of crashing with noise
+                return
+        else:
+            raise TransportError(f"unexpected frame kind {kind!r} from coordinator")
+
+
+def _parse_host_port(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad address {spec!r} (expected HOST:PORT)")
+    return host, int(port)
+
+
+def _serve_connect(address: str) -> None:
+    host, port = _parse_host_port(address)
+    with socket.create_connection((host, port)) as sock:
+        serve(sock)
+
+
+def _serve_listen(address: str) -> None:
+    host, port = _parse_host_port(address)
+    with socket.create_server((host, port)) as listener:
+        bound_host, bound_port = listener.getsockname()[:2]
+        # announce the concrete endpoint (port 0 binds ephemerally) so
+        # spawning harnesses can scrape it from stdout
+        print(f"LISTENING {bound_host} {bound_port}", flush=True)
+        while True:
+            conn, _ = listener.accept()
+            with conn:
+                serve(conn)
+
+
+def _serve_mpi() -> None:  # pragma: no cover - requires an MPI stack
+    try:
+        from mpi4py import MPI
+    except ImportError:
+        raise SystemExit(
+            "--mpi requires mpi4py, which is not installed; "
+            "use --connect/--listen with the socket transport instead"
+        )
+    from .distributed import MpiTransport
+
+    comm = MPI.COMM_WORLD
+    if comm.Get_rank() == 0:
+        raise SystemExit("rank 0 is the coordinator; workers are ranks >= 1")
+    tag = MpiTransport._FRAME_TAG
+    runtime = WorkerRuntime()
+    comm.send(("hello", os.getpid()), dest=0, tag=tag)
+    while True:
+        kind, payload = comm.recv(source=0, tag=tag)
+        if kind == "shutdown":
+            return
+        if kind == "plan":
+            runtime.install_plan(*payload)
+        elif kind == "data":
+            runtime.install_data(*payload)
+        elif kind == "chunk":
+            chunk_id, plan_generation, data_generation, items, directive = payload
+            try:
+                apply_directive(directive)
+                results, local_stats = runtime.run_chunk(
+                    chunk_id, plan_generation, data_generation, items
+                )
+            except Exception as exc:
+                comm.send(
+                    ("error", (chunk_id, repr(exc), traceback.format_exc())),
+                    dest=0,
+                    tag=tag,
+                )
+            else:
+                comm.send(("result", (chunk_id, results, local_stats)), dest=0, tag=tag)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.execution.worker",
+        description="Distributed execution worker (see repro.execution.distributed).",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--connect", metavar="HOST:PORT", help="dial a coordinator's listener"
+    )
+    group.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="await coordinator connections (port 0 binds ephemerally; the "
+        "bound endpoint is printed as 'LISTENING HOST PORT')",
+    )
+    group.add_argument(
+        "--mpi", action="store_true", help="serve as an MPI rank worker (mpi4py)"
+    )
+    ns = parser.parse_args(argv)
+    if ns.connect:
+        _serve_connect(ns.connect)
+    elif ns.listen:
+        _serve_listen(ns.listen)
+    else:
+        _serve_mpi()  # pragma: no cover - requires an MPI stack
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
