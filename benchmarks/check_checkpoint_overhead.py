@@ -1,0 +1,68 @@
+"""CI gate: the durable chunk ledger must stay cheap on the hot path.
+
+Run after the quick exec-plan bench::
+
+    PYTHONPATH=src python benchmarks/check_checkpoint_overhead.py \
+        benchmarks/results/BENCH_exec_plan.json
+
+Validates the ``checkpoint_overhead`` section the bench emitted: a run
+with a :class:`CheckpointStore` attached (write-ahead slot records,
+atomic flushes, ledger retirement) must stay within
+``REPRO_CHECKPOINT_OVERHEAD_MAX`` (default 5%) of the same run without a
+store, and the armed runs must have recorded zero retries and zero
+faults (a clean interleaved pair is the only fair hot-path comparison).
+Exits non-zero on any violation.  Checks raise explicitly (no
+``assert``), so the gate also holds under ``python -O``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+class OverheadError(RuntimeError):
+    """The armed chunk ledger costs more than the budget allows."""
+
+
+#: Maximum tolerated checkpoint-armed overhead fraction (0.05 = 5%).
+MAX_OVERHEAD = float(os.environ.get("REPRO_CHECKPOINT_OVERHEAD_MAX", "0.05"))
+
+
+def main(path: str) -> int:
+    point = json.loads(Path(path).read_text())
+    section = point.get("checkpoint_overhead")
+    if not section:
+        raise OverheadError(
+            "bench JSON has no 'checkpoint_overhead' section; the overhead "
+            "measurement did not run"
+        )
+    baseline = float(section["baseline_seconds"])
+    armed = float(section["armed_seconds"])
+    overhead = float(section["overhead_fraction"])
+    print(
+        f"checkpoint hot path: unarmed {baseline * 1000:.2f} ms, "
+        f"armed {armed * 1000:.2f} ms -> {overhead * 100:+.2f}% "
+        f"({section.get('num_slots', '?')} slots, flush every "
+        f"{section.get('checkpoint_every', '?')}; "
+        f"budget: < {MAX_OVERHEAD * 100:.0f}%)"
+    )
+
+    if int(section.get("retries", -1)) != 0 or int(section.get("faults", -1)) != 0:
+        raise OverheadError(
+            "the armed checkpoint run recorded retries/faults; the "
+            "measurement is not a hot-path comparison"
+        )
+    if overhead >= MAX_OVERHEAD:
+        raise OverheadError(
+            f"armed chunk ledger costs {overhead * 100:.2f}% "
+            f">= {MAX_OVERHEAD * 100:.0f}% of the unarmed run"
+        )
+    print("checkpoint overhead gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results/BENCH_exec_plan.json"))

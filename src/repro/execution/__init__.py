@@ -148,6 +148,18 @@ Deterministic fault *injection* for tests lives in
 ``faults``, ``degraded_to``, ``recovery_seconds``) land on
 :class:`PlanStats`.
 
+Durability: :mod:`repro.execution.checkpoint` extends the recovery story
+past the coordinator process itself.  ``SlicedExecutor.run(resume=...)``
+(or a policy carrying ``checkpoint_dir``) write-ahead persists each
+completed ordered slot to a :class:`CheckpointStore` ledger keyed by a
+content fingerprint of the run; after a coordinator crash the next run
+with the same fingerprint re-runs only the missing slots and — thanks to
+the same ordered-accumulation contract — returns a result bit-identical
+to an uninterrupted run on every backend/engine combination.  Payload
+integrity is end-to-end: per-contribution CRC-32s travel with every
+chunk, and a corrupted payload (:exc:`ChunkIntegrityError`) is retried
+like any other chunk fault, never persisted.
+
 ``PlanStats`` instruments both cached and uncached execution with per-node
 step counters (plus slot-write and branch-write counters) so tests and
 benchmarks can assert how often each contraction actually ran — and with
@@ -179,6 +191,12 @@ from .backend import (
     resolve_backend,
     validate_execution_args,
 )
+from .checkpoint import (
+    CheckpointError,
+    CheckpointJob,
+    CheckpointStore,
+    job_fingerprint,
+)
 from .contract import TreeExecutor, contract_tree
 from .distributed import (
     ClusterTransport,
@@ -191,7 +209,12 @@ from .distributed import (
     TransportClosed,
     TransportError,
 )
-from .faultinject import FaultInjector, FaultSpec, InjectedFault
+from .faultinject import (
+    FaultInjector,
+    FaultSpec,
+    InjectedCoordinatorDeath,
+    InjectedFault,
+)
 from .fusion import FusedOp, FusedRun, PermKernel, compile_fused_runs
 from .plan import (
     CompiledPlan,
@@ -203,6 +226,7 @@ from .plan import (
     compile_plan,
 )
 from .resilience import (
+    ChunkIntegrityError,
     ChunkTimeoutError,
     FaultError,
     FaultPolicy,
@@ -247,11 +271,17 @@ __all__ = [
     "SocketTransport",
     "TransportClosed",
     "TransportError",
+    "CheckpointError",
+    "CheckpointJob",
+    "CheckpointStore",
+    "job_fingerprint",
+    "ChunkIntegrityError",
     "ChunkTimeoutError",
     "FaultError",
     "FaultInjector",
     "FaultPolicy",
     "FaultSpec",
+    "InjectedCoordinatorDeath",
     "InjectedFault",
     "RecoveryExhaustedError",
     "TreeExecutor",

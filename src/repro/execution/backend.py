@@ -73,10 +73,17 @@ import numpy as np
 
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
-from .faultinject import FaultInjector, apply_directive
+from .checkpoint import CheckpointJob, payload_checksums, verify_payload
+from .faultinject import (
+    FaultInjector,
+    apply_coordinator_directive,
+    apply_directive,
+    corrupt_payload,
+)
 from .plan import CompiledPlan, PlanStats, StemSlots
 from .resilience import (
     FAIL_FAST,
+    ChunkIntegrityError,
     ChunkTimeoutError,
     FaultPolicy,
     RecoveryClock,
@@ -291,6 +298,49 @@ def _serial_accumulate(
     return accumulated
 
 
+def _serial_accumulate_checkpointed(
+    plan: CompiledPlan,
+    network: TensorNetwork,
+    assignments: Sequence[Mapping[str, int]],
+    cache: Optional[Dict[int, np.ndarray]],
+    sum_batch_axes: int,
+    stats: Optional[PlanStats],
+    slots: Optional[StemSlots],
+    checkpoint: CheckpointJob,
+    injector: Optional[FaultInjector] = None,
+) -> np.ndarray:
+    """Ledger-armed variant of :func:`_serial_accumulate`.
+
+    Slots persisted by a previous (interrupted) run are folded from the
+    ledger instead of re-executed; freshly computed slots are recorded
+    *before* being folded (the fold mutates the running buffer in place).
+    Position order is unchanged, so the result stays bit-identical to the
+    plain serial loop.  Each computed slot is one harvest ordinal for an
+    armed injector's coordinator-side faults.
+    """
+    accumulated: Optional[np.ndarray] = None
+    for position, assignment in enumerate(assignments):
+        contribution = checkpoint.loaded.get(position)
+        if contribution is None:
+            tensor = plan.execute(
+                network, assignment, cache=cache, stats=stats, slots=slots
+            )
+            contribution = _owned_contribution(tensor, sum_batch_axes)
+            checkpoint.record(position, contribution)
+            if injector is not None:
+                apply_coordinator_directive(
+                    injector.coordinator_directive_for_next_harvest()
+                )
+        if accumulated is None:
+            # both branches yield an owned buffer (loaded slots are fresh
+            # copies off disk), safe to mutate in the fold
+            accumulated = contribution
+        else:
+            accumulated += contribution
+    assert accumulated is not None
+    return accumulated
+
+
 def _chunked(items: List, chunk_size: int) -> List[List]:
     """Split ``items`` into contiguous chunks of at most ``chunk_size``."""
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
@@ -439,6 +489,7 @@ class ExecutionBackend:
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> Optional[Tensor]:
         """Execute ``plan`` for every assignment and sum the results.
 
@@ -465,6 +516,14 @@ class ExecutionBackend:
             (:meth:`configure_faults`), so executors that carry their own
             policy can scope it to their runs without mutating a shared
             backend.
+        checkpoint:
+            Optional open :class:`~repro.execution.checkpoint.CheckpointJob`
+            (the durable chunk ledger).  Ordered slots it already holds —
+            persisted by a previous, interrupted run — are folded from
+            disk instead of re-executed, and every slot harvested by this
+            run is write-ahead-recorded before the final fold, so a
+            coordinator crash at any point leaves a resumable ledger.
+            ``None`` (the default) is the ledger-free hot path.
 
         Returns the accumulated :class:`Tensor` (a fresh buffer owned by
         the caller), or ``None`` when ``assignments`` is empty.
@@ -504,15 +563,24 @@ class SerialBackend(ExecutionBackend):
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> Optional[Tensor]:
-        # policy/injector are accepted for protocol uniformity: the serial
-        # substrate has no workers to crash or chunks to time out
+        # policy is accepted for protocol uniformity: the serial substrate
+        # has no workers to crash or chunks to time out.  The injector only
+        # matters for coordinator-side faults on the checkpointed path.
         if not assignments:
             return None
         self.warm(plan, network, cache, stats)
-        accumulated = _serial_accumulate(
-            plan, network, assignments, cache, sum_batch_axes, stats, self._slots
-        )
+        if checkpoint is not None:
+            accumulated = _serial_accumulate_checkpointed(
+                plan, network, assignments, cache, sum_batch_axes, stats,
+                self._slots, checkpoint,
+                injector if injector is not None else self.fault_injector,
+            )
+        else:
+            accumulated = _serial_accumulate(
+                plan, network, assignments, cache, sum_batch_axes, stats, self._slots
+            )
         return _result_tensor(plan, accumulated, sum_batch_axes)
 
 
@@ -558,10 +626,18 @@ class _PooledBackend(ExecutionBackend):
         cache: Optional[Dict[int, np.ndarray]],
         sum_batch_axes: int,
         stats: Optional[PlanStats],
+        checkpoint: Optional[CheckpointJob] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> Tensor:
-        accumulated = _serial_accumulate(
-            plan, network, assignments, cache, sum_batch_axes, stats, self._slots
-        )
+        if checkpoint is not None:
+            accumulated = _serial_accumulate_checkpointed(
+                plan, network, assignments, cache, sum_batch_axes, stats,
+                self._slots, checkpoint, injector,
+            )
+        else:
+            accumulated = _serial_accumulate(
+                plan, network, assignments, cache, sum_batch_axes, stats, self._slots
+            )
         return _result_tensor(plan, accumulated, sum_batch_axes)
 
 
@@ -592,26 +668,31 @@ class ThreadPoolBackend(_PooledBackend):
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> Optional[Tensor]:
         if not assignments:
             return None
         self.warm(plan, network, cache, stats)
+        if injector is None:
+            injector = self.fault_injector
         if len(assignments) == 1 or self.max_workers == 1:
             return self._run_serially(
-                plan, network, assignments, cache, sum_batch_axes, stats
+                plan, network, assignments, cache, sum_batch_axes, stats,
+                checkpoint=checkpoint, injector=injector,
             )
 
         if policy is None:
             policy = self.fault_policy or FAIL_FAST
-        if injector is None:
-            injector = self.fault_injector
         contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
+        if checkpoint is not None:
+            for position, loaded in checkpoint.loaded.items():
+                contributions[position] = loaded
         thread_state = threading.local()
         chunks = self._chunks(assignments)
 
         def work(
             task: Tuple[List[Tuple[int, Mapping[str, int]]], Optional[Tuple[str, float]]]
-        ) -> Tuple[PlanStats, Optional[BaseException]]:
+        ) -> Tuple[PlanStats, Optional[List[int]], Optional[BaseException]]:
             chunk, directive = task
             local_stats = PlanStats()
             # one arena per pool thread, reused across its chunks
@@ -620,20 +701,31 @@ class ThreadPoolBackend(_PooledBackend):
                 slots = thread_state.slots = StemSlots()
             try:
                 apply_directive(directive, in_process=True)
-                for position, assignment in chunk:
+                results: List[np.ndarray] = []
+                for _position, assignment in chunk:
                     tensor = plan.execute(
                         network, assignment, cache=cache, stats=local_stats, slots=slots
                     )
-                    contributions[position] = _owned_contribution(
-                        tensor, sum_batch_axes
-                    )
+                    results.append(_owned_contribution(tensor, sum_batch_axes))
+                # checksums over the honest results, corruption (if
+                # injected) after — the coordinator's verify must catch it
+                checksums = payload_checksums(results)
+                corrupt_payload(directive, results)
+                for (position, _), contribution in zip(chunk, results):
+                    contributions[position] = contribution
             except Exception as exc:
                 # the exception travels back as data: the submitting loop
                 # decides whether to retry, degrade, or re-raise
-                return local_stats, exc
-            return local_stats, None
+                return local_stats, None, exc
+            return local_stats, checksums, None
 
-        pending = list(range(len(chunks)))
+        # a chunk all of whose ordered slots came out of the ledger has
+        # nothing left to execute
+        pending = [
+            index
+            for index, chunk in enumerate(chunks)
+            if any(contributions[position] is None for position, _ in chunk)
+        ]
         attempts = [0] * len(chunks)
         failure: Optional[BaseException] = None
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
@@ -648,12 +740,31 @@ class ThreadPoolBackend(_PooledBackend):
                     for i in pending
                 ]
                 retry_now: List[int] = []
-                for chunk_index, (local_stats, exc) in zip(
+                for chunk_index, (local_stats, checksums, exc) in zip(
                     pending, pool.map(work, tasks)
                 ):
                     if exc is None:
+                        positions = [p for p, _ in chunks[chunk_index]]
+                        arrays = [contributions[p] for p in positions]
+                        if not verify_payload(arrays, checksums):
+                            # poisoned payload: clear the in-place writes
+                            # so the retry (or degradation) recomputes
+                            # them — never fold or persist corrupt slots
+                            for position in positions:
+                                contributions[position] = None
+                            exc = ChunkIntegrityError(
+                                f"chunk {chunk_index} failed its payload "
+                                f"checksum"
+                            )
+                    if exc is None:
                         if stats is not None:
                             stats.merge(local_stats)
+                        if checkpoint is not None:
+                            checkpoint.record_chunk(positions, arrays)
+                        if injector is not None:
+                            apply_coordinator_directive(
+                                injector.coordinator_directive_for_next_harvest()
+                            )
                         continue
                     # a thread substrate has no pool to rebuild: every
                     # fault is a chunk-level fault, retried in place
@@ -872,17 +983,20 @@ def _run_chunk(
         List[Tuple[int, Mapping[str, int]]],
         Optional[Tuple[str, float]],
     ]
-) -> Tuple[int, List[np.ndarray], PlanStats, int]:
-    """Execute one chunk in a worker; returns (start, results, stats, pid).
+) -> Tuple[int, List[np.ndarray], List[int], PlanStats, int]:
+    """Execute one chunk in a worker.
 
-    ``task`` carries the session generation the chunk belongs to and — for
-    post-republish generations — the pickled payload a stale (or freshly
-    spawned) worker needs to re-initialize itself.  The pid lets the
-    parent track which workers hold the current generation, so it can
-    stop attaching the payload once all of them do.  The optional fourth
-    element is a fault-injection directive
-    (:mod:`repro.execution.faultinject`), applied before the chunk runs;
-    ``None`` on every production chunk.
+    Returns ``(start, results, checksums, stats, pid)``.  ``task`` carries
+    the session generation the chunk belongs to and — for post-republish
+    generations — the pickled payload a stale (or freshly spawned) worker
+    needs to re-initialize itself.  The pid lets the parent track which
+    workers hold the current generation, so it can stop attaching the
+    payload once all of them do.  The optional fourth element is a
+    fault-injection directive (:mod:`repro.execution.faultinject`),
+    applied before the chunk runs; ``None`` on every production chunk.
+    The checksums are CRC-32s over each contribution, computed here —
+    before any injected payload corruption — so the parent can verify the
+    results survived the process boundary intact.
     """
     generation, blob, chunk, directive = task
     apply_directive(directive)
@@ -905,7 +1019,9 @@ def _run_chunk(
             slots=state.slots,
         )
         results.append(_owned_contribution(tensor, state.sum_batch_axes))
-    return chunk[0][0], results, local_stats, os.getpid()
+    checksums = payload_checksums(results)
+    corrupt_payload(directive, results)
+    return chunk[0][0], results, checksums, local_stats, os.getpid()
 
 
 # ----------------------------------------------------------------------
@@ -1269,6 +1385,7 @@ class ExecutionSession:
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> List[Optional[np.ndarray]]:
         """Stream chunks through the resident pool; per-position results.
 
@@ -1285,6 +1402,10 @@ class ExecutionSession:
         with backoff up to its retry budget.  Any failure that propagates
         marks the session broken, so the next call transparently rebuilds
         instead of crashing on stale state.
+
+        ``checkpoint`` (an open durable ledger) pre-fills slots persisted
+        by a previous run and write-ahead-records each harvested chunk —
+        the rung of recovery that survives this whole *process* dying.
         """
         if policy is None:
             policy = self._backend.fault_policy or FAIL_FAST
@@ -1294,7 +1415,7 @@ class ExecutionSession:
         try:
             return self._run_resilient(
                 plan, network, assignments, cache, sum_batch_axes, stats,
-                policy, injector,
+                policy, injector, checkpoint,
             )
         except BaseException:
             self._broken = True
@@ -1332,25 +1453,55 @@ class ExecutionSession:
         stats: Optional[PlanStats],
         policy: FaultPolicy,
         injector: Optional[FaultInjector],
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> List[Optional[np.ndarray]]:
         chunks = self._backend._chunks(assignments)
         contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
+        if checkpoint is not None:
+            for position, loaded in checkpoint.loaded.items():
+                contributions[position] = loaded
         # a chunk's *own* raised exceptions, counted against its retry
         # budget.  Pool-wide faults (worker death, a timed-out chunk
         # poisoning the pool) are budgeted separately through ``rebuilds``
         # — a rebuild must not eat an unrelated chunk's documented
         # per-chunk retries.
         failures = [0] * len(chunks)
-        pending = list(range(len(chunks)))
+        # chunks all of whose ordered slots came out of the ledger have
+        # nothing left to execute (a partially-covered chunk re-runs
+        # whole: deterministic subtasks make the overwrite bit-identical,
+        # and already-durable slots are skipped by the ledger's record)
+        pending = [
+            index
+            for index, chunk in enumerate(chunks)
+            if any(contributions[position] is None for position, _ in chunk)
+        ]
         rebuilds = 0
 
         def harvest(future) -> None:
-            start, results, local_stats, pid = future.result()
+            start, results, checksums, local_stats, pid = future.result()
+            if not verify_payload(results, checksums):
+                # poisoned payload: discard before it can reach an ordered
+                # slot or the ledger; raises into the chunk-failure path
+                raise ChunkIntegrityError(
+                    f"chunk starting at position {start} failed its "
+                    f"payload checksum"
+                )
             for offset, contribution in enumerate(results):
                 contributions[start + offset] = contribution
             if stats is not None:
                 stats.merge(local_stats)
             self._confirmed_pids.add(pid)
+            if checkpoint is not None:
+                checkpoint.record_chunk(
+                    range(start, start + len(results)), results
+                )
+            if injector is not None:
+                # coordinator-side faults fire here, after the chunk's
+                # slots are durable — InjectedCoordinatorDeath is a
+                # BaseException, so no recovery path below intercepts it
+                apply_coordinator_directive(
+                    injector.coordinator_directive_for_next_harvest()
+                )
 
         while pending:
             pool = self._resources.pool
@@ -1644,30 +1795,33 @@ class SharedMemoryProcessPoolBackend(_PooledBackend):
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> Optional[Tensor]:
         if not assignments:
             return None
         self.warm(plan, network, cache, stats)
-        if len(assignments) == 1 or self.max_workers == 1:
-            return self._run_serially(
-                plan, network, assignments, cache, sum_batch_axes, stats
-            )
         if policy is None:
             policy = self.fault_policy or FAIL_FAST
         if injector is None:
             injector = self.fault_injector
+        if len(assignments) == 1 or self.max_workers == 1:
+            return self._run_serially(
+                plan, network, assignments, cache, sum_batch_axes, stats,
+                checkpoint=checkpoint, injector=injector,
+            )
         try:
             session = self._session
             if session is not None and not session.closed:
                 contributions = session.run(
                     plan, network, assignments, cache, sum_batch_axes, stats,
-                    policy=policy, injector=injector,
+                    policy=policy, injector=injector, checkpoint=checkpoint,
                 )
             else:
                 with ExecutionSession(self) as scratch:
                     contributions = scratch.run(
                         plan, network, assignments, cache, sum_batch_axes,
                         stats, policy=policy, injector=injector,
+                        checkpoint=checkpoint,
                     )
         except RecoveryExhaustedError as exc:
             if policy.mode != "degrade":

@@ -31,7 +31,8 @@ frame                      payload
 ``("data", (gen, blob))``  pickled ``(leaf arrays, invariant cache)``
 ``("chunk", (...))``       ``(chunk id, plan gen, data gen,
                            [(position, assignment), ...], directive)``
-``("result", (...))``      ``(chunk id, [contribution, ...], stats)``
+``("result", (...))``      ``(chunk id, [contribution, ...],
+                           [crc32, ...], stats)``
 ``("error", (...))``       ``(chunk id, repr(exc), traceback)``
 ``("shutdown", None)``     graceful worker exit
 ========================== ============================================
@@ -62,6 +63,17 @@ ordered slots re-run.  ``fail-fast`` (the default) propagates the first
 fault, exactly like the other backends.  Deterministic fault injection
 gains a ``"drop-connection"`` kind: the worker severs its socket
 mid-chunk, the coordinator-side view of a cut network link.
+
+**Durability.**  Result frames carry per-contribution CRC-32 checksums,
+verified before a contribution reaches its ordered slot (a corrupt
+payload — e.g. the injected ``"corrupt-result"`` fault — is retried as a
+chunk failure).  Passing an open
+:class:`~repro.execution.checkpoint.CheckpointJob` through
+``run(checkpoint=...)`` write-ahead-persists each verified chunk to the
+durable ledger of :mod:`repro.execution.checkpoint`, so even losing the
+*coordinator* (crash, OOM, reboot) — after which this module's recovery
+machinery no longer exists — leaves a ledger from which a fresh process
+resumes bit-identically, re-running only the missing slots.
 
 **Calibration.**  The coordinator measures, per chunk round-trip, the
 wall time not covered by the worker's own compute samples and records it
@@ -94,10 +106,12 @@ import numpy as np
 from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
 from .backend import ExecutionSession, _PooledBackend
-from .faultinject import FaultInjector
+from .checkpoint import CheckpointJob, verify_payload
+from .faultinject import FaultInjector, apply_coordinator_directive
 from .plan import CompiledPlan, PlanStats
 from .resilience import (
     FAIL_FAST,
+    ChunkIntegrityError,
     ChunkTimeoutError,
     FaultError,
     FaultPolicy,
@@ -805,12 +819,17 @@ class DistributedSession:
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> List[Optional[np.ndarray]]:
         """Stream chunks through the cluster; per-position contributions.
 
         The caller (the backend) folds the returned contributions
         strictly in assignment order, so arrival order — adversarial or
         not — cannot perturb the ordered-accumulation contract.
+
+        ``checkpoint`` (an open durable ledger; see
+        :mod:`repro.execution.checkpoint`) pre-fills slots persisted by a
+        previous run and write-ahead-records each verified chunk.
         """
         if policy is None:
             policy = self._backend.fault_policy or FAIL_FAST
@@ -818,7 +837,9 @@ class DistributedSession:
             injector = self._backend.fault_injector
         self.ensure(plan, network, cache, sum_batch_axes)
         try:
-            return self._run_resilient(assignments, stats, policy, injector)
+            return self._run_resilient(
+                assignments, stats, policy, injector, checkpoint
+            )
         except BaseException:
             self._broken = True
             raise
@@ -869,13 +890,25 @@ class DistributedSession:
         stats: Optional[PlanStats],
         policy: FaultPolicy,
         injector: Optional[FaultInjector],
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> List[Optional[np.ndarray]]:
         transport = self._resources.transport
         assert transport is not None
         chunks = self._backend._chunks(assignments)
         contributions: List[Optional[np.ndarray]] = [None] * len(assignments)
+        if checkpoint is not None:
+            for position, loaded in checkpoint.loaded.items():
+                contributions[position] = loaded
         failures = [0] * len(chunks)
-        queue: deque = deque(range(len(chunks)))
+        # chunks fully covered by the ledger never hit the wire; a
+        # partially-covered chunk re-runs whole (deterministic subtasks
+        # make the overwrite bit-identical, and already-durable slots are
+        # skipped by the ledger's record)
+        queue: deque = deque(
+            index
+            for index, chunk in enumerate(chunks)
+            if any(contributions[position] is None for position, _ in chunk)
+        )
         respawns_used = 0
 
         def chunk_failed(chunk_index: int, error: BaseException) -> None:
@@ -925,7 +958,7 @@ class DistributedSession:
                 return
             kind, payload = message
             if kind == "result":
-                chunk_id, arrays, local_stats = payload
+                chunk_id, arrays, checksums, local_stats = payload
                 inflight = link.inflight
                 if (
                     inflight is None
@@ -941,6 +974,18 @@ class DistributedSession:
                     )
                     return
                 link.inflight = None
+                if not verify_payload(arrays, checksums):
+                    # poisoned payload: discard before it can reach an
+                    # ordered slot or the durable ledger; charged to the
+                    # chunk's retry budget like any other chunk failure
+                    chunk_failed(
+                        chunk_id,
+                        ChunkIntegrityError(
+                            f"chunk {chunk_id} from worker {link.worker_id} "
+                            f"failed its payload checksum"
+                        ),
+                    )
+                    return
                 for (position, _), contribution in zip(chunks[chunk_id], arrays):
                     contributions[position] = contribution
                 if stats is not None:
@@ -953,6 +998,17 @@ class DistributedSession:
                     stats.comms_seconds += max(0.0, roundtrip - compute)
                     stats.comms_bytes += inflight.chunk_bytes + frame_bytes
                     stats.chunk_roundtrips += 1
+                if checkpoint is not None:
+                    checkpoint.record_chunk(
+                        [position for position, _ in chunks[chunk_id]], arrays
+                    )
+                if injector is not None:
+                    # coordinator-side faults fire here, after the chunk's
+                    # slots are durable — InjectedCoordinatorDeath is a
+                    # BaseException, so no recovery path intercepts it
+                    apply_coordinator_directive(
+                        injector.coordinator_directive_for_next_harvest()
+                    )
             elif kind == "error":
                 chunk_id, exc_repr, traceback_text = payload
                 inflight, link.inflight = link.inflight, None
@@ -1236,6 +1292,7 @@ class DistributedBackend(_PooledBackend):
         stats: Optional[PlanStats] = None,
         policy: Optional[FaultPolicy] = None,
         injector: Optional[FaultInjector] = None,
+        checkpoint: Optional[CheckpointJob] = None,
     ) -> Optional[Tensor]:
         if not assignments:
             return None
@@ -1249,13 +1306,14 @@ class DistributedBackend(_PooledBackend):
             if session is not None and not session.closed:
                 contributions = session.run(
                     plan, network, assignments, cache, sum_batch_axes, stats,
-                    policy=policy, injector=injector,
+                    policy=policy, injector=injector, checkpoint=checkpoint,
                 )
             else:
                 with DistributedSession(self) as scratch:
                     contributions = scratch.run(
                         plan, network, assignments, cache, sum_batch_axes,
                         stats, policy=policy, injector=injector,
+                        checkpoint=checkpoint,
                     )
         except RecoveryExhaustedError as exc:
             if policy.mode != "degrade":

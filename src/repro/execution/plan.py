@@ -203,6 +203,16 @@ class PlanStats:
     chunk_roundtrips:
         Number of completed coordinator→worker→coordinator chunk
         round-trips the comms aggregates cover.
+    checkpointed_slots:
+        Ordered slots write-ahead-recorded into a durable chunk ledger
+        (:mod:`repro.execution.checkpoint`) during this run.  Zero when
+        no checkpoint is armed.
+    resumed_slots:
+        Ordered slots pre-filled from a ledger persisted by a previous
+        (interrupted) run instead of being re-executed.  The resilience
+        counters (``retries``/``faults``/``recovery_seconds``) of those
+        previous runs are merged in alongside, so a resumed run reports
+        the cumulative job, not just its own restart.
     """
 
     node_counts: Dict[int, int] = field(default_factory=dict)
@@ -229,6 +239,8 @@ class PlanStats:
     comms_seconds: float = 0.0
     comms_bytes: int = 0
     chunk_roundtrips: int = 0
+    checkpointed_slots: int = 0
+    resumed_slots: int = 0
 
     def record_step(self, node: int) -> None:
         self.node_counts[node] = self.node_counts.get(node, 0) + 1
@@ -294,6 +306,8 @@ class PlanStats:
         self.comms_seconds += other.comms_seconds
         self.comms_bytes += other.comms_bytes
         self.chunk_roundtrips += other.chunk_roundtrips
+        self.checkpointed_slots += other.checkpointed_slots
+        self.resumed_slots += other.resumed_slots
 
 
 class StemSlots:

@@ -30,6 +30,18 @@ The *mechanics* of pool crash recovery (worker-death detection, segment
 republication under a new generation, re-running only the missing chunks)
 live in :class:`~repro.execution.backend.ExecutionSession`; deterministic
 fault *injection* lives in :mod:`repro.execution.faultinject`.
+
+Everything above recovers within one coordinator process.  The rung
+above — surviving the coordinator itself dying — is the durable chunk
+ledger in :mod:`repro.execution.checkpoint`: arming
+:attr:`FaultPolicy.checkpoint_dir` (or passing ``resume=`` to
+:meth:`~repro.execution.SlicedExecutor.run`) write-ahead-persists each
+harvested ordered slot, every ``checkpoint_every`` completions, so an
+interrupted run resumes bit-identically in a fresh process with only the
+missing slots re-executed.  :exc:`ChunkIntegrityError` is the checksum
+half of that story: a harvested payload that fails its end-to-end CRC
+(see the ``"corrupt-result"`` fault kind) is treated as an ordinary
+chunk failure — retried under the same budget, never persisted.
 """
 
 from __future__ import annotations
@@ -56,6 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .plan import CompiledPlan, PlanStats
 
 __all__ = [
+    "ChunkIntegrityError",
     "ChunkTimeoutError",
     "FaultError",
     "FaultPolicy",
@@ -78,6 +91,17 @@ class FaultError(RuntimeError):
 
 class ChunkTimeoutError(FaultError):
     """A subtask chunk exceeded its per-chunk timeout budget."""
+
+
+class ChunkIntegrityError(FaultError):
+    """A harvested chunk payload failed its end-to-end checksum.
+
+    Raised by the coordinator's harvest paths when a contribution does
+    not match the CRC its chunk runner shipped with it (silent data
+    corruption in transit — or the injected ``"corrupt-result"`` fault).
+    Routed through the same per-chunk retry budget as any other chunk
+    failure; the poisoned payload is discarded before it can reach an
+    ordered slot or the durable ledger."""
 
 
 class RecoveryExhaustedError(FaultError):
@@ -143,6 +167,19 @@ class FaultPolicy:
     degradation_chain:
         Substrate names tried, in order, after pool recovery is exhausted
         in ``"degrade"`` mode (subset of ``("threads", "serial")``).
+    checkpoint_dir:
+        Root directory of a durable
+        :class:`~repro.execution.checkpoint.CheckpointStore`.  When set,
+        executors arm the write-ahead chunk ledger automatically: every
+        run persists harvested slots there and resumes from a matching
+        ledger on restart.  Fail-fast semantics — an unwritable root
+        raises :exc:`~repro.execution.checkpoint.CheckpointError` at run
+        start rather than silently running without durability.  ``None``
+        (the default) keeps the hot path ledger-free.
+    checkpoint_every:
+        Flush the ledger every this many completed slots (>= 1).  A crash
+        loses at most ``checkpoint_every - 1`` unflushed slots; raising
+        it amortises the fsync cost on small-chunk workloads.
     """
 
     mode: str = "fail-fast"
@@ -155,12 +192,16 @@ class FaultPolicy:
     min_timeout_seconds: float = 1.0
     timeout_safety: float = 50.0
     degradation_chain: Tuple[str, ...] = DEFAULT_DEGRADATION_CHAIN
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         if self.max_pool_rebuilds is not None and self.max_pool_rebuilds < 0:
             raise ValueError("max_pool_rebuilds must be >= 0")
         if self.backoff_seconds < 0 or self.backoff_multiplier <= 0:

@@ -163,7 +163,14 @@ class CorrelatedSampler:
         ``backend``; scoped to this sampler's batches (the backend itself
         is never reconfigured, so other users of a shared backend are
         unaffected).  Recovery counters accumulate across batches in
-        :attr:`stats`.
+        :attr:`stats`.  A policy carrying ``checkpoint_dir`` additionally
+        arms durable checkpointing per base bitstring: each batch
+        contracts a different network, so each gets its own
+        content-fingerprinted ledger in the same
+        :class:`~repro.execution.checkpoint.CheckpointStore`, and a
+        sampling run interrupted by a coordinator crash resumes with only
+        the missing slots of the in-flight batch re-executed
+        (bit-identical results; see :mod:`repro.execution.checkpoint`).
     fault_injector:
         Optional deterministic
         :class:`~repro.execution.faultinject.FaultInjector` (testing

@@ -64,6 +64,7 @@ from ..tensornet.network import TensorNetwork
 from ..tensornet.tensor import Tensor
 from .array_module import ArrayModule, resolve_array_module
 from .backend import ExecutionBackend, resolve_backend, validate_execution_args
+from .checkpoint import CheckpointJob, CheckpointStore, job_fingerprint
 from .contract import TreeExecutor
 from .plan import CompiledPlan, PlanStats, compile_plan
 
@@ -689,7 +690,11 @@ class SlicedExecutor:
             tensor = self._executor.execute(self.network, self.tree, assignment)
         return SubtaskResult(assignment=assignment, tensor=tensor)
 
-    def run(self, subtask_ids: Optional[Sequence[int]] = None) -> Tensor:
+    def run(
+        self,
+        subtask_ids: Optional[Sequence[int]] = None,
+        resume: Union[CheckpointStore, str, "os.PathLike", None] = None,
+    ) -> Tensor:
         """Execute subtasks and return the accumulated result.
 
         Parameters
@@ -699,10 +704,24 @@ class SlicedExecutor:
             exact contraction value).  Running a subset gives a partial sum,
             which is only meaningful for diagnostics.  Batched sweeps only
             apply to full runs; a subset always executes subtask-by-subtask.
+        resume:
+            Arm durable checkpointing through a
+            :class:`~repro.execution.checkpoint.CheckpointStore` (or a
+            directory path one is opened on).  Each completed ordered slot
+            is write-ahead persisted; if this run (or a previous one with
+            the same content fingerprint) is interrupted — including a
+            coordinator crash — calling :meth:`run` again with the same
+            store re-runs only the missing slots and returns a result
+            bit-identical to an uninterrupted run.  A fingerprint mismatch
+            invalidates the old ledger and starts clean.  A
+            :class:`~repro.execution.resilience.FaultPolicy` carrying
+            ``checkpoint_dir`` arms the same machinery without the
+            explicit argument.  Compiled mode only.
         """
         self._refresh_stale_plans()
+        store = self._checkpoint_store(resume)
         if subtask_ids is None and self._batched_plan is not None:
-            return self._run_batched()
+            return self._run_batched(store)
         ids: List[int] = list(
             range(self.num_subtasks) if subtask_ids is None else subtask_ids
         )
@@ -711,18 +730,95 @@ class SlicedExecutor:
         plan = self._ensure_plan()
         if plan is not None:
             assert self._backend is not None
-            result = self._backend.run_subtasks(
-                plan,
-                self.network,
-                [self.assignment(subtask_id) for subtask_id in ids],
-                cache=self._cache,
-                stats=self.stats,
-                policy=self._fault_policy,
-                injector=self._fault_injector,
-            )
+            assignments = [self.assignment(subtask_id) for subtask_id in ids]
+            checkpoint = self._open_checkpoint_job(store, plan, assignments, 0)
+            try:
+                result = self._backend.run_subtasks(
+                    plan,
+                    self.network,
+                    assignments,
+                    cache=self._cache,
+                    stats=self.stats,
+                    policy=self._fault_policy,
+                    injector=self._fault_injector,
+                    checkpoint=checkpoint,
+                )
+            except BaseException:
+                # keep the ledger (flushed + unlocked) for the next attempt
+                if checkpoint is not None:
+                    checkpoint.close()
+                raise
+            if checkpoint is not None:
+                checkpoint.complete()
             assert result is not None
             return result
         return self._run_reference(ids)
+
+    def _checkpoint_store(
+        self, resume: Union[CheckpointStore, str, "os.PathLike", None]
+    ) -> Optional[CheckpointStore]:
+        """Resolve the checkpoint store arming this run, if any.
+
+        Explicit ``resume`` wins; otherwise a fault policy carrying
+        ``checkpoint_dir`` auto-arms (which is how per-bitstring executors
+        built by :class:`~repro.sampling.CorrelatedSampler` inherit
+        durability).  Construction fails fast on unwritable roots.
+        """
+        if isinstance(resume, CheckpointStore):
+            store: Optional[CheckpointStore] = resume
+        elif resume is not None:
+            store = CheckpointStore(resume)
+        elif (
+            self._fault_policy is not None
+            and self._fault_policy.checkpoint_dir is not None
+        ):
+            store = CheckpointStore(self._fault_policy.checkpoint_dir)
+        else:
+            store = None
+        if store is not None and self.mode != "compiled":
+            raise ValueError("checkpointed execution requires the compiled mode")
+        return store
+
+    def _open_checkpoint_job(
+        self,
+        store: Optional[CheckpointStore],
+        plan: CompiledPlan,
+        assignments: Sequence[Dict[str, int]],
+        sum_batch_axes: int,
+    ) -> Optional[CheckpointJob]:
+        """Open (or resume) this run's ledger and bind the live stats.
+
+        The job is keyed by :func:`~repro.execution.checkpoint.job_fingerprint`
+        over the leaf data, tree, assignment schedule, batch-axis count,
+        policy shape and chunking — so a resumed ledger is only trusted for
+        byte-for-byte the same run, on any backend/engine combination.
+        """
+        if store is None:
+            return None
+        chunk_size = getattr(self._backend, "chunk_size", None)
+        fingerprint = job_fingerprint(
+            self.network,
+            self.tree,
+            self.sliced,
+            assignments,
+            sum_batch_axes=sum_batch_axes,
+            dtype=getattr(plan, "dtype", None) or self._dtype,
+            policy=self._fault_policy,
+            chunk_size=chunk_size,
+        )
+        job = store.job(
+            fingerprint,
+            len(assignments),
+            every=(
+                self._fault_policy.checkpoint_every
+                if self._fault_policy is not None
+                else 1
+            ),
+            policy=self._fault_policy,
+            chunk_size=chunk_size,
+        )
+        job.attach_stats(self.stats)
+        return job
 
     def _run_reference(self, ids: Sequence[int]) -> Tensor:
         """Accumulate subtasks through the reference einsum walker."""
@@ -742,26 +838,42 @@ class SlicedExecutor:
         assert result_indices is not None and result_sizes is not None
         return Tensor(result_indices, data=accumulated, sizes=result_sizes)
 
-    def _run_batched(self) -> Tensor:
+    def _run_batched(self, store: Optional[CheckpointStore] = None) -> Tensor:
         """Sweep the batch group in bulk, enumerating the remaining indices."""
         plan = self._batched_plan
         assert plan is not None and self._backend is not None
-        result = self._backend.run_subtasks(
-            plan,
-            self.network,
-            list(self.batched_assignments()),
-            cache=self._batched_cache,
-            sum_batch_axes=plan.num_batch_axes,
-            stats=self.stats,
-            policy=self._fault_policy,
-            injector=self._fault_injector,
+        assignments = list(self.batched_assignments())
+        checkpoint = self._open_checkpoint_job(
+            store, plan, assignments, plan.num_batch_axes
         )
+        try:
+            result = self._backend.run_subtasks(
+                plan,
+                self.network,
+                assignments,
+                cache=self._batched_cache,
+                sum_batch_axes=plan.num_batch_axes,
+                stats=self.stats,
+                policy=self._fault_policy,
+                injector=self._fault_injector,
+                checkpoint=checkpoint,
+            )
+        except BaseException:
+            if checkpoint is not None:
+                checkpoint.close()
+            raise
+        if checkpoint is not None:
+            checkpoint.complete()
         assert result is not None
         return result
 
-    def amplitude(self, subtask_ids: Optional[Sequence[int]] = None) -> complex:
+    def amplitude(
+        self,
+        subtask_ids: Optional[Sequence[int]] = None,
+        resume: Union[CheckpointStore, str, "os.PathLike", None] = None,
+    ) -> complex:
         """Accumulated scalar value (requires a closed network)."""
-        tensor = self.run(subtask_ids)
+        tensor = self.run(subtask_ids, resume=resume)
         data = tensor.require_data()
         if data.size != 1:
             raise ValueError("network is not closed; use run() instead")

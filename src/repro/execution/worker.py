@@ -44,8 +44,9 @@ import numpy as np
 
 from ..tensornet.tensor import Tensor
 from .backend import _LeafStore, _owned_contribution
+from .checkpoint import payload_checksums
 from .distributed import TransportClosed, TransportError, recv_frame, send_frame
-from .faultinject import apply_directive
+from .faultinject import apply_directive, corrupt_payload
 from .plan import CompiledPlan, PlanStats, StemSlots
 
 __all__ = ["WorkerRuntime", "main", "serve"]
@@ -96,7 +97,7 @@ class WorkerRuntime:
         plan_generation: int,
         data_generation: int,
         items: List[Tuple[int, Mapping[str, int]]],
-    ) -> Tuple[List[np.ndarray], PlanStats]:
+    ) -> Tuple[List[np.ndarray], List[int], PlanStats]:
         if self.plan is None or plan_generation != self.plan_generation:
             raise RuntimeError(
                 f"worker holds plan generation {self.plan_generation}, "
@@ -118,7 +119,10 @@ class WorkerRuntime:
                 slots=self.slots,
             )
             results.append(_owned_contribution(tensor, self.sum_batch_axes))
-        return results, local_stats
+        # per-contribution CRC-32s travel with the results so the
+        # coordinator can verify the payload survived the wire intact
+        # (see repro.execution.checkpoint.verify_payload)
+        return results, payload_checksums(results), local_stats
 
 
 def serve(sock: socket.socket) -> None:
@@ -152,15 +156,18 @@ def serve(sock: socket.socket) -> None:
                 os._exit(1)
             try:
                 apply_directive(directive)
-                results, local_stats = runtime.run_chunk(
+                results, checksums, local_stats = runtime.run_chunk(
                     chunk_id, plan_generation, data_generation, items
                 )
+                # injected payload corruption happens after checksumming,
+                # so the coordinator's verification must catch it
+                corrupt_payload(directive, results)
             except Exception as exc:
                 # the original exception class may not unpickle on the
                 # coordinator — ship repr + traceback text instead
                 reply = ("error", (chunk_id, repr(exc), traceback.format_exc()))
             else:
-                reply = ("result", (chunk_id, results, local_stats))
+                reply = ("result", (chunk_id, results, checksums, local_stats))
             try:
                 send_frame(sock, reply)
             except TransportClosed:
@@ -225,9 +232,10 @@ def _serve_mpi() -> None:  # pragma: no cover - requires an MPI stack
             chunk_id, plan_generation, data_generation, items, directive = payload
             try:
                 apply_directive(directive)
-                results, local_stats = runtime.run_chunk(
+                results, checksums, local_stats = runtime.run_chunk(
                     chunk_id, plan_generation, data_generation, items
                 )
+                corrupt_payload(directive, results)
             except Exception as exc:
                 comm.send(
                     ("error", (chunk_id, repr(exc), traceback.format_exc())),
@@ -235,7 +243,11 @@ def _serve_mpi() -> None:  # pragma: no cover - requires an MPI stack
                     tag=tag,
                 )
             else:
-                comm.send(("result", (chunk_id, results, local_stats)), dest=0, tag=tag)
+                comm.send(
+                    ("result", (chunk_id, results, checksums, local_stats)),
+                    dest=0,
+                    tag=tag,
+                )
 
 
 def main(argv: Optional[List[str]] = None) -> None:

@@ -1,0 +1,111 @@
+"""Subprocess harness for the coordinator-crash checkpoint tests.
+
+Not a pytest module (the name carries no ``test_`` prefix on purpose):
+``tests/test_checkpoint.py`` launches this script in a *fresh process* so
+an injected coordinator death takes down a real coordinator — pool and
+sockets included — and the resume phase starts from nothing but the
+on-disk ledger, exactly like a restart after an OOM kill.
+
+Usage::
+
+    python tests/checkpoint_harness.py STORE_ROOT BACKEND KILL_ORDINAL
+
+``BACKEND`` is one of ``serial`` / ``threads`` / ``pool`` /
+``distributed``.  ``KILL_ORDINAL`` is the 0-based harvest ordinal a
+``"kill-coordinator"`` fault fires on, or ``none`` to run (resume) to
+completion.  On a clean finish the amplitude is printed as::
+
+    RESULT (<real>+<imag>j)
+
+which the parent test parses and compares bitwise against its own serial
+reference.  An injected death propagates as
+:exc:`~repro.execution.faultinject.InjectedCoordinatorDeath`, so the
+process exits nonzero mid-run — with the write-ahead ledger already
+durable and shared-memory segments still unlinked by their finalizers.
+
+The workload and policy are fixed constants: both phases (kill + resume)
+must compute the identical job fingerprint or the resume would discard
+the ledger.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.circuits import random_brickwork_circuit
+from repro.execution import (
+    CheckpointStore,
+    DistributedBackend,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    SerialBackend,
+    SharedMemoryProcessPoolBackend,
+    SlicedExecutor,
+    ThreadPoolBackend,
+)
+from repro.paths import GreedyOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+NUM_QUBITS = 6
+DEPTH = 4
+SEED = 13
+NUM_SLICED = 4
+WORKERS = 2
+CHUNK_SIZE = 2
+
+
+def build_case():
+    circ = random_brickwork_circuit(NUM_QUBITS, DEPTH, seed=SEED)
+    bits = [
+        int(b) for b in np.random.default_rng(SEED).integers(0, 2, NUM_QUBITS)
+    ]
+    tn = amplitude_network(circ, bits)
+    simplify_network(tn)
+    tree = GreedyOptimizer(seed=1).tree(tn)
+    sliced = sorted(tn.inner_indices())[:NUM_SLICED]
+    return tn, tree, sliced
+
+
+def build_backend(name: str):
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadPoolBackend(WORKERS)
+    if name == "pool":
+        return SharedMemoryProcessPoolBackend(WORKERS, chunk_size=CHUNK_SIZE)
+    if name == "distributed":
+        return DistributedBackend(num_workers=WORKERS, chunk_size=CHUNK_SIZE)
+    raise SystemExit(f"unknown backend {name!r}")
+
+
+def main(argv) -> None:
+    store_root, backend_name, kill_ordinal = argv
+    store = CheckpointStore(store_root)
+    tn, tree, sliced = build_case()
+    injector = None
+    if kill_ordinal != "none":
+        injector = FaultInjector(
+            [FaultSpec("kill-coordinator", chunk=int(kill_ordinal))]
+        )
+    executor = SlicedExecutor(
+        tn,
+        tree,
+        sliced,
+        backend=build_backend(backend_name),
+        fault_policy=FaultPolicy.retrying(),
+        fault_injector=injector,
+    )
+    amplitude = executor.amplitude(resume=store)
+    print(f"RESULT {amplitude!r}", flush=True)
+    print(
+        f"STATS resumed={executor.stats.resumed_slots} "
+        f"checkpointed={executor.stats.checkpointed_slots}",
+        flush=True,
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

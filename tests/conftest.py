@@ -23,7 +23,7 @@ from repro.paths import GreedyOptimizer, HyperOptimizer
 from repro.tensornet import amplitude_network, circuit_to_tensor_network, simplify_network
 
 # ----------------------------------------------------------------------
-# /dev/shm leak audit
+# /dev/shm + checkpoint-store leak audit
 #
 # Every test that opens a shared-memory process pool must leave /dev/shm
 # exactly as it found it — even when the test injected worker crashes or
@@ -32,6 +32,12 @@ from repro.tensornet import amplitude_network, circuit_to_tensor_network, simpli
 # function-scoped fixtures) are audited too.  Anonymous segments created
 # by multiprocessing.shared_memory carry the "psm_" prefix, which keeps
 # the audit blind to unrelated tenants of /dev/shm.
+#
+# The same teardown hook audits every checkpoint store the test touched
+# (repro.execution.checkpoint registers store roots in _AUDIT_ROOTS): no
+# orphaned "*.tmp" (a torn atomic write must be swept or never leak past
+# the writer) and no "*.lock" without a live run (an unreleased job lock
+# would wedge the next resume behind a dead-pid steal).
 # ----------------------------------------------------------------------
 _SHM_DIR = "/dev/shm"
 
@@ -42,6 +48,20 @@ def _shm_segments() -> frozenset:
     return frozenset(
         name for name in os.listdir(_SHM_DIR) if name.startswith("psm_")
     )
+
+
+def _checkpoint_orphans() -> list:
+    from repro.execution.checkpoint import _AUDIT_ROOTS
+
+    orphans = []
+    for root in sorted(_AUDIT_ROOTS):
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                if name.endswith(".tmp") or name.endswith(".lock"):
+                    orphans.append(os.path.join(dirpath, name))
+    return orphans
 
 
 def pytest_runtest_setup(item):
@@ -62,6 +82,12 @@ def pytest_runtest_teardown(item):
     if leaked:
         pytest.fail(
             f"test leaked shared-memory segments: {sorted(leaked)}",
+            pytrace=False,
+        )
+    orphans = _checkpoint_orphans()
+    if orphans:
+        pytest.fail(
+            f"test left orphaned checkpoint tmp/lock files: {sorted(orphans)}",
             pytrace=False,
         )
 

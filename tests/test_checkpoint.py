@@ -1,0 +1,674 @@
+"""Durable checkpointed execution: crash-safe chunk ledger and resume.
+
+The durability contract under test: arm a run with a
+:class:`CheckpointStore` (``resume=`` or ``FaultPolicy.checkpoint_dir``),
+kill the coordinator at *any* harvest ordinal — in-process via the
+``"kill-coordinator"`` fault kind, or for real in a subprocess
+(``tests/checkpoint_harness.py``) — and the next run with the same
+content fingerprint completes only the missing ordered slots, returning
+a result **bit-identical** to an uninterrupted run on every backend ×
+stepwise/fused combination.  Resilience counters accumulate across the
+restarts, a fingerprint mismatch invalidates the ledger, and the
+end-to-end payload checksums (the ``"corrupt-result"`` kind) keep a
+poisoned chunk out of both the result and the ledger.  The conftest
+audit additionally asserts no test leaves an orphaned checkpoint
+``*.tmp``/``*.lock`` behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import shutil
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_brickwork_circuit
+from repro.execution import (
+    CheckpointError,
+    CheckpointStore,
+    ChunkIntegrityError,
+    DistributedBackend,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    InjectedCoordinatorDeath,
+    RecoveryExhaustedError,
+    SerialBackend,
+    SharedMemoryProcessPoolBackend,
+    SlicedExecutor,
+    ThreadPoolBackend,
+    job_fingerprint,
+)
+from repro.execution.checkpoint import payload_checksums, verify_payload
+from repro.paths import GreedyOptimizer
+from repro.tensornet import amplitude_network, simplify_network
+
+pytestmark = [pytest.mark.faults, pytest.mark.checkpoint]
+
+WORKERS = 2
+HARNESS = os.path.join(os.path.dirname(__file__), "checkpoint_harness.py")
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _case(num_qubits=6, depth=4, seed=13):
+    circ = random_brickwork_circuit(num_qubits, depth, seed=seed)
+    bits = [int(b) for b in np.random.default_rng(seed).integers(0, 2, num_qubits)]
+    tn = amplitude_network(circ, bits)
+    simplify_network(tn)
+    tree = GreedyOptimizer(seed=1).tree(tn)
+    return tn, tree
+
+
+def _sliced(tn):
+    return sorted(tn.inner_indices())[:4]
+
+
+def _backend(kind):
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "threads":
+        return ThreadPoolBackend(WORKERS)
+    if kind == "pool":
+        # default chunking: the configured chunk_size is part of the job
+        # fingerprint, so keeping it None lets one ledger resume across
+        # all three backends
+        return SharedMemoryProcessPoolBackend(WORKERS)
+    raise AssertionError(kind)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return _case()
+
+
+@pytest.fixture(scope="module")
+def serial_value(case):
+    tn, tree = case
+    return SlicedExecutor(tn, tree, _sliced(tn), backend=SerialBackend()).amplitude()
+
+
+# ----------------------------------------------------------------------
+# Payload integrity primitives
+# ----------------------------------------------------------------------
+class TestPayloadIntegrity:
+    def test_checksums_round_trip(self):
+        arrays = [np.arange(6, dtype=np.complex128), np.zeros((), np.complex128)]
+        checksums = payload_checksums(arrays)
+        assert verify_payload(arrays, checksums)
+
+    def test_none_checksums_verify_trivially(self):
+        assert verify_payload([np.ones(3)], None)
+
+    def test_single_bit_flip_is_detected(self):
+        arrays = [np.arange(6, dtype=np.complex128)]
+        checksums = payload_checksums(arrays)
+        raw = arrays[0].view(np.uint8)
+        raw[17] ^= 1
+        assert not verify_payload(arrays, checksums)
+
+    def test_length_mismatch_fails(self):
+        arrays = [np.ones(2), np.ones(2)]
+        assert not verify_payload(arrays, payload_checksums(arrays)[:1])
+
+
+# ----------------------------------------------------------------------
+# Store and job mechanics
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_unwritable_root_fails_fast(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(blocker / "store")
+
+    def test_policy_checkpoint_dir_fails_fast_at_run(self, case, tmp_path):
+        tn, tree = case
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        policy = FaultPolicy.retrying(checkpoint_dir=str(blocker / "store"))
+        executor = SlicedExecutor(
+            tn, tree, _sliced(tn), backend=SerialBackend(), fault_policy=policy
+        )
+        with pytest.raises(CheckpointError):
+            executor.run()
+
+    def test_checkpoint_every_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(checkpoint_every=0)
+
+    def test_record_flush_reload_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        fingerprint = "ab" * 32
+        arrays = {
+            0: np.arange(4, dtype=np.complex128).reshape(2, 2),
+            2: np.array(3.5 - 1j, dtype=np.complex128),  # 0-d must survive
+        }
+        job = store.job(fingerprint, num_slots=4)
+        for position, array in arrays.items():
+            job.record(position, array)
+        job.close()
+        resumed = store.job(fingerprint, num_slots=4)
+        assert sorted(resumed.loaded) == [0, 2]
+        for position, array in arrays.items():
+            assert resumed.loaded[position].shape == array.shape
+            assert resumed.loaded[position].dtype == array.dtype
+            np.testing.assert_array_equal(resumed.loaded[position], array)
+        resumed.complete()
+        assert store.jobs() == []
+
+    def test_complete_retires_the_ledger(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        job = store.job("cd" * 32, num_slots=2)
+        job.record(0, np.ones(2))
+        job.complete()
+        assert store.jobs() == []
+        assert not (store.root / ("cd" * 32)).exists()
+
+    def test_checkpoint_every_buffers_records(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        job = store.job("ef" * 32, num_slots=8, every=3)
+        slots_dir = store.root / ("ef" * 32) / "slots"
+        job.record(0, np.ones(1))
+        job.record(1, np.ones(1))
+        assert len(list(slots_dir.glob("*.slot"))) == 0  # still buffered
+        job.record(2, np.ones(1))
+        assert len(list(slots_dir.glob("*.slot"))) == 3  # batch flushed
+        job.close()  # close flushes the (empty) tail and unlocks
+        resumed = store.job("ef" * 32, num_slots=8, every=3)
+        assert sorted(resumed.loaded) == [0, 1, 2]
+        resumed.complete()
+
+    def test_torn_tmp_file_is_swept_on_attach(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        fingerprint = "01" * 32
+        job = store.job(fingerprint, num_slots=2)
+        job.record(0, np.ones(3))
+        job.close()
+        torn = store.root / fingerprint / "slots" / "00000001.slot.tmp"
+        torn.write_bytes(b"half-written garbage")
+        resumed = store.job(fingerprint, num_slots=2)
+        assert not torn.exists()
+        assert sorted(resumed.loaded) == [0]
+        resumed.complete()
+
+    def test_corrupt_slot_record_is_dropped(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        fingerprint = "23" * 32
+        job = store.job(fingerprint, num_slots=2)
+        job.record(0, np.ones(3))
+        job.record(1, np.full(3, 2.0))
+        job.close()
+        victim = store.root / fingerprint / "slots" / "00000001.slot"
+        record = pickle.loads(victim.read_bytes())
+        record["data"] = record["data"][:-1] + bytes([record["data"][-1] ^ 1])
+        assert zlib.crc32(record["data"]) != record["crc"]
+        victim.write_bytes(pickle.dumps(record))
+        resumed = store.job(fingerprint, num_slots=2)
+        assert sorted(resumed.loaded) == [0]  # bit-rotted slot re-runs
+        assert not victim.exists()
+        resumed.complete()
+
+    def test_manifest_mismatch_invalidates_ledger(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        job = store.job("45" * 32, num_slots=4)
+        job.record(0, np.ones(2))
+        job.close()
+        # the same directory now claims a different run shape
+        resumed = store.job("45" * 32, num_slots=8)
+        assert resumed.loaded == {}
+        resumed.complete()
+
+    def test_live_foreign_lock_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        fingerprint = "67" * 32
+        job = store.job(fingerprint, num_slots=2)
+        job.close()
+        lock = store.root / fingerprint / "job.lock"
+        lock.write_text("1")  # pid 1 is always alive and never us
+        with pytest.raises(CheckpointError, match="locked by live coordinator"):
+            store.job(fingerprint, num_slots=2)
+        lock.unlink()
+        store.job(fingerprint, num_slots=2).complete()
+
+    def test_dead_coordinator_lock_is_stolen(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        fingerprint = "89" * 32
+        job = store.job(fingerprint, num_slots=2)
+        job.record(0, np.ones(2))
+        job.close()
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        lock = store.root / fingerprint / "job.lock"
+        lock.write_text(str(proc.pid))  # a pid that is provably dead
+        resumed = store.job(fingerprint, num_slots=2)
+        assert sorted(resumed.loaded) == [0]
+        resumed.complete()
+
+    def test_context_manager_completes_on_success_keeps_on_error(self, tmp_path):
+        store = CheckpointStore(tmp_path / "store")
+        fingerprint = "ab" * 32
+        with pytest.raises(RuntimeError, match="boom"):
+            with store.job(fingerprint, num_slots=2) as job:
+                job.record(0, np.ones(2))
+                raise RuntimeError("boom")
+        assert store.jobs() == [fingerprint]  # kept for the resume
+        with store.job(fingerprint, num_slots=2) as job:
+            assert sorted(job.loaded) == [0]
+        assert store.jobs() == []  # clean exit retires it
+
+
+class TestJobFingerprint:
+    def test_deterministic_and_content_sensitive(self, case):
+        tn, tree = case
+        sliced = _sliced(tn)
+        assignments = [dict(zip(sliced, values)) for values in [(0, 0, 0, 0), (1, 0, 0, 0)]]
+        base = job_fingerprint(tn, tree, sliced, assignments)
+        assert base == job_fingerprint(tn, tree, sliced, assignments)
+        # the schedule is part of the key: a slot index must keep its meaning
+        assert base != job_fingerprint(tn, tree, sliced, assignments[::-1])
+        # so are the policy's recovery shape and the chunking
+        assert base != job_fingerprint(
+            tn, tree, sliced, assignments, policy=FaultPolicy.retrying()
+        )
+        assert base != job_fingerprint(tn, tree, sliced, assignments, chunk_size=2)
+        assert base != job_fingerprint(
+            tn, tree, sliced, assignments, sum_batch_axes=1
+        )
+
+    def test_leaf_data_is_part_of_the_key(self, case):
+        tn, tree = case
+        other, _ = _case(seed=14)
+        sliced = _sliced(tn)
+        assignments = [dict(zip(sliced, (0, 0, 0, 0)))]
+        assert job_fingerprint(tn, tree, sliced, assignments) != job_fingerprint(
+            other, tree, sliced, assignments
+        )
+
+
+# ----------------------------------------------------------------------
+# Corrupt-result: checksums detect, retry heals, the ledger stays clean
+# ----------------------------------------------------------------------
+class TestCorruptResult:
+    @pytest.mark.parametrize("kind", ["threads", "pool"])
+    def test_retry_heals_bit_identically(self, case, serial_value, kind):
+        tn, tree = case
+        injector = FaultInjector([FaultSpec("corrupt-result", chunk=0, seconds=11)])
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=_backend(kind),
+            fault_policy=FaultPolicy.retrying(),
+            fault_injector=injector,
+        )
+        assert executor.amplitude() == serial_value
+        assert executor.stats.retries >= 1
+        assert executor.stats.faults >= 1
+        assert injector.exhausted
+
+    def test_fail_fast_raises_integrity_error(self, case):
+        tn, tree = case
+        injector = FaultInjector([FaultSpec("corrupt-result", chunk=0, seconds=3)])
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=ThreadPoolBackend(WORKERS),
+            fault_policy=FaultPolicy.fail_fast(),
+            fault_injector=injector,
+        )
+        with pytest.raises(ChunkIntegrityError):
+            executor.run()
+
+    def test_persistent_corruption_exhausts_the_budget(self, case):
+        tn, tree = case
+        injector = FaultInjector(
+            [FaultSpec("corrupt-result", chunk=0, seconds=3, times=50)]
+        )
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=ThreadPoolBackend(WORKERS),
+            fault_policy=FaultPolicy.retrying(max_retries=1),
+            fault_injector=injector,
+        )
+        with pytest.raises(RecoveryExhaustedError):
+            executor.run()
+
+    def test_poisoned_slot_is_never_persisted(self, case, serial_value, tmp_path):
+        tn, tree = case
+        store = CheckpointStore(tmp_path / "store")
+        injector = FaultInjector(
+            [
+                FaultSpec("corrupt-result", chunk=0, seconds=23),
+                FaultSpec("kill-coordinator", chunk=3),
+            ]
+        )
+        executor = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=ThreadPoolBackend(WORKERS),
+            fault_policy=FaultPolicy.retrying(),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCoordinatorDeath):
+            executor.run(resume=store)
+        # every slot the interrupted run persisted matches the honest
+        # serial value of its position — the corrupted payload never
+        # reached the ledger
+        [fingerprint] = store.jobs()
+        probe = SlicedExecutor(tn, tree, _sliced(tn), backend=SerialBackend())
+        job = store.job(fingerprint, num_slots=probe.num_subtasks)
+        assert job.loaded  # the kill fired after at least one flush
+        for position, array in job.loaded.items():
+            honest = probe.amplitude([position])
+            assert complex(array.reshape(())) == honest
+        job.close()
+        # and the resumed run still lands on the exact serial value
+        resumed = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=ThreadPoolBackend(WORKERS),
+            fault_policy=FaultPolicy.retrying(),
+        )
+        assert resumed.amplitude(resume=store) == serial_value
+
+
+# ----------------------------------------------------------------------
+# Resume bit-identity
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_uninterrupted_armed_run_matches_and_retires(
+        self, case, serial_value, tmp_path
+    ):
+        tn, tree = case
+        store = CheckpointStore(tmp_path / "store")
+        executor = SlicedExecutor(tn, tree, _sliced(tn), backend=SerialBackend())
+        assert executor.amplitude(resume=store) == serial_value
+        assert executor.stats.checkpointed_slots == executor.num_subtasks
+        assert store.jobs() == []
+
+    def test_every_serial_ordinal_resumes_bit_identically(
+        self, case, serial_value, tmp_path
+    ):
+        tn, tree = case
+        sliced = _sliced(tn)
+        store = CheckpointStore(tmp_path / "store")
+        num = SlicedExecutor(tn, tree, sliced, backend=SerialBackend()).num_subtasks
+        for ordinal in range(num):
+            injector = FaultInjector([FaultSpec("kill-coordinator", chunk=ordinal)])
+            interrupted = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                backend=SerialBackend(),
+                fault_policy=FaultPolicy.retrying(),
+                fault_injector=injector,
+            )
+            with pytest.raises(InjectedCoordinatorDeath):
+                interrupted.run(resume=store)
+            resumed = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                backend=SerialBackend(),
+                fault_policy=FaultPolicy.retrying(),
+            )
+            assert resumed.amplitude(resume=store) == serial_value
+            assert resumed.stats.resumed_slots == ordinal + 1
+            assert store.jobs() == []
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ordinal=st.integers(min_value=0, max_value=5),
+        kind=st.sampled_from(["serial", "threads", "pool"]),
+        fused=st.booleans(),
+    )
+    def test_resume_bit_identity_property(self, case, serial_value, ordinal, kind, fused):
+        """Kill at a drawn harvest ordinal on a drawn backend × engine —
+        the resumed amplitude is bitwise the serial reference."""
+        tn, tree = case
+        sliced = _sliced(tn)
+        root = tempfile.mkdtemp(prefix="ckpt-prop-")
+        try:
+            store = CheckpointStore(root)
+            injector = FaultInjector([FaultSpec("kill-coordinator", chunk=ordinal)])
+            interrupted = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                backend=_backend(kind),
+                fused=fused,
+                fault_policy=FaultPolicy.retrying(),
+                fault_injector=injector,
+            )
+            with pytest.raises(InjectedCoordinatorDeath):
+                interrupted.run(resume=store)
+            # resume on a *different* backend/engine: the ledger is keyed
+            # by content, not by how the slots were computed
+            resume_kind = {"serial": "threads", "threads": "pool", "pool": "serial"}[
+                kind
+            ]
+            resumed = SlicedExecutor(
+                tn,
+                tree,
+                sliced,
+                backend=_backend(resume_kind),
+                fused=not fused,
+                fault_policy=FaultPolicy.retrying(),
+            )
+            assert resumed.amplitude(resume=store) == serial_value
+            assert resumed.stats.resumed_slots >= 1
+            assert store.jobs() == []
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_batched_sweep_resumes_bit_identically(self, case, tmp_path):
+        tn, tree = case
+        sliced = _sliced(tn)
+        batch = sliced[:2]
+        store = CheckpointStore(tmp_path / "store")
+        clean = SlicedExecutor(
+            tn, tree, sliced, backend=SerialBackend(), batch_indices=batch
+        ).amplitude()
+        injector = FaultInjector([FaultSpec("kill-coordinator", chunk=1)])
+        interrupted = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            backend=SerialBackend(),
+            batch_indices=batch,
+            fault_policy=FaultPolicy.retrying(),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCoordinatorDeath):
+            interrupted.run(resume=store)
+        resumed = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            backend=SerialBackend(),
+            batch_indices=batch,
+            fault_policy=FaultPolicy.retrying(),
+        )
+        result = resumed.run(resume=store)
+        assert complex(result.require_data().reshape(())) == clean
+        assert resumed.stats.resumed_slots == 2
+        assert store.jobs() == []
+
+    def test_stats_accumulate_across_restarts(self, case, serial_value, tmp_path):
+        tn, tree = case
+        store = CheckpointStore(tmp_path / "store")
+        # the corrupted first chunk fails its checksum in wave 1 and is
+        # retried in wave 2; harvest ordinal 7 is that retried chunk (the
+        # 7 clean chunks consumed ordinals 0-6), so the coordinator dies
+        # right after the retry's slots — and the bumped retry counters —
+        # became durable
+        injector = FaultInjector(
+            [
+                FaultSpec("corrupt-result", chunk=0, seconds=7),
+                FaultSpec("kill-coordinator", chunk=7),
+            ]
+        )
+        interrupted = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=ThreadPoolBackend(WORKERS),
+            fault_policy=FaultPolicy.retrying(),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCoordinatorDeath):
+            interrupted.run(resume=store)
+        assert interrupted.stats.retries >= 1
+        resumed = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=ThreadPoolBackend(WORKERS),
+            fault_policy=FaultPolicy.retrying(),
+        )
+        assert resumed.amplitude(resume=store) == serial_value
+        # the fresh executor faulted zero times itself: everything it
+        # reports was merged in from the interrupted run's stats.json
+        assert resumed.stats.retries >= interrupted.stats.retries
+        assert resumed.stats.faults >= interrupted.stats.faults
+        assert resumed.stats.recovery_seconds > 0.0
+
+    def test_fingerprint_mismatch_invalidates_ledger(self, case, tmp_path):
+        tn, tree = case
+        sliced = _sliced(tn)
+        store = CheckpointStore(tmp_path / "store")
+        injector = FaultInjector([FaultSpec("kill-coordinator", chunk=4)])
+        interrupted = SlicedExecutor(
+            tn,
+            tree,
+            sliced,
+            backend=SerialBackend(),
+            fault_policy=FaultPolicy.retrying(),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCoordinatorDeath):
+            interrupted.run(resume=store)
+        assert len(store.jobs()) == 1
+        # a different circuit: same shape of run, different content
+        other_tn, other_tree = _case(seed=14)
+        other_ref = SlicedExecutor(
+            other_tn, other_tree, _sliced(other_tn), backend=SerialBackend()
+        ).amplitude()
+        fresh = SlicedExecutor(
+            other_tn,
+            other_tree,
+            _sliced(other_tn),
+            backend=SerialBackend(),
+            fault_policy=FaultPolicy.retrying(),
+        )
+        assert fresh.amplitude(resume=store) == other_ref
+        assert fresh.stats.resumed_slots == 0  # nothing was trusted
+
+    def test_reference_mode_rejects_resume(self, case, tmp_path):
+        tn, tree = case
+        executor = SlicedExecutor(tn, tree, _sliced(tn), mode="reference")
+        with pytest.raises(ValueError, match="compiled mode"):
+            executor.run(resume=str(tmp_path / "store"))
+
+
+# ----------------------------------------------------------------------
+# The real thing: coordinator death in a subprocess, resume in a fresh one
+# ----------------------------------------------------------------------
+def _run_harness(store_root, backend, kill):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, HARNESS, str(store_root), backend, kill],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=240,
+    )
+
+
+def _parse_result(stdout):
+    for line in stdout.splitlines():
+        if line.startswith("RESULT "):
+            return complex(line[len("RESULT ") :])
+    raise AssertionError(f"no RESULT line in harness output:\n{stdout}")
+
+
+class TestCoordinatorCrashEndToEnd:
+    @pytest.mark.parametrize("kill_ordinal", [0, 3])
+    def test_pool_coordinator_crash_resumes_bit_identically(
+        self, serial_value, tmp_path, kill_ordinal
+    ):
+        store_root = tmp_path / "store"
+        killed = _run_harness(store_root, "pool", str(kill_ordinal))
+        assert killed.returncode != 0, killed.stdout + killed.stderr
+        assert "InjectedCoordinatorDeath" in killed.stderr
+        assert "RESULT" not in killed.stdout  # it really died mid-run
+        resumed = _run_harness(store_root, "pool", "none")
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+        # repr() round-trips floats exactly, so this equality is bitwise
+        assert _parse_result(resumed.stdout) == serial_value
+        # harvest ordinal k dying after its record leaves k+1 durable
+        # chunks of CHUNK_SIZE=2 slots each
+        assert "STATS resumed=%d" % (2 * (kill_ordinal + 1)) in resumed.stdout
+        assert CheckpointStore(store_root).jobs() == []
+
+    @pytest.mark.distributed
+    def test_distributed_coordinator_crash_resumes_bit_identically(
+        self, serial_value, tmp_path
+    ):
+        store_root = tmp_path / "store"
+        killed = _run_harness(store_root, "distributed", "2")
+        assert killed.returncode != 0, killed.stdout + killed.stderr
+        assert "InjectedCoordinatorDeath" in killed.stderr
+        resumed = _run_harness(store_root, "distributed", "none")
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+        assert _parse_result(resumed.stdout) == serial_value
+
+    @pytest.mark.distributed
+    def test_distributed_resume_after_cluster_loss_in_process(
+        self, case, serial_value, tmp_path
+    ):
+        """The whole cluster (coordinator + spawned workers) goes away
+        mid-run; a brand-new cluster resumes from the ledger alone."""
+        tn, tree = case
+        store = CheckpointStore(tmp_path / "store")
+        injector = FaultInjector([FaultSpec("kill-coordinator", chunk=2)])
+        interrupted = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=DistributedBackend(num_workers=WORKERS, chunk_size=2),
+            fault_policy=FaultPolicy.retrying(),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCoordinatorDeath):
+            interrupted.run(resume=store)
+        resumed = SlicedExecutor(
+            tn,
+            tree,
+            _sliced(tn),
+            backend=DistributedBackend(num_workers=WORKERS, chunk_size=2),
+            fault_policy=FaultPolicy.retrying(),
+        )
+        assert resumed.amplitude(resume=store) == serial_value
+        assert resumed.stats.resumed_slots >= 1
+        assert store.jobs() == []
